@@ -1,0 +1,619 @@
+// Package casper is a workload-driven columnar storage engine for hybrid
+// transactional/analytical workloads, reproducing "Optimal Column Layout for
+// Hybrid Workloads" (Athanassoulis, Bøgh, Idreos; PVLDB 12(13), 2019).
+//
+// The engine stores a keyed relation column-wise. Its key column can be laid
+// out under six strategies — from plain insertion order, through sorted plus
+// delta store (today's state of the art), to Casper's optimizer-chosen range
+// partitioning with per-partition ghost-value buffers. Given a sample
+// workload, Train solves a binary optimization problem that picks the
+// partition sizes and buffer placement minimizing total workload cost,
+// optionally under read/update latency SLAs.
+//
+// Quickstart:
+//
+//	keys := casper.UniformKeys(1_000_000, 10_000_000, 42)
+//	eng, _ := casper.Open(keys, casper.Options{Mode: casper.ModeCasper})
+//	sample, _ := casper.PresetWorkload(casper.HybridSkewed, keys, 10_000_000, 10_000, 1)
+//	_ = eng.Train(sample, runtime.NumCPU())
+//	n := eng.PointQuery(12345)          // scans one partition
+//	eng.Insert(777)                      // absorbed by a ghost slot
+package casper
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"casper/internal/iomodel"
+	"casper/internal/solver"
+	"casper/internal/table"
+	"casper/internal/txn"
+	"casper/internal/workload"
+)
+
+// Mode selects the column layout strategy (§7 of the paper).
+type Mode int
+
+const (
+	// ModeNoOrder stores the column in insertion order (vanilla
+	// column-store baseline).
+	ModeNoOrder Mode = iota
+	// ModeSorted keeps the key column fully sorted.
+	ModeSorted
+	// ModeStateOfArt is a sorted column with a global delta store — the
+	// paper's state-of-the-art comparison point.
+	ModeStateOfArt
+	// ModeEqui uses equi-width range partitioning.
+	ModeEqui
+	// ModeEquiGV adds evenly distributed ghost values to ModeEqui.
+	ModeEquiGV
+	// ModeCasper uses the workload-optimized layout (call Train).
+	ModeCasper
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string { return tableMode(m).String() }
+
+// AllModes lists every layout mode in the paper's comparison order.
+func AllModes() []Mode {
+	return []Mode{ModeCasper, ModeEquiGV, ModeEqui, ModeStateOfArt, ModeSorted, ModeNoOrder}
+}
+
+func tableMode(m Mode) table.Mode {
+	switch m {
+	case ModeNoOrder:
+		return table.NoOrder
+	case ModeSorted:
+		return table.Sorted
+	case ModeStateOfArt:
+		return table.StateOfArt
+	case ModeEqui:
+		return table.Equi
+	case ModeEquiGV:
+		return table.EquiGV
+	case ModeCasper:
+		return table.Casper
+	}
+	panic(fmt.Sprintf("casper: unknown mode %d", int(m)))
+}
+
+// Options configures Open.
+type Options struct {
+	// Mode is the layout strategy (default ModeCasper).
+	Mode Mode
+	// PayloadCols is the number of payload columns beside the key
+	// (default 15, matching the paper's 16-column narrow table).
+	PayloadCols int
+	// ChunkValues is the column chunk size (default 1M, §7).
+	ChunkValues int
+	// BlockBytes is the logical block size (default 16 KB, §7).
+	BlockBytes int
+	// GhostFrac is the ghost value budget as a fraction of the data size
+	// (default 0.001 = 0.1%, Fig. 12).
+	GhostFrac float64
+	// Partitions is the per-chunk partition count for the Equi modes and
+	// the fairness budget for ModeCasper (§7). Default: one per block.
+	Partitions int
+	// MinPartitions forces ModeCasper to keep at least this many
+	// partitions per chunk; used by experiments that isolate the ghost
+	// value effect under a fixed amount of structure.
+	MinPartitions int
+	// ReadSLA bounds point query latency in nanoseconds (0 = none); it
+	// constrains the maximum partition size (Eq. 21).
+	ReadSLA float64
+	// UpdateSLA bounds insert/update latency in nanoseconds (0 = none);
+	// it constrains the partition count (Eq. 21).
+	UpdateSLA float64
+	// MergeThreshold overrides the delta-store merge trigger
+	// (ModeStateOfArt).
+	MergeThreshold int
+	// Calibrate micro-benchmarks the block access constants instead of
+	// using the paper's defaults (§4.5).
+	Calibrate bool
+	// PayloadGen derives payload values from keys at load and insert
+	// time; nil uses the package default.
+	PayloadGen func(key int64, col int) int32
+}
+
+// Engine is a single-table storage engine instance.
+type Engine struct {
+	tbl    *table.Table
+	params iomodel.CostParams
+	mode   Mode
+	mgr    *txn.Manager
+
+	monMu sync.Mutex
+	mon   *Monitor
+}
+
+// Open loads keys (any order) into a fresh engine.
+func Open(keys []int64, opts Options) (*Engine, error) {
+	params := iomodel.EngineDefaults(opts.BlockBytes)
+	if opts.Calibrate {
+		params = iomodel.Calibrate(opts.BlockBytes)
+	}
+	payloadCols := opts.PayloadCols
+	if payloadCols == 0 {
+		payloadCols = 15
+	}
+	ghostFrac := opts.GhostFrac
+	if ghostFrac == 0 {
+		ghostFrac = 0.001
+	}
+	var sopts solver.Options
+	sopts.MinPartitions = opts.MinPartitions
+	if opts.ReadSLA > 0 {
+		mps, err := solver.ReadSLAToMaxBlocks(opts.ReadSLA, params)
+		if err != nil {
+			return nil, fmt.Errorf("casper: read SLA: %w", err)
+		}
+		sopts.MaxPartitionBlocks = mps
+	}
+	if opts.UpdateSLA > 0 {
+		k, err := solver.UpdateSLAToMaxPartitions(opts.UpdateSLA, params)
+		if err != nil {
+			return nil, fmt.Errorf("casper: update SLA: %w", err)
+		}
+		sopts.MaxPartitions = k
+	}
+	var gen table.PayloadGen
+	if opts.PayloadGen != nil {
+		gen = table.PayloadGen(opts.PayloadGen)
+	}
+	tbl, err := table.New(keys, table.Config{
+		Mode:           tableMode(opts.Mode),
+		PayloadCols:    payloadCols,
+		ChunkValues:    opts.ChunkValues,
+		GhostFrac:      ghostFrac,
+		Partitions:     opts.Partitions,
+		Params:         params,
+		SolverOpts:     sopts,
+		MergeThreshold: opts.MergeThreshold,
+	}, gen)
+	if err != nil {
+		return nil, fmt.Errorf("casper: %w", err)
+	}
+	return &Engine{tbl: tbl, params: params, mode: opts.Mode, mgr: txn.NewManager()}, nil
+}
+
+// Mode returns the engine's layout mode.
+func (e *Engine) Mode() Mode { return e.mode }
+
+// Len returns the live row count.
+func (e *Engine) Len() int { return e.tbl.Len() }
+
+// Chunks returns the number of column chunks.
+func (e *Engine) Chunks() int { return e.tbl.Chunks() }
+
+// CostParams returns the calibrated block access constants in use.
+func (e *Engine) CostParams() string { return e.params.String() }
+
+// Train re-partitions a ModeCasper engine for the sampled workload: builds
+// per-chunk Frequency Models, solves the layout optimization (parallel
+// across chunks), and applies the layouts with Eq. 18 ghost allocation.
+func (e *Engine) Train(sample []Op, parallelism int) error {
+	return e.tbl.TrainLayout(toWorkloadOps(sample), parallelism)
+}
+
+// PointQuery returns the number of live rows with the given key (Q1).
+func (e *Engine) PointQuery(key int64) int { return e.tbl.PointQuery(key) }
+
+// RangeCount counts live rows with keys in [lo, hi] (Q2).
+func (e *Engine) RangeCount(lo, hi int64) int { return e.tbl.RangeCount(lo, hi) }
+
+// RangeSum sums the keys of live rows in [lo, hi] (Q3).
+func (e *Engine) RangeSum(lo, hi int64) int64 { return e.tbl.RangeSum(lo, hi) }
+
+// Filter is a conjunctive range predicate on one payload column.
+type Filter struct {
+	Col    int
+	Lo, Hi int32
+}
+
+// MultiRangeSum runs a TPC-H-Q6-shaped query: key range plus payload
+// filters, summing payload column sumCol over qualifying rows.
+func (e *Engine) MultiRangeSum(lo, hi int64, filters []Filter, sumCol int) int64 {
+	fs := make([]table.PayloadFilter, len(filters))
+	for i, f := range filters {
+		fs[i] = table.PayloadFilter{Col: f.Col, Lo: f.Lo, Hi: f.Hi}
+	}
+	return e.tbl.MultiRangeSum(lo, hi, fs, sumCol)
+}
+
+// Insert adds a row with the given key (Q4).
+func (e *Engine) Insert(key int64) { e.tbl.Insert(key) }
+
+// Delete removes one row with the given key (Q5).
+func (e *Engine) Delete(key int64) error { return e.tbl.Delete(key) }
+
+// UpdateKey changes one row's key, preserving its payload (Q6).
+func (e *Engine) UpdateKey(old, new int64) error { return e.tbl.UpdateKey(old, new) }
+
+// Payload returns payload column col of one row with the given key.
+func (e *Engine) Payload(key int64, col int) (int32, bool) { return e.tbl.Payload(key, col) }
+
+// OpKind enumerates workload operations.
+type OpKind int
+
+const (
+	PointQuery OpKind = iota
+	RangeCount
+	RangeSum
+	Insert
+	Delete
+	Update
+)
+
+// Op is one workload operation. Key2 holds the range end (RangeCount,
+// RangeSum) or the new key (Update).
+type Op struct {
+	Kind OpKind
+	Key  int64
+	Key2 int64
+}
+
+func toWorkloadOps(ops []Op) []workload.Op {
+	out := make([]workload.Op, len(ops))
+	for i, op := range ops {
+		out[i] = workload.Op{Kind: workloadKind(op.Kind), Key: op.Key, Key2: op.Key2}
+	}
+	return out
+}
+
+func workloadKind(k OpKind) workload.Kind {
+	switch k {
+	case PointQuery:
+		return workload.Q1PointQuery
+	case RangeCount:
+		return workload.Q2RangeCount
+	case RangeSum:
+		return workload.Q3RangeSum
+	case Insert:
+		return workload.Q4Insert
+	case Delete:
+		return workload.Q5Delete
+	case Update:
+		return workload.Q6Update
+	}
+	panic(fmt.Sprintf("casper: unknown op kind %d", int(k)))
+}
+
+func fromWorkloadOps(ops []workload.Op) []Op {
+	out := make([]Op, len(ops))
+	for i, op := range ops {
+		var k OpKind
+		switch op.Kind {
+		case workload.Q1PointQuery:
+			k = PointQuery
+		case workload.Q2RangeCount:
+			k = RangeCount
+		case workload.Q3RangeSum:
+			k = RangeSum
+		case workload.Q4Insert:
+			k = Insert
+		case workload.Q5Delete:
+			k = Delete
+		case workload.Q6Update:
+			k = Update
+		}
+		out[i] = Op{Kind: k, Key: op.Key, Key2: op.Key2}
+	}
+	return out
+}
+
+// Execute runs one operation, returning a sink value (query result or 1/0
+// success flag for writes). When a monitor is active the operation is also
+// recorded for later retraining.
+func (e *Engine) Execute(op Op) int64 {
+	e.monMu.Lock()
+	mon := e.mon
+	e.monMu.Unlock()
+	if mon != nil {
+		mon.record(op)
+	}
+	return e.tbl.Execute(workload.Op{Kind: workloadKind(op.Kind), Key: op.Key, Key2: op.Key2})
+}
+
+// ExecuteAll runs the operations serially.
+func (e *Engine) ExecuteAll(ops []Op) int64 {
+	e.monMu.Lock()
+	mon := e.mon
+	e.monMu.Unlock()
+	if mon == nil {
+		return e.tbl.ExecuteAll(toWorkloadOps(ops))
+	}
+	var sink int64
+	for _, op := range ops {
+		sink += e.Execute(op)
+	}
+	return sink
+}
+
+// ExecuteParallel spreads the operations over the given number of worker
+// goroutines; chunk-level locking serializes conflicting writes.
+func (e *Engine) ExecuteParallel(ops []Op, workers int) int64 {
+	return e.tbl.ExecuteParallel(toWorkloadOps(ops), workers)
+}
+
+// LayoutSummary describes one chunk's physical layout.
+type LayoutSummary struct {
+	Chunk      int
+	Partitions int
+	Sizes      []int // live values per partition
+	Ghosts     []int // free ghost slots per partition
+}
+
+// Layouts reports the current physical layout of partitioned chunks.
+func (e *Engine) Layouts() []LayoutSummary {
+	in := e.tbl.Layouts()
+	out := make([]LayoutSummary, len(in))
+	for i, l := range in {
+		out[i] = LayoutSummary(l)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Workload helpers
+// ---------------------------------------------------------------------------
+
+// Workload preset names (§7.1 mixes; see EXPERIMENTS.md).
+const (
+	HybridSkewed      = workload.HybridSkewed
+	HybridRangeSkewed = workload.HybridRangeSkewed
+	ReadOnlySkewed    = workload.ReadOnlySkewed
+	ReadOnlyUniform   = workload.ReadOnlyUniform
+	UpdateOnlySkewed  = workload.UpdateOnlySkewed
+	UpdateOnlyUniform = workload.UpdateOnlyUniform
+	SLAHybrid         = workload.SLAHybrid
+)
+
+// PresetWorkload generates ops operations of the named HAP preset against
+// the initial keys over the domain [0, domainMax].
+func PresetWorkload(name string, keys []int64, domainMax int64, ops int, seed int64) ([]Op, error) {
+	spec, err := workload.Preset(name, ops, seed)
+	if err != nil {
+		return nil, err
+	}
+	ws, err := workload.Generate(keys, domainMax, spec)
+	if err != nil {
+		return nil, err
+	}
+	return fromWorkloadOps(ws), nil
+}
+
+// UniformKeys generates n uniformly distributed keys over [0, domainMax].
+func UniformKeys(n int, domainMax int64, seed int64) []int64 {
+	return workload.UniformKeys(n, domainMax, seed)
+}
+
+// ---------------------------------------------------------------------------
+// Transactions (§6.1: snapshot isolation, first committer wins)
+// ---------------------------------------------------------------------------
+
+// Tx is a snapshot-isolation transaction over row presence. Reads observe
+// the snapshot at Begin; buffered writes apply to storage only on Commit.
+// Concurrent transactions writing the same key conflict: the first to
+// commit wins, later ones abort.
+type Tx struct {
+	e     *Engine
+	inner *txn.Txn
+	ops   []Op
+}
+
+// Begin starts a transaction.
+func (e *Engine) Begin() *Tx {
+	return &Tx{e: e, inner: e.mgr.Begin()}
+}
+
+// seen ensures the version store knows the storage state of key before the
+// transaction reasons about it.
+func (t *Tx) seen(key int64) {
+	if _, ok := t.e.mgr.ReadCommitted(key); !ok {
+		if n := t.e.tbl.PointQuery(key); n > 0 {
+			t.e.mgr.Seed(key, int64(n))
+		}
+	}
+}
+
+// Exists reports whether a row with the key is visible in the snapshot.
+func (t *Tx) Exists(key int64) (bool, error) {
+	t.seen(key)
+	v, ok, err := t.inner.Read(key)
+	if err != nil {
+		return false, err
+	}
+	return ok && v > 0, nil
+}
+
+// Insert buffers a row insertion.
+func (t *Tx) Insert(key int64) error {
+	t.seen(key)
+	v, _, err := t.inner.Read(key)
+	if err != nil {
+		return err
+	}
+	if err := t.inner.Write(key, v+1); err != nil {
+		return err
+	}
+	t.ops = append(t.ops, Op{Kind: Insert, Key: key})
+	return nil
+}
+
+// Delete buffers a row deletion.
+func (t *Tx) Delete(key int64) error {
+	t.seen(key)
+	v, ok, err := t.inner.Read(key)
+	if err != nil {
+		return err
+	}
+	if !ok || v <= 0 {
+		return fmt.Errorf("casper: delete of absent key %d", key)
+	}
+	if v == 1 {
+		if err := t.inner.Delete(key); err != nil {
+			return err
+		}
+	} else if err := t.inner.Write(key, v-1); err != nil {
+		return err
+	}
+	t.ops = append(t.ops, Op{Kind: Delete, Key: key})
+	return nil
+}
+
+// Update buffers a key change.
+func (t *Tx) Update(old, new int64) error {
+	if err := t.Delete(old); err != nil {
+		return err
+	}
+	if err := t.Insert(new); err != nil {
+		return err
+	}
+	// Collapse the pair into one storage-level update so the payload
+	// travels with the row.
+	t.ops = t.ops[:len(t.ops)-2]
+	t.ops = append(t.ops, Op{Kind: Update, Key: old, Key2: new})
+	return nil
+}
+
+// Commit validates the transaction (first committer wins) and applies its
+// writes to storage.
+func (t *Tx) Commit() error {
+	if err := t.inner.Commit(); err != nil {
+		return err
+	}
+	for _, op := range t.ops {
+		t.e.Execute(op)
+	}
+	return nil
+}
+
+// Abort discards the transaction.
+func (t *Tx) Abort() { t.inner.Abort() }
+
+// ---------------------------------------------------------------------------
+// Misc
+// ---------------------------------------------------------------------------
+
+// SortKeys sorts keys ascending in place and returns them; a convenience
+// for loading pre-sorted data.
+func SortKeys(keys []int64) []int64 {
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// ShiftWorkload returns a copy of ops with every key rotated right by frac
+// of the domain (wrapping), modeling Fig. 16's rotational workload
+// uncertainty: the layout was trained for one access pattern and serves a
+// shifted one.
+func ShiftWorkload(ops []Op, domainMax int64, frac float64) []Op {
+	shift := int64(frac * float64(domainMax+1))
+	rot := func(v int64) int64 {
+		v += shift
+		if v > domainMax {
+			v -= domainMax + 1
+		}
+		return v
+	}
+	out := make([]Op, len(ops))
+	for i, op := range ops {
+		out[i] = op
+		out[i].Key = rot(op.Key)
+		if op.Kind == RangeCount || op.Kind == RangeSum {
+			// Keep ranges contiguous: shift both ends; clamp at wrap.
+			lo, hi := rot(op.Key), rot(op.Key2)
+			if hi < lo {
+				hi = domainMax
+			}
+			out[i].Key, out[i].Key2 = lo, hi
+		} else if op.Kind == Update {
+			out[i].Key2 = op.Key2 // update targets stay put
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Online monitoring and re-partitioning (the A' arc of Fig. 10)
+// ---------------------------------------------------------------------------
+
+// Monitor collects executed operations so the layout can be re-derived when
+// access patterns drift — the paper's online extension where "offline
+// indexing techniques [are] repurposed for online indexing" (§1).
+type Monitor struct {
+	mu  sync.Mutex
+	ops []Op
+	cap int
+}
+
+// StartMonitor begins recording operations executed through Execute and
+// ExecuteAll, keeping the most recent capacity operations.
+func (e *Engine) StartMonitor(capacity int) {
+	if capacity <= 0 {
+		capacity = 10_000
+	}
+	e.monMu.Lock()
+	e.mon = &Monitor{cap: capacity}
+	e.monMu.Unlock()
+}
+
+// StopMonitor stops recording and returns the operations captured so far.
+func (e *Engine) StopMonitor() []Op {
+	e.monMu.Lock()
+	defer e.monMu.Unlock()
+	if e.mon == nil {
+		return nil
+	}
+	ops := e.mon.snapshot()
+	e.mon = nil
+	return ops
+}
+
+// Monitored returns the number of operations currently recorded.
+func (e *Engine) Monitored() int {
+	e.monMu.Lock()
+	defer e.monMu.Unlock()
+	if e.mon == nil {
+		return 0
+	}
+	e.mon.mu.Lock()
+	defer e.mon.mu.Unlock()
+	return len(e.mon.ops)
+}
+
+func (m *Monitor) record(op Op) {
+	m.mu.Lock()
+	if len(m.ops) >= m.cap {
+		// Keep the most recent window.
+		copy(m.ops, m.ops[len(m.ops)-m.cap/2:])
+		m.ops = m.ops[:m.cap/2]
+	}
+	m.ops = append(m.ops, op)
+	m.mu.Unlock()
+}
+
+func (m *Monitor) snapshot() []Op {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Op, len(m.ops))
+	copy(out, m.ops)
+	return out
+}
+
+// Retrain re-solves the layout from the monitored operations and applies it
+// (a re-partitioning cycle). The monitor keeps recording. Requires
+// ModeCasper and an active monitor.
+func (e *Engine) Retrain(parallelism int) error {
+	e.monMu.Lock()
+	mon := e.mon
+	e.monMu.Unlock()
+	if mon == nil {
+		return fmt.Errorf("casper: Retrain requires an active monitor (call StartMonitor)")
+	}
+	ops := mon.snapshot()
+	if len(ops) == 0 {
+		return fmt.Errorf("casper: no monitored operations to retrain from")
+	}
+	return e.Train(ops, parallelism)
+}

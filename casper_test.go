@@ -1,0 +1,293 @@
+package casper
+
+import (
+	"errors"
+	"testing"
+)
+
+func testOptions(mode Mode) Options {
+	return Options{
+		Mode:        mode,
+		PayloadCols: 3,
+		ChunkValues: 1024,
+		BlockBytes:  512, // 64 values per block
+		GhostFrac:   0.01,
+		Partitions:  8,
+	}
+}
+
+func openTest(t *testing.T, mode Mode, n int) *Engine {
+	t.Helper()
+	keys := UniformKeys(n, int64(n)*10, 77)
+	e, err := Open(keys, testOptions(mode))
+	if err != nil {
+		t.Fatalf("Open(%v): %v", mode, err)
+	}
+	return e
+}
+
+func TestOpenAllModes(t *testing.T) {
+	for _, mode := range AllModes() {
+		e := openTest(t, mode, 3000)
+		if e.Len() != 3000 {
+			t.Errorf("%v: Len = %d, want 3000", mode, e.Len())
+		}
+		if e.Mode() != mode {
+			t.Errorf("Mode = %v, want %v", e.Mode(), mode)
+		}
+		if e.Chunks() < 2 {
+			t.Errorf("%v: chunks = %d, want >= 2", mode, e.Chunks())
+		}
+	}
+}
+
+func TestOpenRejectsEmptyKeys(t *testing.T) {
+	if _, err := Open(nil, testOptions(ModeCasper)); err == nil {
+		t.Fatal("Open(nil) succeeded")
+	}
+}
+
+func TestOpenRejectsInfeasibleSLA(t *testing.T) {
+	keys := UniformKeys(100, 1000, 1)
+	opts := testOptions(ModeCasper)
+	opts.ReadSLA = 1 // below one random read
+	if _, err := Open(keys, opts); err == nil {
+		t.Fatal("infeasible read SLA accepted")
+	}
+	opts = testOptions(ModeCasper)
+	opts.UpdateSLA = 1
+	if _, err := Open(keys, opts); err == nil {
+		t.Fatal("infeasible update SLA accepted")
+	}
+}
+
+func TestEndToEndCasperFlow(t *testing.T) {
+	keys := UniformKeys(4000, 40_000, 5)
+	e, err := Open(keys, testOptions(ModeCasper))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample, err := PresetWorkload(HybridSkewed, keys, 40_000, 2000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Train(sample, 2); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Layouts()) == 0 {
+		t.Fatal("no layouts after training")
+	}
+	// Execute the sample; spot check against a second engine in a
+	// baseline mode.
+	ref, err := Open(keys, testOptions(ModeSorted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, op := range sample {
+		if got, want := e.Execute(op), ref.Execute(op); got != want {
+			t.Fatalf("op %d (%+v): casper=%d sorted=%d", i, op, got, want)
+		}
+	}
+}
+
+func TestQueriesAndWrites(t *testing.T) {
+	keys := []int64{10, 20, 20, 30, 40, 50}
+	e, err := Open(keys, Options{Mode: ModeCasper, PayloadCols: 2, ChunkValues: 100, BlockBytes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.PointQuery(20); got != 2 {
+		t.Errorf("PointQuery(20) = %d, want 2", got)
+	}
+	if got := e.RangeCount(15, 45); got != 4 {
+		t.Errorf("RangeCount = %d, want 4", got)
+	}
+	if got := e.RangeSum(15, 45); got != 110 {
+		t.Errorf("RangeSum = %d, want 110", got)
+	}
+	e.Insert(25)
+	if got := e.PointQuery(25); got != 1 {
+		t.Errorf("PointQuery(25) = %d, want 1", got)
+	}
+	if err := e.Delete(25); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Delete(25); err == nil {
+		t.Error("double delete succeeded")
+	}
+	if err := e.UpdateKey(10, 35); err != nil {
+		t.Fatal(err)
+	}
+	if e.PointQuery(10) != 0 || e.PointQuery(35) != 1 {
+		t.Error("update not applied")
+	}
+}
+
+func TestMultiRangeSumPublic(t *testing.T) {
+	keys := make([]int64, 50)
+	for i := range keys {
+		keys[i] = int64(i)
+	}
+	gen := func(key int64, col int) int32 {
+		if col == 0 {
+			return int32(key % 5)
+		}
+		return 1
+	}
+	e, err := Open(keys, Options{Mode: ModeCasper, PayloadCols: 2, ChunkValues: 100, BlockBytes: 64, PayloadGen: gen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keys 0..49, filter key%5 == 0 (via [0,0]): 10 rows, each summing 1.
+	got := e.MultiRangeSum(0, 49, []Filter{{Col: 0, Lo: 0, Hi: 0}}, 1)
+	if got != 10 {
+		t.Errorf("MultiRangeSum = %d, want 10", got)
+	}
+}
+
+func TestTransactionsCommitAndConflict(t *testing.T) {
+	e := openTest(t, ModeCasper, 1000)
+	key := int64(123456) // absent
+
+	tx := e.Begin()
+	if ok, _ := tx.Exists(key); ok {
+		t.Fatal("absent key reported present")
+	}
+	if err := tx.Insert(key); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := tx.Exists(key); !ok {
+		t.Fatal("own insert invisible")
+	}
+	// Not yet visible outside.
+	if e.PointQuery(key) != 0 {
+		t.Fatal("uncommitted insert visible in storage")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if e.PointQuery(key) != 1 {
+		t.Fatal("committed insert not applied to storage")
+	}
+
+	// Write-write conflict: two transactions delete the same row.
+	a, b := e.Begin(), e.Begin()
+	if err := a.Delete(key); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Delete(key); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Commit(); err == nil {
+		t.Fatal("second committer should conflict")
+	}
+	if e.PointQuery(key) != 0 {
+		t.Fatal("row should be deleted exactly once")
+	}
+}
+
+func TestTransactionDeleteAbsent(t *testing.T) {
+	e := openTest(t, ModeCasper, 500)
+	tx := e.Begin()
+	if err := tx.Delete(999_999_999); err == nil {
+		t.Fatal("delete of absent key accepted")
+	}
+}
+
+func TestTransactionAbortDiscards(t *testing.T) {
+	e := openTest(t, ModeCasper, 500)
+	tx := e.Begin()
+	if err := tx.Insert(888_888); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+	if err := tx.Commit(); err == nil {
+		t.Fatal("commit after abort accepted")
+	}
+	if e.PointQuery(888_888) != 0 {
+		t.Fatal("aborted insert leaked into storage")
+	}
+}
+
+func TestTransactionUpdateCarriesPayload(t *testing.T) {
+	keys := []int64{100, 200, 300}
+	e, err := Open(keys, Options{Mode: ModeCasper, PayloadCols: 1, ChunkValues: 100, BlockBytes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, ok := e.Payload(200, 0)
+	if !ok {
+		t.Fatal("payload missing")
+	}
+	tx := e.Begin()
+	if err := tx.Update(200, 250); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := e.Payload(250, 0)
+	if !ok || got != want {
+		t.Fatalf("payload after txn update = %d,%v, want %d", got, ok, want)
+	}
+}
+
+func TestPresetWorkloadUnknown(t *testing.T) {
+	if _, err := PresetWorkload("bogus", []int64{1}, 10, 5, 1); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestShiftWorkloadRotates(t *testing.T) {
+	ops := []Op{
+		{Kind: PointQuery, Key: 90},
+		{Kind: RangeSum, Key: 10, Key2: 20},
+		{Kind: Update, Key: 5, Key2: 50},
+	}
+	shifted := ShiftWorkload(ops, 99, 0.2) // shift by 20
+	if shifted[0].Key != 10 {              // 90+20 wraps to 10
+		t.Errorf("point key = %d, want 10", shifted[0].Key)
+	}
+	if shifted[1].Key != 30 || shifted[1].Key2 != 40 {
+		t.Errorf("range = [%d,%d], want [30,40]", shifted[1].Key, shifted[1].Key2)
+	}
+	if shifted[2].Key != 25 || shifted[2].Key2 != 50 {
+		t.Errorf("update = %+v, want Key 25 Key2 50", shifted[2])
+	}
+	if len(ShiftWorkload(nil, 99, 0.5)) != 0 {
+		t.Error("nil ops should shift to empty")
+	}
+}
+
+func TestSortKeys(t *testing.T) {
+	got := SortKeys([]int64{3, 1, 2})
+	for i, want := range []int64{1, 2, 3} {
+		if got[i] != want {
+			t.Fatalf("SortKeys = %v", got)
+		}
+	}
+}
+
+func TestExecuteParallelPublic(t *testing.T) {
+	e := openTest(t, ModeCasper, 2000)
+	var ops []Op
+	for i := 0; i < 500; i++ {
+		ops = append(ops, Op{Kind: PointQuery, Key: int64(i * 37)})
+	}
+	if s, p := e.ExecuteAll(ops), e.ExecuteParallel(ops, 4); s != p {
+		t.Fatalf("serial %d != parallel %d", s, p)
+	}
+}
+
+func TestDeleteReturnsNotFoundError(t *testing.T) {
+	e := openTest(t, ModeSorted, 100)
+	err := e.Delete(987_654_321)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var dummy error = err
+	_ = errors.Unwrap(dummy) // must be a wrapped, inspectable error
+}

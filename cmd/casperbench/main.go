@@ -1,0 +1,94 @@
+// Command casperbench regenerates the tables and figures of "Optimal Column
+// Layout for Hybrid Workloads" (PVLDB 2019).
+//
+// Usage:
+//
+//	casperbench [-fig N | -table N | -all] [-rows N] [-ops N] [-workers N]
+//
+// Examples:
+//
+//	casperbench -all                      # every experiment, default scale
+//	casperbench -fig 12                   # six layouts × six workloads
+//	casperbench -fig 9 -rows 1000000      # model verification on a 1M chunk
+//	casperbench -table 1                  # the design-space table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"casper/internal/experiments"
+)
+
+func main() {
+	var (
+		fig     = flag.Int("fig", 0, "figure number to regenerate (1,2,9,11,12,13,14,15,16)")
+		tab     = flag.Int("table", 0, "table number to regenerate (1)")
+		all     = flag.Bool("all", false, "run every experiment")
+		abl     = flag.Bool("ablations", false, "run the design-choice ablations")
+		comp    = flag.Bool("compression", false, "run the compression synergy report (§6.2)")
+		gran    = flag.Bool("granularity", false, "run the histogram granularity sweep (§4.3)")
+		rows    = flag.Int("rows", 0, "initial table rows (default 200k)")
+		ops     = flag.Int("ops", 0, "measured operations per run (default 4k)")
+		workers = flag.Int("workers", runtime.NumCPU(), "execution/optimization parallelism")
+		seed    = flag.Int64("seed", 42, "workload generator seed")
+	)
+	flag.Parse()
+
+	sc := experiments.DefaultScale()
+	sc.Workers = *workers
+	sc.Seed = *seed
+	if *rows > 0 {
+		sc.Rows = *rows
+	}
+	if *ops > 0 {
+		sc.Ops = *ops
+		sc.TrainOps = *ops
+	}
+
+	switch {
+	case *all:
+		for _, r := range experiments.All(sc) {
+			fmt.Println(r)
+		}
+	case *abl:
+		fmt.Println(experiments.Ablations(sc))
+	case *comp:
+		fmt.Println(experiments.ExtCompression(sc))
+	case *gran:
+		fmt.Println(experiments.ExtGranularity(sc))
+	case *tab == 1:
+		fmt.Println(experiments.Table1())
+	case *fig != 0:
+		var runner func(experiments.Scale) experiments.Report
+		switch *fig {
+		case 1:
+			runner = experiments.Fig1
+		case 2:
+			runner = experiments.Fig2
+		case 9:
+			runner = experiments.Fig9
+		case 11:
+			runner = experiments.Fig11
+		case 12:
+			runner = experiments.Fig12
+		case 13:
+			runner = experiments.Fig13
+		case 14:
+			runner = experiments.Fig14
+		case 15:
+			runner = experiments.Fig15
+		case 16:
+			runner = experiments.Fig16
+		default:
+			fmt.Fprintf(os.Stderr, "casperbench: no experiment for figure %d (figures 3-8 and 10 are illustrative)\n", *fig)
+			os.Exit(2)
+		}
+		fmt.Println(runner(sc))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,112 @@
+// Command layoutopt is the offline layout advisor: given a workload mix it
+// prints the optimal column layout (partition sizes and ghost allocation)
+// Casper would apply, without loading any data — the "index advisor"-style
+// workflow described in the paper's positioning (§1).
+//
+// Usage:
+//
+//	layoutopt -rows 1000000 -point 0.49 -range 0.0 -insert 0.50 -delete 0.0 -update 0.01 \
+//	          [-skew recent|early|uniform] [-ghosts 0.001] [-read-sla NS] [-update-sla NS]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"casper/internal/costmodel"
+	"casper/internal/freq"
+	"casper/internal/ghost"
+	"casper/internal/iomodel"
+	"casper/internal/solver"
+)
+
+func main() {
+	var (
+		rows      = flag.Int("rows", 1_000_000, "chunk size in values")
+		blockKB   = flag.Int("block-kb", 16, "block size in KB")
+		pointF    = flag.Float64("point", 0.5, "point query fraction")
+		rangeF    = flag.Float64("range", 0, "range query fraction")
+		rangeBlk  = flag.Float64("range-blocks", 4, "average blocks per range query")
+		insertF   = flag.Float64("insert", 0.5, "insert fraction")
+		deleteF   = flag.Float64("delete", 0, "delete fraction")
+		updateF   = flag.Float64("update", 0, "update fraction")
+		opsN      = flag.Float64("ops", 10_000, "operations in the modeled period")
+		skew      = flag.String("skew", "uniform", "access skew: uniform | recent | early")
+		ghostFrac = flag.Float64("ghosts", 0.001, "ghost value budget (fraction of rows)")
+		readSLA   = flag.Float64("read-sla", 0, "point query SLA in ns (0 = none)")
+		updSLA    = flag.Float64("update-sla", 0, "insert/update SLA in ns (0 = none)")
+	)
+	flag.Parse()
+
+	params := iomodel.EngineDefaults(*blockKB * 1024)
+	blockVals := params.BlockValues()
+	nBlocks := (*rows + blockVals - 1) / blockVals
+
+	var dist freq.Distribution
+	switch *skew {
+	case "uniform":
+		dist = freq.Uniform
+	case "recent":
+		dist = freq.LinearRamp
+	case "early":
+		dist = freq.ReverseRamp
+	default:
+		fmt.Fprintf(os.Stderr, "layoutopt: unknown skew %q\n", *skew)
+		os.Exit(2)
+	}
+
+	fm := freq.FromDistributions(nBlocks, freq.DistSpec{
+		PointQueries:   *opsN * *pointF,
+		PointDist:      dist,
+		RangeQueries:   *opsN * *rangeF,
+		RangeStartDist: dist,
+		RangeBlocks:    *rangeBlk,
+		Inserts:        *opsN * *insertF,
+		InsertDist:     dist,
+		Deletes:        *opsN * *deleteF,
+		DeleteDist:     dist,
+		Updates:        *opsN * *updateF,
+		UpdateFromDist: dist,
+		UpdateToDist:   freq.Uniform,
+	})
+	terms := costmodel.Compute(fm, params)
+
+	var opts solver.Options
+	if *readSLA > 0 {
+		mps, err := solver.ReadSLAToMaxBlocks(*readSLA, params)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "layoutopt:", err)
+			os.Exit(1)
+		}
+		opts.MaxPartitionBlocks = mps
+	}
+	if *updSLA > 0 {
+		k, err := solver.UpdateSLAToMaxPartitions(*updSLA, params)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "layoutopt:", err)
+			os.Exit(1)
+		}
+		opts.MaxPartitions = k
+	}
+
+	res, err := solver.Optimize(terms, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "layoutopt:", err)
+		os.Exit(1)
+	}
+	budget := ghost.Budget(*rows, *ghostFrac)
+	alloc := ghost.Allocate(fm, res.Layout, budget)
+
+	fmt.Printf("cost model:     %s\n", params)
+	fmt.Printf("chunk:          %d values, %d blocks of %d values\n", *rows, nBlocks, blockVals)
+	fmt.Printf("optimal layout: %d partitions, modeled cost %.3g ns/period\n",
+		res.Layout.Partitions(), res.Cost)
+	single := terms.Cost(costmodel.SingleJob(nBlocks).Boundaries())
+	fmt.Printf("vs unpartitioned: %.2fx cheaper\n", single/res.Cost)
+	fmt.Printf("ghost budget:   %d slots (%.3g%% of rows)\n\n", budget, *ghostFrac*100)
+	fmt.Printf("%-5s %-14s %-14s %s\n", "part", "blocks", "values", "ghost slots")
+	for j, s := range res.Layout.Sizes {
+		fmt.Printf("%-5d %-14d %-14d %d\n", j, s, s*blockVals, alloc[j])
+	}
+}

@@ -1,0 +1,80 @@
+// SLA tuning: Casper accepts latency service-level agreements as
+// optimization constraints (§5, Eq. 21; Fig. 15). An update SLA caps the
+// partition count (bounding the worst-case ripple); a read SLA caps the
+// partition width (bounding the worst-case point-query scan). This example
+// sweeps an insert SLA and shows the layout and latencies adapting.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"casper"
+)
+
+const (
+	rows      = 100_000
+	domainMax = 1_000_000
+)
+
+func main() {
+	keys := casper.UniformKeys(rows, domainMax, 5)
+	sample, err := casper.PresetWorkload(casper.SLAHybrid, keys, domainMax, 6_000, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := casper.PresetWorkload(casper.SLAHybrid, keys, domainMax, 3_000, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-12s %-10s %-12s %-12s\n", "insert SLA", "max parts", "insert us", "point us")
+	// The model's ripple step is RR+RW = 200ns; an SLA of 200·(1+k) ns
+	// admits at most k partitions.
+	for _, slaNs := range []float64{0, 6600, 3400, 1800, 1000, 600} {
+		eng, err := casper.Open(keys, casper.Options{
+			Mode:        casper.ModeCasper,
+			PayloadCols: 7,
+			ChunkValues: 65_536,
+			GhostFrac:   0.001,
+			Partitions:  32,
+			UpdateSLA:   slaNs,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := eng.Train(sample, runtime.NumCPU()); err != nil {
+			log.Fatal(err)
+		}
+		maxParts := 0
+		for _, l := range eng.Layouts() {
+			if l.Partitions > maxParts {
+				maxParts = l.Partitions
+			}
+		}
+		var insNs, pqNs, insN, pqN int64
+		for _, op := range run {
+			t0 := time.Now()
+			eng.Execute(op)
+			d := time.Since(t0).Nanoseconds()
+			switch op.Kind {
+			case casper.Insert:
+				insNs += d
+				insN++
+			case casper.PointQuery:
+				pqNs += d
+				pqN++
+			}
+		}
+		label := "none"
+		if slaNs > 0 {
+			label = fmt.Sprintf("%.1f us", slaNs/1e3)
+		}
+		fmt.Printf("%-12s %-10d %-12.2f %-12.2f\n", label, maxParts,
+			float64(insNs)/float64(insN)/1e3, float64(pqNs)/float64(pqN)/1e3)
+	}
+	fmt.Println("\nTighter insert SLAs force fewer partitions: inserts get cheaper,")
+	fmt.Println("point queries scan wider partitions, throughput barely moves (Fig. 15).")
+}

@@ -1,0 +1,271 @@
+// Package compress implements the two compression schemes Casper supports
+// natively (§6.2 of the paper): order-preserving dictionary encoding and
+// frame-of-reference (delta) encoding with per-partition references.
+//
+// Frame-of-reference encoding interacts with partitioning: finer partitions
+// cover narrower value ranges, so their offsets fit in fewer bytes — the
+// partitioning/compression synergy the paper describes. EncodeFOR exposes
+// per-partition byte widths so the synergy is measurable.
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// ---------------------------------------------------------------------------
+// Dictionary encoding
+// ---------------------------------------------------------------------------
+
+// Dict is an order-preserving dictionary: codes compare like the values they
+// encode, so range predicates evaluate directly on codes.
+type Dict struct {
+	values []int64          // sorted distinct values; code = index
+	codeOf map[int64]uint32 // value → code
+}
+
+// NewDict builds a dictionary over the distinct values of vals.
+func NewDict(vals []int64) *Dict {
+	distinct := make(map[int64]struct{}, len(vals))
+	for _, v := range vals {
+		distinct[v] = struct{}{}
+	}
+	values := make([]int64, 0, len(distinct))
+	for v := range distinct {
+		values = append(values, v)
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	codeOf := make(map[int64]uint32, len(values))
+	for i, v := range values {
+		codeOf[v] = uint32(i)
+	}
+	return &Dict{values: values, codeOf: codeOf}
+}
+
+// Size returns the number of dictionary entries.
+func (d *Dict) Size() int { return len(d.values) }
+
+// Code returns the code of v; ok is false when v is not in the dictionary.
+func (d *Dict) Code(v int64) (uint32, bool) {
+	c, ok := d.codeOf[v]
+	return c, ok
+}
+
+// CodeForRange maps a value range [lo, hi] on raw values to the equivalent
+// inclusive code range; ok is false when the range selects nothing.
+func (d *Dict) CodeForRange(lo, hi int64) (cLo, cHi uint32, ok bool) {
+	a := sort.Search(len(d.values), func(i int) bool { return d.values[i] >= lo })
+	b := sort.Search(len(d.values), func(i int) bool { return d.values[i] > hi })
+	if a >= b {
+		return 0, 0, false
+	}
+	return uint32(a), uint32(b - 1), true
+}
+
+// Value decodes a code.
+func (d *Dict) Value(code uint32) int64 { return d.values[code] }
+
+// Encode maps vals to codes. Values outside the dictionary cause an error.
+func (d *Dict) Encode(vals []int64) ([]uint32, error) {
+	out := make([]uint32, len(vals))
+	for i, v := range vals {
+		c, ok := d.codeOf[v]
+		if !ok {
+			return nil, fmt.Errorf("compress: value %d not in dictionary", v)
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// Decode maps codes back to values.
+func (d *Dict) Decode(codes []uint32) []int64 {
+	out := make([]int64, len(codes))
+	for i, c := range codes {
+		out[i] = d.values[c]
+	}
+	return out
+}
+
+// CodeBytes returns the bytes needed per code for this dictionary size.
+func (d *Dict) CodeBytes() int {
+	switch n := len(d.values); {
+	case n <= 1<<8:
+		return 1
+	case n <= 1<<16:
+		return 2
+	default:
+		return 4
+	}
+}
+
+// Ratio returns the dictionary compression ratio for n 8-byte values
+// (ignoring the dictionary itself, which is shared across chunks).
+func (d *Dict) Ratio(n int) float64 {
+	if n == 0 {
+		return 1
+	}
+	return 8.0 / float64(d.CodeBytes())
+}
+
+// ---------------------------------------------------------------------------
+// Frame-of-reference encoding
+// ---------------------------------------------------------------------------
+
+// FORBlock is one frame-of-reference encoded partition: offsets from Ref
+// packed at Width bytes each.
+type FORBlock struct {
+	Ref   int64
+	Width int // bytes per offset: 1, 2, 4, or 8
+	N     int
+	Data  []byte
+}
+
+// widthFor returns the narrowest supported byte width for a maximum offset.
+func widthFor(maxOffset uint64) int {
+	switch {
+	case maxOffset < 1<<8:
+		return 1
+	case maxOffset < 1<<16:
+		return 2
+	case maxOffset < 1<<32:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// EncodeFORPartition encodes one partition's values against their minimum.
+func EncodeFORPartition(vals []int64) FORBlock {
+	if len(vals) == 0 {
+		return FORBlock{Width: 1}
+	}
+	min, max := vals[0], vals[0]
+	for _, v := range vals {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	w := widthFor(uint64(max - min))
+	b := FORBlock{Ref: min, Width: w, N: len(vals), Data: make([]byte, len(vals)*w)}
+	for i, v := range vals {
+		off := uint64(v - min)
+		switch w {
+		case 1:
+			b.Data[i] = byte(off)
+		case 2:
+			binary.LittleEndian.PutUint16(b.Data[i*2:], uint16(off))
+		case 4:
+			binary.LittleEndian.PutUint32(b.Data[i*4:], uint32(off))
+		default:
+			binary.LittleEndian.PutUint64(b.Data[i*8:], off)
+		}
+	}
+	return b
+}
+
+// Decode reconstructs the partition's values.
+func (b FORBlock) Decode() []int64 {
+	out := make([]int64, b.N)
+	for i := 0; i < b.N; i++ {
+		out[i] = b.At(i)
+	}
+	return out
+}
+
+// At decodes the i-th value.
+func (b FORBlock) At(i int) int64 {
+	switch b.Width {
+	case 1:
+		return b.Ref + int64(b.Data[i])
+	case 2:
+		return b.Ref + int64(binary.LittleEndian.Uint16(b.Data[i*2:]))
+	case 4:
+		return b.Ref + int64(binary.LittleEndian.Uint32(b.Data[i*4:]))
+	default:
+		return b.Ref + int64(binary.LittleEndian.Uint64(b.Data[i*8:]))
+	}
+}
+
+// Sum scans the compressed partition without materializing it.
+func (b FORBlock) Sum() int64 {
+	var s int64
+	for i := 0; i < b.N; i++ {
+		s += b.At(i)
+	}
+	return s
+}
+
+// Bytes returns the encoded size including the 16-byte header (ref + meta).
+func (b FORBlock) Bytes() int { return len(b.Data) + 16 }
+
+// FORColumn is a partitioned column encoded partition-by-partition.
+type FORColumn struct {
+	Blocks []FORBlock
+}
+
+// EncodeFOR encodes vals split into partitions of the given sizes.
+func EncodeFOR(vals []int64, partitionSizes []int) (*FORColumn, error) {
+	total := 0
+	for _, s := range partitionSizes {
+		if s < 0 {
+			return nil, fmt.Errorf("compress: negative partition size %d", s)
+		}
+		total += s
+	}
+	if total != len(vals) {
+		return nil, fmt.Errorf("compress: partitions cover %d values, column has %d", total, len(vals))
+	}
+	col := &FORColumn{Blocks: make([]FORBlock, len(partitionSizes))}
+	pos := 0
+	for j, s := range partitionSizes {
+		col.Blocks[j] = EncodeFORPartition(vals[pos : pos+s])
+		pos += s
+	}
+	return col, nil
+}
+
+// Bytes returns the total encoded size.
+func (c *FORColumn) Bytes() int {
+	n := 0
+	for _, b := range c.Blocks {
+		n += b.Bytes()
+	}
+	return n
+}
+
+// Ratio returns raw bytes / encoded bytes.
+func (c *FORColumn) Ratio() float64 {
+	raw := 0
+	for _, b := range c.Blocks {
+		raw += b.N * 8
+	}
+	enc := c.Bytes()
+	if enc == 0 {
+		return 1
+	}
+	return float64(raw) / float64(enc)
+}
+
+// Decode reconstructs the whole column.
+func (c *FORColumn) Decode() []int64 {
+	var out []int64
+	for _, b := range c.Blocks {
+		out = append(out, b.Decode()...)
+	}
+	return out
+}
+
+// Widths returns the per-partition byte widths; finer partitions over
+// smoother data yield narrower widths (the §6.2 synergy).
+func (c *FORColumn) Widths() []int {
+	out := make([]int, len(c.Blocks))
+	for i, b := range c.Blocks {
+		out[i] = b.Width
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDictRoundTrip(t *testing.T) {
+	vals := []int64{5, 3, 5, 8, 3, 3, 100, -7}
+	d := NewDict(vals)
+	if d.Size() != 5 {
+		t.Fatalf("Size = %d, want 5", d.Size())
+	}
+	codes, err := d.Encode(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := d.Decode(codes)
+	for i := range vals {
+		if back[i] != vals[i] {
+			t.Fatalf("round trip diverges at %d: %d vs %d", i, back[i], vals[i])
+		}
+	}
+}
+
+func TestDictOrderPreserving(t *testing.T) {
+	d := NewDict([]int64{30, 10, 20, 40})
+	c10, _ := d.Code(10)
+	c20, _ := d.Code(20)
+	c30, _ := d.Code(30)
+	if !(c10 < c20 && c20 < c30) {
+		t.Errorf("codes not order preserving: %d %d %d", c10, c20, c30)
+	}
+}
+
+func TestDictCodeForRange(t *testing.T) {
+	d := NewDict([]int64{10, 20, 30, 40})
+	lo, hi, ok := d.CodeForRange(15, 35)
+	if !ok {
+		t.Fatal("range should select values")
+	}
+	if d.Value(lo) != 20 || d.Value(hi) != 30 {
+		t.Errorf("code range decodes to %d..%d, want 20..30", d.Value(lo), d.Value(hi))
+	}
+	if _, _, ok := d.CodeForRange(41, 50); ok {
+		t.Error("empty range reported as non-empty")
+	}
+}
+
+func TestDictUnknownValue(t *testing.T) {
+	d := NewDict([]int64{1, 2})
+	if _, err := d.Encode([]int64{3}); err == nil {
+		t.Fatal("unknown value accepted")
+	}
+	if _, ok := d.Code(99); ok {
+		t.Fatal("Code(99) reported ok")
+	}
+}
+
+func TestDictCodeBytes(t *testing.T) {
+	small := NewDict([]int64{1, 2, 3})
+	if small.CodeBytes() != 1 {
+		t.Errorf("3-entry dict code bytes = %d, want 1", small.CodeBytes())
+	}
+	vals := make([]int64, 300)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	mid := NewDict(vals)
+	if mid.CodeBytes() != 2 {
+		t.Errorf("300-entry dict code bytes = %d, want 2", mid.CodeBytes())
+	}
+	if r := mid.Ratio(300); r != 4 {
+		t.Errorf("ratio = %v, want 4", r)
+	}
+}
+
+func TestFORRoundTripQuick(t *testing.T) {
+	f := func(raw []int32, split uint8) bool {
+		vals := make([]int64, len(raw))
+		for i, v := range raw {
+			vals[i] = int64(v)
+		}
+		// Split into two partitions at an arbitrary point.
+		cut := 0
+		if len(vals) > 0 {
+			cut = int(split) % (len(vals) + 1)
+		}
+		col, err := EncodeFOR(vals, []int{cut, len(vals) - cut})
+		if err != nil {
+			return false
+		}
+		back := col.Decode()
+		if len(back) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if back[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFORWidthSelection(t *testing.T) {
+	tests := []struct {
+		vals  []int64
+		width int
+	}{
+		{[]int64{100, 101, 356}, 2},
+		{[]int64{100, 101, 102}, 1},
+		{[]int64{0, 1 << 20}, 4},
+		{[]int64{0, 1 << 40}, 8},
+		{[]int64{-1000, -999}, 1}, // negative refs still narrow
+	}
+	for _, tc := range tests {
+		b := EncodeFORPartition(tc.vals)
+		if b.Width != tc.width {
+			t.Errorf("width(%v) = %d, want %d", tc.vals, b.Width, tc.width)
+		}
+		got := b.Decode()
+		for i := range tc.vals {
+			if got[i] != tc.vals[i] {
+				t.Errorf("decode(%v) = %v", tc.vals, got)
+				break
+			}
+		}
+	}
+}
+
+func TestFORSumMatchesDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	vals := make([]int64, 1000)
+	for i := range vals {
+		vals[i] = int64(rng.Intn(1 << 30))
+	}
+	b := EncodeFORPartition(vals)
+	var want int64
+	for _, v := range vals {
+		want += v
+	}
+	if got := b.Sum(); got != want {
+		t.Errorf("Sum = %d, want %d", got, want)
+	}
+}
+
+func TestFORPartitioningSynergy(t *testing.T) {
+	// §6.2: finer partitions over value-ordered data compress better
+	// because each partition's range is smaller.
+	n := 4096
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i * 1000) // wide total range, narrow local ranges
+	}
+	coarse, err := EncodeFOR(vals, []int{n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := make([]int, 64)
+	for i := range sizes {
+		sizes[i] = n / 64
+	}
+	fine, err := EncodeFOR(vals, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fine.Bytes() >= coarse.Bytes() {
+		t.Errorf("fine partitioning (%dB) should compress better than coarse (%dB)",
+			fine.Bytes(), coarse.Bytes())
+	}
+	if fine.Ratio() <= coarse.Ratio() {
+		t.Errorf("fine ratio %v should exceed coarse ratio %v", fine.Ratio(), coarse.Ratio())
+	}
+	// Coarse partition needs 4-byte offsets; fine partitions fit in 1-2.
+	for _, w := range fine.Widths() {
+		if w >= coarse.Blocks[0].Width {
+			t.Errorf("fine width %d not narrower than coarse %d", w, coarse.Blocks[0].Width)
+		}
+	}
+}
+
+func TestEncodeFORValidation(t *testing.T) {
+	if _, err := EncodeFOR([]int64{1, 2, 3}, []int{2}); err == nil {
+		t.Error("partition size mismatch accepted")
+	}
+	if _, err := EncodeFOR([]int64{1}, []int{-1, 2}); err == nil {
+		t.Error("negative partition size accepted")
+	}
+}
+
+func TestEmptyPartition(t *testing.T) {
+	b := EncodeFORPartition(nil)
+	if b.N != 0 || len(b.Decode()) != 0 {
+		t.Errorf("empty partition misbehaves: %+v", b)
+	}
+}

@@ -1,0 +1,319 @@
+// Package costmodel implements Casper's cost model for operations over
+// range-partitioned columns (§4.4 of the paper, Eq. 2–17).
+//
+// The total workload cost of a partitioning P (Eq. 16) is
+//
+//	cost(P, FM) = Σ_i fixed_i
+//	            + Σ_i bck_i·bck_read(i)
+//	            + Σ_i fwd_i·fwd_read(i)
+//	            + Σ_i parts_i·trail_parts(i)
+//
+// where for a partition spanning blocks [a, b]:
+//
+//	bck_read(i)   = i − a   (blocks before i in the same partition, Eq. 2)
+//	fwd_read(i)   = b − i   (blocks after i in the same partition, Eq. 4)
+//	trail_parts(i)= number of boundaries at or after block i (Eq. 8)
+//
+// The key structural fact exploited by the optimizer: swapping the order of
+// summation in the trail_parts term gives
+//
+//	Σ_i parts_i·trail_parts(i) = Σ_{boundary j} Σ_{i ≤ j} parts_i,
+//
+// so the whole objective is a sum of independent per-partition costs
+// (SegmentCost) plus a constant. This makes the exact optimum computable by
+// a segmentation dynamic program — our substitute for the paper's Mosek BIP
+// solver — while remaining the same objective function.
+package costmodel
+
+import (
+	"fmt"
+
+	"casper/internal/freq"
+	"casper/internal/iomodel"
+)
+
+// Terms holds the per-block coefficients of Eq. 17 together with prefix sums
+// that let SegmentCost run in O(1).
+type Terms struct {
+	Fixed []float64 // fixed_term_i: cost paid regardless of partitioning
+	Bck   []float64 // bck_term_i: weight of bck_read(i)
+	Fwd   []float64 // fwd_term_i: weight of fwd_read(i)
+	Parts []float64 // parts_term_i: weight of trail_parts(i)
+
+	Params iomodel.CostParams
+
+	fixedTotal float64
+	// Prefix sums over [0, i): sums of x and of x·i for Bck/Fwd, and of
+	// Parts for the boundary cost.
+	bckSum, bckISum []float64
+	fwdSum, fwdISum []float64
+	partsSum        []float64
+}
+
+// Compute derives the Eq. 17 terms from a Frequency Model and cost
+// parameters.
+func Compute(m *freq.Model, p iomodel.CostParams) *Terms {
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("costmodel: %v", err))
+	}
+	n := m.Blocks()
+	t := &Terms{
+		Fixed:  make([]float64, n),
+		Bck:    make([]float64, n),
+		Fwd:    make([]float64, n),
+		Parts:  make([]float64, n),
+		Params: p,
+	}
+	for i := 0; i < n; i++ {
+		rs, re, sc := m.RS[i], m.RE[i], m.SC[i]
+		pq, de, in := m.PQ[i], m.DE[i], m.IN[i]
+		udf, utf, udb, utb := m.UDF[i], m.UTF[i], m.UDB[i], m.UTB[i]
+
+		t.Fixed[i] = p.RR*(rs+pq+in+de+2*udf+2*udb) +
+			p.SR*(re+sc) +
+			p.RW*(in+de+2*udf+2*udb)
+		t.Bck[i] = p.SR * (rs + pq + de + udf + udb)
+		t.Fwd[i] = p.SR * (re + pq + de + udf + udb)
+		t.Parts[i] = (p.RR + p.RW) * (in + de + udf - utf - udb + utb)
+	}
+	t.buildPrefixes()
+	return t
+}
+
+// buildPrefixes (re)computes the cached prefix sums.
+func (t *Terms) buildPrefixes() {
+	n := len(t.Fixed)
+	t.bckSum = make([]float64, n+1)
+	t.bckISum = make([]float64, n+1)
+	t.fwdSum = make([]float64, n+1)
+	t.fwdISum = make([]float64, n+1)
+	t.partsSum = make([]float64, n+1)
+	t.fixedTotal = 0
+	for i := 0; i < n; i++ {
+		t.fixedTotal += t.Fixed[i]
+		t.bckSum[i+1] = t.bckSum[i] + t.Bck[i]
+		t.bckISum[i+1] = t.bckISum[i] + t.Bck[i]*float64(i)
+		t.fwdSum[i+1] = t.fwdSum[i] + t.Fwd[i]
+		t.fwdISum[i+1] = t.fwdISum[i] + t.Fwd[i]*float64(i)
+		t.partsSum[i+1] = t.partsSum[i] + t.Parts[i]
+	}
+}
+
+// Blocks returns the number of blocks N the terms cover.
+func (t *Terms) Blocks() int { return len(t.Fixed) }
+
+// FixedTotal returns Σ_i fixed_term_i, the partitioning-independent cost.
+func (t *Terms) FixedTotal() float64 { return t.fixedTotal }
+
+// SegmentCost returns the partitioning-dependent cost contributed by a
+// partition spanning blocks [a, b] inclusive (with its boundary at b):
+//
+//	Σ_{i=a}^{b} bck_i·(i−a) + fwd_i·(b−i)  +  Σ_{i=0}^{b} parts_i
+//
+// The last term is the boundary-at-b share of the trail_parts cost.
+func (t *Terms) SegmentCost(a, b int) float64 {
+	if a < 0 || b < a || b >= t.Blocks() {
+		panic(fmt.Sprintf("costmodel: segment [%d,%d] out of range N=%d", a, b, t.Blocks()))
+	}
+	bck := (t.bckISum[b+1] - t.bckISum[a]) - float64(a)*(t.bckSum[b+1]-t.bckSum[a])
+	fwd := float64(b)*(t.fwdSum[b+1]-t.fwdSum[a]) - (t.fwdISum[b+1] - t.fwdISum[a])
+	return bck + fwd + t.partsSum[b+1]
+}
+
+// BoundaryCost returns Σ_{i=0}^{b} parts_i: the marginal trail_parts cost of
+// placing a boundary at block b.
+func (t *Terms) BoundaryCost(b int) float64 { return t.partsSum[b+1] }
+
+// Cost evaluates Eq. 16 for an arbitrary partitioning, expressed as boundary
+// bits (p[i] true ⇔ a partition ends at block i). p[N−1] must be true.
+// Runs in O(N) using the per-partition decomposition.
+func (t *Terms) Cost(p []bool) float64 {
+	n := t.Blocks()
+	if len(p) != n {
+		panic(fmt.Sprintf("costmodel: partitioning has %d bits, want %d", len(p), n))
+	}
+	if !p[n-1] {
+		panic("costmodel: last block must be a partition boundary (Eq. 19 constraint)")
+	}
+	total := t.fixedTotal
+	a := 0
+	for b := 0; b < n; b++ {
+		if p[b] {
+			total += t.SegmentCost(a, b)
+			a = b + 1
+		}
+	}
+	return total
+}
+
+// CostNaive evaluates Eq. 16 directly from the definitions of bck_read
+// (Eq. 2), fwd_read (Eq. 4), and trail_parts (Eq. 8) in O(N²). It exists to
+// cross-validate Cost in tests.
+func (t *Terms) CostNaive(p []bool) float64 {
+	n := t.Blocks()
+	if len(p) != n {
+		panic("costmodel: size mismatch")
+	}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		bckRead := 0.0
+		for j := 0; j < i; j++ {
+			prod := 1.0
+			for k := j; k <= i-1; k++ {
+				if p[k] {
+					prod = 0
+					break
+				}
+			}
+			bckRead += prod
+		}
+		fwdRead := 0.0
+		for j := 0; j <= n-i-1; j++ {
+			// Eq. 4: Π_{k=i}^{N−j−1} (1−p_k), upper limit inclusive.
+			hi := n - j - 1
+			if hi < i {
+				continue
+			}
+			prod := 1.0
+			for k := i; k <= hi; k++ {
+				if p[k] {
+					prod = 0
+					break
+				}
+			}
+			fwdRead += prod
+		}
+		trail := 0.0
+		for j := i; j < n; j++ {
+			if p[j] {
+				trail++
+			}
+		}
+		total += t.Fixed[i] + t.Bck[i]*bckRead + t.Fwd[i]*fwdRead + t.Parts[i]*trail
+	}
+	return total
+}
+
+// Layout describes a concrete partitioning as consecutive partition sizes in
+// blocks; used by the per-operation predictors below and by the storage
+// engine when applying a layout.
+type Layout struct {
+	// Sizes[j] is the width of partition j in blocks. Σ Sizes == N.
+	Sizes []int
+}
+
+// FromBoundaries converts boundary bits to a Layout.
+func FromBoundaries(p []bool) Layout {
+	var sizes []int
+	run := 0
+	for _, b := range p {
+		run++
+		if b {
+			sizes = append(sizes, run)
+			run = 0
+		}
+	}
+	if run > 0 {
+		sizes = append(sizes, run)
+	}
+	return Layout{Sizes: sizes}
+}
+
+// Boundaries converts the layout back to boundary bits over n blocks.
+func (l Layout) Boundaries() []bool {
+	n := 0
+	for _, s := range l.Sizes {
+		n += s
+	}
+	p := make([]bool, n)
+	pos := -1
+	for _, s := range l.Sizes {
+		pos += s
+		p[pos] = true
+	}
+	return p
+}
+
+// Partitions returns the number of partitions k.
+func (l Layout) Partitions() int { return len(l.Sizes) }
+
+// Validate reports an error if any partition is non-positive.
+func (l Layout) Validate() error {
+	if len(l.Sizes) == 0 {
+		return fmt.Errorf("costmodel: layout has no partitions")
+	}
+	for j, s := range l.Sizes {
+		if s <= 0 {
+			return fmt.Errorf("costmodel: partition %d has non-positive size %d", j, s)
+		}
+	}
+	return nil
+}
+
+// Per-operation cost predictors (used for the Fig. 9 model verification and
+// for SLA reasoning). All take the partition ordinal m (0-based) within a
+// layout of k partitions.
+
+// PointQueryCost predicts the latency (ns) of a point query that lands in a
+// partition spanning `blocks` blocks (Eq. 7 with the partition fully
+// scanned: one random read plus sequential reads of the remaining blocks).
+func PointQueryCost(p iomodel.CostParams, blocks int) float64 {
+	if blocks < 1 {
+		blocks = 1
+	}
+	return p.RR + p.SR*float64(blocks-1)
+}
+
+// InsertCost predicts the latency (ns) of a ripple insert into partition m
+// of k (Eq. 9): one random read and write per trailing partition, plus one
+// in the last partition.
+func InsertCost(p iomodel.CostParams, m, k int) float64 {
+	trail := float64(k - 1 - m)
+	return (p.RR + p.RW) * (1 + trail)
+}
+
+// DeleteCost predicts the latency (ns) of a delete from partition m of k
+// whose partition spans `blocks` blocks (Eq. 11 = point query + Eq. 10).
+func DeleteCost(p iomodel.CostParams, m, k, blocks int) float64 {
+	trail := float64(k - 1 - m)
+	return PointQueryCost(p, blocks) + p.RW + (p.RR+p.RW)*trail
+}
+
+// UpdateCost predicts the latency (ns) of a direct ripple update from
+// partition i to partition j (Eq. 12–15), where the source partition spans
+// `blocks` blocks.
+func UpdateCost(p iomodel.CostParams, i, j, k, blocks int) float64 {
+	between := i - j
+	if j > i {
+		between = j - i
+	}
+	return PointQueryCost(p, blocks) + p.RR + 2*p.RW + (p.RR+p.RW)*float64(between)
+}
+
+// RangeQueryCost predicts the latency (ns) of a range query that starts in a
+// partition with `lead` unnecessary leading blocks, scans `mid` interior
+// blocks, and ends in a partition with `tail` unnecessary trailing blocks
+// (Eq. 3 + Eq. 5 + Eq. 6).
+func RangeQueryCost(p iomodel.CostParams, lead, mid, tail int) float64 {
+	return p.RR + p.SR*float64(lead) + p.SR*float64(mid) + p.SR + p.SR*float64(tail)
+}
+
+// EquiWidth returns the layout splitting n blocks into k near-equal
+// partitions (the Equi baseline of §7).
+func EquiWidth(n, k int) Layout {
+	if k <= 0 || k > n {
+		panic(fmt.Sprintf("costmodel: cannot split %d blocks into %d partitions", n, k))
+	}
+	sizes := make([]int, k)
+	base, rem := n/k, n%k
+	for j := range sizes {
+		sizes[j] = base
+		if j < rem {
+			sizes[j]++
+		}
+	}
+	return Layout{Sizes: sizes}
+}
+
+// SingleJob returns the one-partition layout (the unpartitioned column).
+func SingleJob(n int) Layout { return Layout{Sizes: []int{n}} }

@@ -1,0 +1,305 @@
+package costmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"casper/internal/freq"
+	"casper/internal/iomodel"
+)
+
+func testParams() iomodel.CostParams { return iomodel.DefaultParams() }
+
+// richModel builds a Frequency Model with all ten histograms populated.
+func richModel(n int, seed int64) *freq.Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := freq.NewModel(n)
+	for i := 0; i < 4*n; i++ {
+		switch rng.Intn(5) {
+		case 0:
+			m.RecordPointQuery(rng.Intn(n))
+		case 1:
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a > b {
+				a, b = b, a
+			}
+			m.RecordRangeQuery(a, b)
+		case 2:
+			m.RecordInsert(rng.Intn(n))
+		case 3:
+			m.RecordDelete(rng.Intn(n))
+		case 4:
+			m.RecordUpdate(rng.Intn(n), rng.Intn(n))
+		}
+	}
+	return m
+}
+
+func randBoundaries(n int, rng *rand.Rand) []bool {
+	p := make([]bool, n)
+	for i := range p {
+		p[i] = rng.Intn(3) == 0
+	}
+	p[n-1] = true
+	return p
+}
+
+func TestCostMatchesNaiveDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(14)
+		terms := Compute(richModel(n, int64(trial)), testParams())
+		p := randBoundaries(n, rng)
+		fast := terms.Cost(p)
+		naive := terms.CostNaive(p)
+		if math.Abs(fast-naive) > 1e-6*(1+math.Abs(naive)) {
+			t.Fatalf("n=%d trial=%d: Cost=%v CostNaive=%v (p=%v)", n, trial, fast, naive, p)
+		}
+	}
+}
+
+func TestCostPanicsWithoutFinalBoundary(t *testing.T) {
+	terms := Compute(richModel(4, 1), testParams())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when p[N-1] is false")
+		}
+	}()
+	terms.Cost([]bool{true, false, false, false})
+}
+
+func TestSegmentCostDecomposition(t *testing.T) {
+	// Summing SegmentCost over the partitions plus FixedTotal must equal
+	// Cost for any boundary placement.
+	terms := Compute(richModel(12, 3), testParams())
+	p := []bool{false, true, false, false, true, true, false, false, false, true, false, true}
+	want := terms.Cost(p)
+	got := terms.FixedTotal()
+	a := 0
+	for b, isB := range p {
+		if isB {
+			got += terms.SegmentCost(a, b)
+			a = b + 1
+		}
+	}
+	if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+		t.Fatalf("decomposed=%v direct=%v", got, want)
+	}
+}
+
+func TestSegmentCostSingleBlock(t *testing.T) {
+	// A one-block partition contributes no bck/fwd reads, only the
+	// boundary cost.
+	terms := Compute(richModel(8, 5), testParams())
+	for b := 0; b < 8; b++ {
+		if got, want := terms.SegmentCost(b, b), terms.BoundaryCost(b); got != want {
+			t.Errorf("SegmentCost(%d,%d)=%v, want boundary cost %v", b, b, got, want)
+		}
+	}
+}
+
+func TestSegmentCostPanicsOutOfRange(t *testing.T) {
+	terms := Compute(richModel(4, 1), testParams())
+	for _, seg := range [][2]int{{-1, 2}, {2, 1}, {0, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SegmentCost(%d,%d): expected panic", seg[0], seg[1])
+				}
+			}()
+			terms.SegmentCost(seg[0], seg[1])
+		}()
+	}
+}
+
+func TestMorePartitionsReducePointQueryCost(t *testing.T) {
+	// Fig. 2a: with a read-only point workload, the finest partitioning
+	// is at least as cheap as any coarser one.
+	n := 16
+	m := freq.NewModel(n)
+	for i := 0; i < n; i++ {
+		m.PQ[i] = 10
+	}
+	terms := Compute(m, testParams())
+	fine := make([]bool, n)
+	for i := range fine {
+		fine[i] = true
+	}
+	coarse := make([]bool, n)
+	coarse[n-1] = true
+	if cf, cc := terms.Cost(fine), terms.Cost(coarse); cf >= cc {
+		t.Errorf("fine=%v should beat coarse=%v for point reads", cf, cc)
+	}
+}
+
+func TestFewerPartitionsReduceInsertCost(t *testing.T) {
+	// Fig. 2a, flip side: with an insert-only workload, one partition is
+	// at least as cheap as the finest partitioning.
+	n := 16
+	m := freq.NewModel(n)
+	for i := 0; i < n; i++ {
+		m.IN[i] = 10
+	}
+	terms := Compute(m, testParams())
+	fine := make([]bool, n)
+	for i := range fine {
+		fine[i] = true
+	}
+	coarse := make([]bool, n)
+	coarse[n-1] = true
+	if cf, cc := terms.Cost(fine), terms.Cost(coarse); cc >= cf {
+		t.Errorf("coarse=%v should beat fine=%v for inserts", cc, cf)
+	}
+}
+
+func TestFixedTermComposition(t *testing.T) {
+	// One insert in block 0 of a 2-block model: fixed = RR + RW, parts =
+	// RR + RW per Eq. 17.
+	m := freq.NewModel(2)
+	m.RecordInsert(0)
+	p := testParams()
+	terms := Compute(m, p)
+	if got, want := terms.Fixed[0], p.RR+p.RW; got != want {
+		t.Errorf("Fixed[0] = %v, want %v", got, want)
+	}
+	if got, want := terms.Parts[0], p.RR+p.RW; got != want {
+		t.Errorf("Parts[0] = %v, want %v", got, want)
+	}
+	if terms.Bck[0] != 0 || terms.Fwd[0] != 0 {
+		t.Errorf("insert should not add bck/fwd terms: %v %v", terms.Bck[0], terms.Fwd[0])
+	}
+}
+
+func TestUpdateToTermsAreNegative(t *testing.T) {
+	// Eq. 13: utf subtracts trailing-partition cost (the ripple stops at
+	// the target partition).
+	m := freq.NewModel(4)
+	m.RecordUpdate(0, 3) // forward
+	p := testParams()
+	terms := Compute(m, p)
+	if terms.Parts[0] <= 0 {
+		t.Errorf("update-from block should have positive parts term, got %v", terms.Parts[0])
+	}
+	if terms.Parts[3] >= 0 {
+		t.Errorf("update-to block should have negative parts term, got %v", terms.Parts[3])
+	}
+	// Backward updates flip the signs (Eq. 14–15).
+	m2 := freq.NewModel(4)
+	m2.RecordUpdate(3, 0)
+	terms2 := Compute(m2, p)
+	if terms2.Parts[3] >= 0 {
+		t.Errorf("backward update-from parts term should be negative, got %v", terms2.Parts[3])
+	}
+	if terms2.Parts[0] <= 0 {
+		t.Errorf("backward update-to parts term should be positive, got %v", terms2.Parts[0])
+	}
+}
+
+func TestLayoutRoundTrip(t *testing.T) {
+	f := func(raw []bool) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		p := make([]bool, len(raw))
+		copy(p, raw)
+		p[len(p)-1] = true
+		l := FromBoundaries(p)
+		if err := l.Validate(); err != nil {
+			return false
+		}
+		back := l.Boundaries()
+		if len(back) != len(p) {
+			return false
+		}
+		for i := range p {
+			if p[i] != back[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLayoutValidate(t *testing.T) {
+	if err := (Layout{}).Validate(); err == nil {
+		t.Error("empty layout should be invalid")
+	}
+	if err := (Layout{Sizes: []int{3, 0, 2}}).Validate(); err == nil {
+		t.Error("zero-size partition should be invalid")
+	}
+	if err := (Layout{Sizes: []int{1, 2, 3}}).Validate(); err != nil {
+		t.Errorf("valid layout rejected: %v", err)
+	}
+}
+
+func TestEquiWidth(t *testing.T) {
+	l := EquiWidth(10, 3)
+	if got := l.Partitions(); got != 3 {
+		t.Fatalf("partitions = %d, want 3", got)
+	}
+	sum := 0
+	for _, s := range l.Sizes {
+		sum += s
+		if s < 3 || s > 4 {
+			t.Errorf("unbalanced partition size %d", s)
+		}
+	}
+	if sum != 10 {
+		t.Errorf("sizes sum to %d, want 10", sum)
+	}
+	if got := SingleJob(7); got.Partitions() != 1 || got.Sizes[0] != 7 {
+		t.Errorf("SingleJob(7) = %+v", got)
+	}
+}
+
+func TestPredictorsMatchCostShapes(t *testing.T) {
+	p := testParams()
+	// Insert cost grows linearly with trailing partitions (Fig. 9a).
+	prev := -1.0
+	for m := 9; m >= 0; m-- {
+		c := InsertCost(p, m, 10)
+		if c <= prev {
+			t.Errorf("InsertCost not increasing with trailing partitions at m=%d: %v <= %v", m, c, prev)
+		}
+		prev = c
+	}
+	if got, want := InsertCost(p, 9, 10), p.RR+p.RW; got != want {
+		t.Errorf("insert into last partition = %v, want %v", got, want)
+	}
+	// Point query cost grows linearly with partition size (Fig. 9b).
+	if got, want := PointQueryCost(p, 1), p.RR; got != want {
+		t.Errorf("1-block PQ = %v, want %v", got, want)
+	}
+	if got, want := PointQueryCost(p, 5), p.RR+4*p.SR; got != want {
+		t.Errorf("5-block PQ = %v, want %v", got, want)
+	}
+	// Delete = point query + write + ripple (Eq. 11).
+	if got, want := DeleteCost(p, 2, 4, 3), PointQueryCost(p, 3)+p.RW+(p.RR+p.RW)*1; got != want {
+		t.Errorf("DeleteCost = %v, want %v", got, want)
+	}
+	// Update cost symmetric in direction, linear in distance (Eq. 12–15).
+	if f, b := UpdateCost(p, 1, 5, 8, 2), UpdateCost(p, 5, 1, 8, 2); f != b {
+		t.Errorf("update cost not symmetric: fwd=%v bck=%v", f, b)
+	}
+	if near, far := UpdateCost(p, 1, 2, 8, 2), UpdateCost(p, 1, 7, 8, 2); near >= far {
+		t.Errorf("update cost should grow with distance: near=%v far=%v", near, far)
+	}
+	// Range query: Eq. 3 + 5 + 6 composition.
+	if got, want := RangeQueryCost(p, 2, 3, 1), p.RR+p.SR*2+p.SR*3+p.SR+p.SR*1; got != want {
+		t.Errorf("RangeQueryCost = %v, want %v", got, want)
+	}
+}
+
+func TestEquiWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k > n")
+		}
+	}()
+	EquiWidth(3, 4)
+}

@@ -1,0 +1,278 @@
+package delta
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// queryable is the read/write surface shared by all three baselines.
+type queryable interface {
+	PointQuery(v int64) int
+	RangeCount(lo, hi int64) int
+	RangeSum(lo, hi int64) int64
+	Insert(v int64) int
+	Delete(v int64) error
+	Update(old, new int64) (int, error)
+	Len() int
+	Snapshot() []int64
+}
+
+func refCount(ref []int64, lo, hi int64) int {
+	n := 0
+	for _, v := range ref {
+		if v >= lo && v <= hi {
+			n++
+		}
+	}
+	return n
+}
+
+func refSum(ref []int64, lo, hi int64) int64 {
+	var s int64
+	for _, v := range ref {
+		if v >= lo && v <= hi {
+			s += v
+		}
+	}
+	return s
+}
+
+func refRemove(ref []int64, v int64) ([]int64, bool) {
+	for i, x := range ref {
+		if x == v {
+			ref[i] = ref[len(ref)-1]
+			return ref[:len(ref)-1], true
+		}
+	}
+	return ref, false
+}
+
+// TestBaselinesAgainstReference drives all three layouts with the same
+// random workload and cross-checks against a slice reference.
+func TestBaselinesAgainstReference(t *testing.T) {
+	builders := map[string]func(keys []int64) queryable{
+		"heap":   func(k []int64) queryable { return NewHeap(k, nil) },
+		"sorted": func(k []int64) queryable { return NewSorted(k, nil) },
+		"delta":  func(k []int64) queryable { return NewDelta(k, 32, nil) },
+	}
+	for name, mk := range builders {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(17))
+			keys := make([]int64, 300)
+			for i := range keys {
+				keys[i] = int64(rng.Intn(3000))
+			}
+			col := mk(keys)
+			ref := make([]int64, len(keys))
+			copy(ref, keys)
+
+			for i := 0; i < 4000; i++ {
+				switch rng.Intn(6) {
+				case 0:
+					v := int64(rng.Intn(3300) - 100)
+					if got, want := col.PointQuery(v), refCount(ref, v, v); got != want {
+						t.Fatalf("op %d: PointQuery(%d) = %d, want %d", i, v, got, want)
+					}
+				case 1:
+					lo := int64(rng.Intn(3300) - 100)
+					hi := lo + int64(rng.Intn(800))
+					if got, want := col.RangeCount(lo, hi), refCount(ref, lo, hi); got != want {
+						t.Fatalf("op %d: RangeCount(%d,%d) = %d, want %d", i, lo, hi, got, want)
+					}
+				case 2:
+					lo := int64(rng.Intn(3300) - 100)
+					hi := lo + int64(rng.Intn(800))
+					if got, want := col.RangeSum(lo, hi), refSum(ref, lo, hi); got != want {
+						t.Fatalf("op %d: RangeSum(%d,%d) = %d, want %d", i, lo, hi, got, want)
+					}
+				case 3:
+					v := int64(rng.Intn(3000))
+					col.Insert(v)
+					ref = append(ref, v)
+				case 4:
+					v := int64(rng.Intn(3000))
+					err := col.Delete(v)
+					var ok bool
+					ref, ok = refRemove(ref, v)
+					if ok != (err == nil) {
+						t.Fatalf("op %d: Delete(%d) = %v disagrees with reference", i, v, err)
+					}
+				case 5:
+					old, new := int64(rng.Intn(3000)), int64(rng.Intn(3000))
+					_, err := col.Update(old, new)
+					var ok bool
+					ref, ok = refRemove(ref, old)
+					if ok {
+						if err != nil {
+							t.Fatalf("op %d: Update(%d,%d): %v", i, old, new, err)
+						}
+						ref = append(ref, new)
+					} else if err == nil {
+						t.Fatalf("op %d: Update(%d,%d) succeeded but value absent", i, old, new)
+					}
+				}
+			}
+			if col.Len() != len(ref) {
+				t.Fatalf("Len = %d, want %d", col.Len(), len(ref))
+			}
+			got := col.Snapshot()
+			sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+			want := make([]int64, len(ref))
+			copy(want, ref)
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("multiset diverges at %d: %d vs %d", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestSortedColumnStaysSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	s := NewSorted([]int64{5, 1, 9, 3}, nil)
+	for i := 0; i < 500; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			s.Insert(int64(rng.Intn(1000)))
+		case 1:
+			_ = s.Delete(int64(rng.Intn(1000)))
+		case 2:
+			_, _ = s.Update(int64(rng.Intn(1000)), int64(rng.Intn(1000)))
+		}
+		snap := s.Snapshot()
+		if !sort.SliceIsSorted(snap, func(a, b int) bool { return snap[a] < snap[b] }) {
+			t.Fatalf("op %d: column no longer sorted: %v", i, snap)
+		}
+	}
+}
+
+func TestHeapInsertIsConstantCost(t *testing.T) {
+	h := NewHeap([]int64{1, 2, 3}, nil)
+	h.ResetStats()
+	h.Insert(99)
+	if s := h.Stats(); s.ValuesMoved != 0 {
+		t.Errorf("heap insert moved %d values, want 0", s.ValuesMoved)
+	}
+}
+
+func TestSortedInsertMovesTrailingRows(t *testing.T) {
+	s := NewSorted([]int64{10, 20, 30, 40}, nil)
+	s.ResetStats()
+	s.Insert(5) // front insert shifts all 4 rows
+	if got := s.Stats().ValuesMoved; got != 4 {
+		t.Errorf("front insert moved %d rows, want 4", got)
+	}
+	s.ResetStats()
+	s.Insert(99) // back insert shifts none
+	if got := s.Stats().ValuesMoved; got != 0 {
+		t.Errorf("back insert moved %d rows, want 0", got)
+	}
+}
+
+func TestDeltaMergeTriggersAtThreshold(t *testing.T) {
+	d := NewDelta([]int64{1, 2, 3, 4, 5}, 4, nil)
+	for v := int64(10); v < 14; v++ {
+		d.Insert(v)
+	}
+	if d.Stats().Merges != 0 {
+		t.Fatalf("merged too early: %d merges", d.Stats().Merges)
+	}
+	if d.DeltaLen() != 4 {
+		t.Fatalf("delta len = %d, want 4", d.DeltaLen())
+	}
+	d.Insert(14) // fifth insert exceeds the threshold
+	if d.Stats().Merges != 1 {
+		t.Fatalf("merges = %d, want 1", d.Stats().Merges)
+	}
+	if d.DeltaLen() != 1 {
+		t.Fatalf("delta len after merge = %d, want 1", d.DeltaLen())
+	}
+	if d.Len() != 10 {
+		t.Fatalf("len = %d, want 10", d.Len())
+	}
+}
+
+func TestDeltaTombstonesHideMainValues(t *testing.T) {
+	d := NewDelta([]int64{1, 2, 2, 3}, 8, nil)
+	if err := d.Delete(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.PointQuery(2); got != 1 {
+		t.Errorf("PointQuery(2) = %d, want 1 after one tombstone", got)
+	}
+	if got := d.RangeCount(1, 3); got != 3 {
+		t.Errorf("RangeCount(1,3) = %d, want 3", got)
+	}
+	// Merge drops tombstones physically.
+	d.Merge()
+	if got := d.Len(); got != 3 {
+		t.Errorf("len after merge = %d, want 3", got)
+	}
+}
+
+func TestDeltaDeleteMissing(t *testing.T) {
+	d := NewDelta([]int64{1, 2, 3}, 8, nil)
+	if err := d.Delete(9); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Delete(9) = %v, want ErrNotFound", err)
+	}
+	if _, err := d.Update(9, 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Update(9,1) = %v, want ErrNotFound", err)
+	}
+}
+
+// reorderMover records payload rows through merges for alignment testing.
+type reorderMover struct {
+	payload []int64
+}
+
+func (m *reorderMover) Move(dst, src int) { m.payload[dst] = m.payload[src] }
+func (m *reorderMover) MoveRange(dst, src, n int) {
+	copy(m.payload[dst:dst+n], m.payload[src:src+n])
+}
+func (m *reorderMover) Swap(a, b int) { m.payload[a], m.payload[b] = m.payload[b], m.payload[a] }
+func (m *reorderMover) Grow(n int) {
+	for len(m.payload) < n {
+		m.payload = append(m.payload, 0)
+	}
+}
+func (m *reorderMover) Reorder(perm []int) {
+	next := make([]int64, len(perm))
+	for i, old := range perm {
+		next[i] = m.payload[old]
+	}
+	m.payload = next
+}
+
+func TestDeltaPayloadSurvivesMerge(t *testing.T) {
+	mv := &reorderMover{}
+	keys := []int64{30, 10, 20}
+	d := NewDelta(keys, 2, mv)
+	// Payload mirrors the sorted main store: payload[i] = key[i].
+	for i, v := range []int64{10, 20, 30} {
+		mv.payload[i] = v
+	}
+	pos := d.Insert(15)
+	mv.payload[pos] = 15
+	pos = d.Insert(25)
+	mv.payload[pos] = 25
+	pos = d.Insert(5) // triggers merge of the two pending rows first
+	mv.payload[pos] = 5
+	if d.Stats().Merges != 1 {
+		t.Fatalf("merges = %d, want 1", d.Stats().Merges)
+	}
+	d.Merge()
+	// After the final merge all rows are in the sorted main store and
+	// payload must equal key at each position.
+	snap := d.Snapshot()
+	sort.Slice(snap, func(i, j int) bool { return snap[i] < snap[j] })
+	for i, v := range snap {
+		if mv.payload[i] != v {
+			t.Fatalf("payload[%d] = %d, want %d", i, mv.payload[i], v)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"casper"
+)
+
+// scale returns a configuration small enough for CI-style runs.
+func scale() Scale { return SmallScale() }
+
+func TestTable1(t *testing.T) {
+	r := Table1()
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(r.Rows))
+	}
+	if !strings.Contains(r.String(), "Casper mode") {
+		t.Error("rendered table missing Casper row")
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	r := Fig1(scale())
+	norm := r.Data["norm"]
+	if len(norm) != 3 {
+		t.Fatalf("norm series = %v", norm)
+	}
+	// Vanilla is the baseline; Casper must beat it, and beat or match the
+	// delta design.
+	if norm[2] <= norm[0] {
+		t.Errorf("Casper (%v) should beat vanilla (%v)", norm[2], norm[0])
+	}
+	if norm[2] < norm[1] {
+		t.Errorf("Casper (%v) should be at least the delta design (%v)", norm[2], norm[1])
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	r := Fig2(scale())
+	read, write := r.Data["a.read"], r.Data["a.write"]
+	if len(read) == 0 || len(read) != len(write) {
+		t.Fatalf("bad series lengths: %d/%d", len(read), len(write))
+	}
+	// Read cost decreases with partitions; write cost increases.
+	if read[len(read)-1] >= read[0] {
+		t.Errorf("read cost should fall with partitions: %v", read)
+	}
+	if write[len(write)-1] <= write[0] {
+		t.Errorf("write cost should rise with partitions: %v", write)
+	}
+	// Ghost values cut the measured write cost (Fig. 2b): the largest
+	// budget must be cheaper than no budget.
+	b := r.Data["b.write"]
+	if b[len(b)-1] >= b[0] {
+		t.Errorf("ghost values should cut insert cost: %v", b)
+	}
+}
+
+func TestFig9ModelAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	r := Fig9(scale())
+	for _, series := range []string{"a.ratio", "b.ratio"} {
+		for i, ratio := range r.Data[series] {
+			if ratio < 0.2 || ratio > 5 {
+				t.Errorf("%s[%d] = %v: model and measurement diverge wildly", series, i, ratio)
+			}
+		}
+	}
+}
+
+func TestFig11ChunkedFasterThanSingle(t *testing.T) {
+	sc := scale()
+	r := Fig11(sc)
+	single := r.Data["single"]
+	chunked := r.Data["chunked-100"]
+	if len(single) == 0 || len(chunked) == 0 {
+		t.Fatalf("missing series: %v", r.Data)
+	}
+	// At the largest common size, chunking must be dramatically faster.
+	if chunked[len(chunked)-1] >= single[len(single)-1] {
+		t.Errorf("chunked (%vms) should beat single job (%vms) at scale",
+			chunked[len(chunked)-1], single[len(single)-1])
+	}
+}
+
+func TestFig12CasperWinsUpdateHeavy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full engine comparison")
+	}
+	r := Fig12(scale())
+	// Casper must beat the state of the art on the update-only mixes and
+	// the hybrid mixes (the paper's headline claims).
+	for _, wl := range []string{"update-only, uniform", "update-only, skewed", "hybrid, skewed"} {
+		key := wl + "/Casper"
+		vals := r.Data[key]
+		if len(vals) != 1 {
+			t.Fatalf("missing series %q", key)
+		}
+		if vals[0] <= 1.0 {
+			t.Errorf("%s: Casper norm = %v, want > 1 (beats state of art)", wl, vals[0])
+		}
+	}
+}
+
+func TestFig13InsertLatencyOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full engine comparison")
+	}
+	r := Fig13(scale())
+	// On the hybrid skewed workload, Casper's inserts must be cheaper
+	// than the sorted column's (Fig. 13a's three-orders claim; at test
+	// scale skewed inserts land near the chunk end, compressing the
+	// sorted column's memmove cost, so only the ordering is asserted).
+	casperIns := r.Data["hybrid, skewed/Casper/insert"]
+	sortedIns := r.Data["hybrid, skewed/Sorted/insert"]
+	if len(casperIns) != 1 || len(sortedIns) != 1 {
+		t.Fatalf("missing insert series")
+	}
+	if casperIns[0] >= sortedIns[0] {
+		t.Errorf("Casper insert %vus not cheaper than Sorted %vus", casperIns[0], sortedIns[0])
+	}
+}
+
+func TestFig14MoreGhostsCheaperInserts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	r := Fig14(scale())
+	for _, series := range []string{"udi1", "udi2"} {
+		vals := r.Data[series]
+		if len(vals) < 2 {
+			t.Fatalf("missing series %s: %v", series, r.Data)
+		}
+		// The largest budget should not be slower than the smallest.
+		if vals[len(vals)-1] > vals[0]*1.5 {
+			t.Errorf("%s: insert latency grew with ghost budget: %v", series, vals)
+		}
+	}
+}
+
+func TestFig15SLATightensPartitions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	r := Fig15(scale())
+	parts := r.Data["parts"]
+	if len(parts) < 3 {
+		t.Fatalf("missing parts series: %v", r.Data)
+	}
+	for i := 1; i < len(parts); i++ {
+		if parts[i] > parts[i-1] {
+			t.Errorf("partition count grew as SLA tightened: %v", parts)
+		}
+	}
+	if parts[len(parts)-1] > 2 {
+		t.Errorf("tightest SLA should force ≤2 partitions, got %v", parts[len(parts)-1])
+	}
+}
+
+func TestFig16BaselineIsOne(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid sweep")
+	}
+	sc := scale()
+	sc.Ops /= 2
+	r := Fig16(sc)
+	zero := r.Data["mass+0"]
+	if len(zero) == 0 {
+		t.Fatalf("missing mass+0 series: %v", r.Data)
+	}
+	// The unshifted cell is the normalization baseline (ratio within
+	// timing noise of 1).
+	if zero[0] < 0.3 || zero[0] > 3 {
+		t.Errorf("baseline norm = %v, want ≈1", zero[0])
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{
+		ID:     "x",
+		Title:  "t",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}},
+		Notes:  []string{"n"},
+	}
+	s := r.String()
+	for _, want := range []string{"== x — t ==", "a", "bb", "note: n"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestMeasurementHelpers(t *testing.T) {
+	m := Measurement{
+		PerKind: map[casper.OpKind]*KindStats{
+			casper.Insert: {Count: 2, TotalNs: 4000},
+		},
+		WallNs: 1e9,
+		Ops:    100,
+	}
+	if got := m.Mean(casper.Insert); got != 2 {
+		t.Errorf("Mean = %v, want 2us", got)
+	}
+	if got := m.Mean(casper.Delete); got != 0 {
+		t.Errorf("Mean of absent kind = %v, want 0", got)
+	}
+	if got := m.Throughput(); got != 100 {
+		t.Errorf("Throughput = %v, want 100", got)
+	}
+}
+
+func TestAblationsShape(t *testing.T) {
+	r := Ablations(scale())
+	// Eq. 18 allocation must beat or match even allocation on skewed
+	// inserts.
+	if eq, ev := r.Data["alloc.eq18"][0], r.Data["alloc.even"][0]; eq > ev*1.5 {
+		t.Errorf("Eq.18 allocation (%vus) much worse than even (%vus)", eq, ev)
+	}
+	// The exact DP lower-bounds both alternatives.
+	dp, lag, equi := r.Data["solver.dp"][0], r.Data["solver.lag"][0], r.Data["solver.equi"][0]
+	if dp > lag+1e-6 || dp > equi+1e-6 {
+		t.Errorf("DP cost %v should lower-bound lagrangian %v and equi %v", dp, lag, equi)
+	}
+	// Ghost-aware pricing affords at least as much structure.
+	if r.Data["aware.parts"][0] < r.Data["raw.parts"][0] {
+		t.Errorf("ghost-aware layout has fewer partitions (%v) than raw (%v)",
+			r.Data["aware.parts"][0], r.Data["raw.parts"][0])
+	}
+}
+
+func TestExtCompressionSynergy(t *testing.T) {
+	r := ExtCompression(scale())
+	if fine, single := r.Data["fine"][0], r.Data["single"][0]; fine <= single {
+		t.Errorf("fine partitioning ratio %v should beat single frame %v", fine, single)
+	}
+}
+
+func TestExtGranularityTradeoff(t *testing.T) {
+	r := ExtGranularity(scale())
+	rel := r.Data["rel"]
+	if len(rel) < 3 {
+		t.Fatalf("missing series: %v", r.Data)
+	}
+	// Full granularity reproduces the optimum; coarser bins never beat it.
+	if rel[0] < 0.999 || rel[0] > 1.001 {
+		t.Errorf("full granularity rel cost = %v, want 1", rel[0])
+	}
+	for i, v := range rel {
+		if v < 1-1e-9 {
+			t.Errorf("bin level %d: rel cost %v below optimal — impossible", i, v)
+		}
+	}
+	// The coarsest level must be measurably worse than optimal or equal;
+	// and solve time should not grow as bins shrink.
+	ms := r.Data["ms"]
+	if ms[len(ms)-1] > ms[0]*2 {
+		t.Errorf("coarser bins solved slower: %v", ms)
+	}
+}

@@ -1,0 +1,335 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"casper/internal/column"
+	"casper/internal/costmodel"
+	"casper/internal/freq"
+	"casper/internal/iomodel"
+	"casper/internal/solver"
+)
+
+// Fig2 regenerates the conceptual trade-off curves of Fig. 2: (a) read and
+// write cost versus the number of non-overlapping partitions; (b) read and
+// write cost versus memory amplification from ghost values. Part (a) is
+// analytic (the cost model's own predictors); part (b) is measured on a
+// real partitioned column.
+func Fig2(sc Scale) Report {
+	p := iomodel.DefaultParams()
+	r := Report{
+		ID:     "fig2",
+		Title:  "Impact of structure and ghost values on read/write cost",
+		Header: []string{"series", "x", "read(norm)", "write(norm)"},
+	}
+
+	// (a) Partition-count sweep over a fixed-size chunk.
+	nBlocks := 256
+	readAt := func(k int) float64 {
+		return costmodel.PointQueryCost(p, (nBlocks+k-1)/k)
+	}
+	writeAt := func(k int) float64 {
+		// Average ripple distance is k/2 trailing partitions.
+		return costmodel.InsertCost(p, k/2, k)
+	}
+	read1, write1 := readAt(1), writeAt(1)
+	for _, k := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256} {
+		rd := readAt(k) / read1
+		wr := writeAt(k) / write1
+		r.Rows = append(r.Rows, []string{"partitions", fmt.Sprint(k), fmtF(rd, 4), fmtF(wr, 2)})
+		r.addData("a.read", rd)
+		r.addData("a.write", wr)
+	}
+
+	// (b) Ghost-value sweep: measured insert and point-query cost on a
+	// column with increasing per-partition buffer space.
+	blockVals := 256
+	n := sc.Rows / 4
+	if n < 8_192 {
+		n = 8_192
+	}
+	n -= n % blockVals
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = int64(i) * 8
+	}
+	nb := n / blockVals
+	k := 32
+	if k > nb {
+		k = nb
+	}
+	var base float64
+	for _, frac := range []float64{0, 0.005, 0.01, 0.02, 0.05, 0.10} {
+		ghosts := make([]int, k)
+		per := int(float64(n) * frac / float64(k))
+		mode := column.Dense
+		for j := range ghosts {
+			ghosts[j] = per
+		}
+		if per > 0 {
+			mode = column.Ghost
+		}
+		col, err := column.NewFromSorted(keys, column.Config{
+			Layout:      costmodel.EquiWidth(nb, k),
+			BlockValues: blockVals,
+			Ghosts:      ghosts,
+			Mode:        mode,
+		})
+		if err != nil {
+			panic(err)
+		}
+		rng := rand.New(rand.NewSource(sc.Seed))
+		inserts := 512
+		t0 := time.Now()
+		for i := 0; i < inserts; i++ {
+			col.Insert(int64(rng.Intn(n)) * 8)
+		}
+		insNs := float64(time.Since(t0).Nanoseconds()) / float64(inserts)
+		t0 = time.Now()
+		reads := 512
+		for i := 0; i < reads; i++ {
+			col.PointQuery(int64(rng.Intn(n)) * 8)
+		}
+		rdNs := float64(time.Since(t0).Nanoseconds()) / float64(reads)
+		if frac == 0 {
+			base = insNs
+			if base == 0 {
+				base = 1
+			}
+		}
+		r.Rows = append(r.Rows, []string{
+			"ghost-values", fmt.Sprintf("%.1f%%", frac*100),
+			fmtF(rdNs, 0) + "ns", fmtF(insNs/base, 3),
+		})
+		r.addData("b.write", insNs/base)
+		r.addData("b.read", rdNs)
+	}
+	r.Notes = append(r.Notes,
+		"(a) analytic from Eq. 7/9: read cost drops with structure, write cost grows linearly",
+		"(b) measured: ghost values cut write cost at bounded memory amplification (Fig. 2b)")
+	return r
+}
+
+// Fig9 regenerates the cost model verification of Fig. 9: measured versus
+// model-predicted latency for (a) ripple inserts as a function of the
+// target partition ordinal and (b) point queries as a function of the
+// partition size. The model constants are fitted from the measurements at
+// the two extremes, exactly as the paper fits its constants by
+// micro-benchmarking (§4.5); the reproduced claim is the *linearity* —
+// ratio ≈ 1 everywhere else.
+func Fig9(sc Scale) Report {
+	r := Report{
+		ID:     "fig9",
+		Title:  "Cost model verification (inserts, point queries)",
+		Header: []string{"part", "x", "measured(us)", "model(us)", "ratio"},
+	}
+
+	// (a) Inserts into partition m of k: cost linear in trailing
+	// partitions.
+	n := sc.Rows
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = int64(i) * 4
+	}
+	k := 100
+	blockVals := 64
+	nb := (n + blockVals - 1) / blockVals
+	build := func() *column.Column {
+		col, err := column.NewFromSorted(keys, column.Config{
+			Layout:      costmodel.EquiWidth(nb, k),
+			BlockValues: blockVals,
+			Mode:        column.Dense,
+		})
+		if err != nil {
+			panic(err)
+		}
+		// Seed tail capacity so inserts ripple from the end (the paper's
+		// setting: an available empty slot at the end of the column).
+		col.Insert(int64(n) * 4)
+		return col
+	}
+	col := build()
+	perPart := n / k
+	measureInsert := func(m int) float64 {
+		const reps = 40
+		v := int64(m*perPart+perPart/2) * 4
+		t0 := time.Now()
+		for i := 0; i < reps; i++ {
+			col.Insert(v)
+		}
+		return float64(time.Since(t0).Nanoseconds()) / reps
+	}
+	parts := []int{0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 99}
+	meas := make(map[int]float64, len(parts))
+	for _, m := range parts {
+		meas[m] = measureInsert(m)
+	}
+	// Fit cost = a + b·trail from the extremes.
+	t0, tN := float64(k-1-parts[0]), float64(k-1-parts[len(parts)-1])
+	bSlope := (meas[parts[0]] - meas[parts[len(parts)-1]]) / (t0 - tN)
+	aIcept := meas[parts[len(parts)-1]] - bSlope*tN
+	for _, m := range parts {
+		model := aIcept + bSlope*float64(k-1-m)
+		ratio := meas[m] / model
+		r.Rows = append(r.Rows, []string{
+			"a.inserts", fmt.Sprint(m),
+			fmtF(meas[m]/1e3, 2), fmtF(model/1e3, 2), fmtF(ratio, 2),
+		})
+		r.addData("a.ratio", ratio)
+	}
+
+	// (b) Point queries over exponentially growing partitions.
+	expSizes := []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048}
+	totalBlocks := 0
+	for _, s := range expSizes {
+		totalBlocks += s
+	}
+	n2 := totalBlocks * blockVals
+	keys2 := make([]int64, n2)
+	for i := range keys2 {
+		keys2[i] = int64(i) * 4
+	}
+	col2, err := column.NewFromSorted(keys2, column.Config{
+		Layout:      costmodel.Layout{Sizes: expSizes},
+		BlockValues: blockVals,
+	})
+	if err != nil {
+		panic(err)
+	}
+	sizes := col2.PartitionSizes()
+	measurePQ := func(m int) float64 {
+		reps := 200
+		if sizes[m] > 100_000 {
+			reps = 20
+		}
+		lo := 0
+		for j := 0; j < m; j++ {
+			lo += sizes[j]
+		}
+		v := int64(lo+sizes[m]/2) * 4
+		t := time.Now()
+		for i := 0; i < reps; i++ {
+			col2.PointQuery(v)
+		}
+		return float64(time.Since(t).Nanoseconds()) / float64(reps)
+	}
+	measPQ := make([]float64, len(expSizes))
+	for m := range expSizes {
+		measPQ[m] = measurePQ(m)
+	}
+	// Fit cost = a + b·blocks from the extremes.
+	b1, bN := float64(expSizes[0]), float64(expSizes[len(expSizes)-1])
+	slope := (measPQ[len(measPQ)-1] - measPQ[0]) / (bN - b1)
+	icept := measPQ[0] - slope*b1
+	for m := range expSizes {
+		model := icept + slope*float64(expSizes[m])
+		ratio := measPQ[m] / model
+		r.Rows = append(r.Rows, []string{
+			"b.point-queries", fmt.Sprint(m),
+			fmtF(measPQ[m]/1e3, 2), fmtF(model/1e3, 2), fmtF(ratio, 2),
+		})
+		r.addData("b.ratio", ratio)
+	}
+	r.Notes = append(r.Notes,
+		"constants fitted from the extreme points (paper fits via micro-benchmark, §4.5)",
+		"ratio ≈ 1 confirms the linear cost structure of Eq. 7 and Eq. 9")
+	return r
+}
+
+// Fig11 regenerates the scalability experiment of Fig. 11: layout decision
+// latency versus data size, single job versus chunked decomposition. The
+// paper's solver is cubic in the block count; our exact DP is quadratic, so
+// the single-job series grows more slowly here, but the headline
+// observation — chunking turns an intractable problem into seconds — is
+// reproduced directly.
+func Fig11(sc Scale) Report {
+	r := Report{
+		ID:     "fig11",
+		Title:  "Partitioning decision latency vs data size",
+		Header: []string{"data size", "strategy", "latency(ms)"},
+	}
+	p := iomodel.DefaultParams().WithBlockBytes(4096) // paper: 4096-byte blocks
+	blockVals := p.BlockValues()
+
+	mkTerms := func(nBlocks int, seed int64) *costmodel.Terms {
+		rng := rand.New(rand.NewSource(seed))
+		m := freq.NewModel(nBlocks)
+		for i := 0; i < nBlocks; i++ {
+			m.PQ[i] = float64(rng.Intn(100))
+			m.IN[i] = float64(rng.Intn(100))
+			m.RS[i] = float64(rng.Intn(20))
+			m.RE[i] = float64(rng.Intn(20))
+			m.DE[i] = float64(rng.Intn(10))
+		}
+		return costmodel.Compute(m, p)
+	}
+
+	sizes := []int{10_000, 100_000, 1_000_000, 10_000_000}
+	for _, size := range sizes {
+		nBlocks := size / blockVals
+		if nBlocks < 2 {
+			nBlocks = 2
+		}
+		// Single job (cap the quadratic DP at 10M values).
+		if size <= 10_000_000 {
+			terms := mkTerms(nBlocks, sc.Seed)
+			t0 := time.Now()
+			if _, err := solver.Optimize(terms, solver.Options{}); err != nil {
+				panic(err)
+			}
+			ms := float64(time.Since(t0).Nanoseconds()) / 1e6
+			r.Rows = append(r.Rows, []string{fmt.Sprint(size), "single-job", fmtF(ms, 2)})
+			r.addData("single", ms)
+		}
+		for _, chunks := range []int{100, 1000} {
+			if nBlocks/chunks < 2 {
+				continue
+			}
+			terms := make([]*costmodel.Terms, chunks)
+			for c := range terms {
+				terms[c] = mkTerms(nBlocks/chunks, sc.Seed+int64(c))
+			}
+			t0 := time.Now()
+			res := solver.OptimizeChunks(terms, solver.Options{}, sc.Workers)
+			for _, cr := range res {
+				if cr.Err != nil {
+					panic(cr.Err)
+				}
+			}
+			ms := float64(time.Since(t0).Nanoseconds()) / 1e6
+			r.Rows = append(r.Rows, []string{
+				fmt.Sprint(size), fmt.Sprintf("chunked-%d", chunks), fmtF(ms, 2),
+			})
+			r.addData(fmt.Sprintf("chunked-%d", chunks), ms)
+		}
+	}
+	r.Notes = append(r.Notes,
+		"paper solves a cubic BIP (Mosek); this repo solves the same objective with an exact quadratic DP",
+		"chunked decomposition is embarrassingly parallel (§6.3)")
+	return r
+}
+
+// Table1 renders the design space of Table 1 and maps every supported cell
+// to the mode that realizes it.
+func Table1() Report {
+	r := Report{
+		ID:     "table1",
+		Title:  "Design space of column layouts",
+		Header: []string{"data organization", "update policy", "buffering", "realized by"},
+	}
+	rows := [][4]string{
+		{"insertion order", "in-place", "none", "NoOrder mode"},
+		{"sorted", "out-of-place", "global", "StateOfArt mode (delta store)"},
+		{"sorted", "in-place", "none", "Sorted mode"},
+		{"partitioned", "in-place", "none", "Equi mode (ripple updates)"},
+		{"partitioned", "hybrid", "per-partition", "EquiGV mode (even ghost values)"},
+		{"partitioned", "hybrid", "per-partition", "Casper mode (optimized layout + Eq. 18 ghosts)"},
+	}
+	for _, row := range rows {
+		r.Rows = append(r.Rows, row[:])
+	}
+	r.Notes = append(r.Notes, "Casper explores {partitioned} × {in-place, out-of-place, hybrid} × {none, global, per-partition} (§2)")
+	return r
+}

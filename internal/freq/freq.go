@@ -1,0 +1,557 @@
+// Package freq implements Casper's Frequency Model (§4.2 of the paper): ten
+// per-block histograms that overlay the access patterns of a sample workload
+// on the data distribution. The histograms feed the cost model
+// (internal/costmodel) and, through it, the layout optimizer.
+//
+// The ten histograms, one counter per logical block:
+//
+//	PQ        point query touches the block
+//	RS        a range query starts in the block
+//	SC        a range query fully scans the block
+//	RE        a range query ends in the block
+//	DE        a delete targets the block
+//	IN        an insert lands in the block
+//	UDF, UTF  update-from / update-to blocks of a forward ripple
+//	UDB, UTB  update-from / update-to blocks of a backward ripple
+//
+// Counters are float64 so the model can also be populated from fractional
+// statistical knowledge of the workload (§4.3) and re-binned to coarser
+// granularities.
+package freq
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Model is the Frequency Model: a set of ten aligned histograms with one bin
+// per logical block of a column chunk.
+type Model struct {
+	PQ  []float64
+	RS  []float64
+	SC  []float64
+	RE  []float64
+	DE  []float64
+	IN  []float64
+	UDF []float64
+	UTF []float64
+	UDB []float64
+	UTB []float64
+}
+
+// NewModel returns an empty Frequency Model over n blocks.
+func NewModel(n int) *Model {
+	if n <= 0 {
+		panic(fmt.Sprintf("freq: non-positive block count %d", n))
+	}
+	return &Model{
+		PQ:  make([]float64, n),
+		RS:  make([]float64, n),
+		SC:  make([]float64, n),
+		RE:  make([]float64, n),
+		DE:  make([]float64, n),
+		IN:  make([]float64, n),
+		UDF: make([]float64, n),
+		UTF: make([]float64, n),
+		UDB: make([]float64, n),
+		UTB: make([]float64, n),
+	}
+}
+
+// Blocks returns the number of logical blocks the model covers.
+func (m *Model) Blocks() int { return len(m.PQ) }
+
+// histograms returns all ten histograms in a fixed order.
+func (m *Model) histograms() [][]float64 {
+	return [][]float64{m.PQ, m.RS, m.SC, m.RE, m.DE, m.IN, m.UDF, m.UTF, m.UDB, m.UTB}
+}
+
+// RecordPointQuery documents a point query that (possibly) matches in block b
+// (Fig. 7a).
+func (m *Model) RecordPointQuery(b int) { m.PQ[b]++ }
+
+// RecordRangeQuery documents a range query whose first qualifying block is
+// first and last qualifying block is last (Fig. 7b/7c): one range-start
+// access, one range-end access, and full scans for the blocks in between.
+// A range fully inside one block counts as a range start only, matching the
+// paper's accounting where the single accessed partition is filtered once.
+func (m *Model) RecordRangeQuery(first, last int) {
+	if last < first {
+		first, last = last, first
+	}
+	m.RS[first]++
+	if last == first {
+		return
+	}
+	for b := first + 1; b < last; b++ {
+		m.SC[b]++
+	}
+	m.RE[last]++
+}
+
+// RecordDelete documents a delete whose victim lives in block b (Fig. 7d).
+func (m *Model) RecordDelete(b int) { m.DE[b]++ }
+
+// RecordInsert documents an insert that belongs in block b (Fig. 7e).
+func (m *Model) RecordInsert(b int) { m.IN[b]++ }
+
+// RecordUpdate documents an update moving a value that lives in block from
+// to a slot in block to. Forward ripples (to > from) increment UDF/UTF;
+// backward ripples (to <= from, including same-block updates by the paper's
+// convention at the end of §4.4) increment UDB/UTB (Fig. 7f/7g).
+func (m *Model) RecordUpdate(from, to int) {
+	if to > from {
+		m.UDF[from]++
+		m.UTF[to]++
+		return
+	}
+	m.UDB[from]++
+	m.UTB[to]++
+}
+
+// Add accumulates other into m. Both models must cover the same number of
+// blocks.
+func (m *Model) Add(other *Model) {
+	if m.Blocks() != other.Blocks() {
+		panic(fmt.Sprintf("freq: Add size mismatch %d != %d", m.Blocks(), other.Blocks()))
+	}
+	dst, src := m.histograms(), other.histograms()
+	for h := range dst {
+		for i := range dst[h] {
+			dst[h][i] += src[h][i]
+		}
+	}
+}
+
+// Scale multiplies every counter by f. Useful for turning a sample workload
+// into per-period expected frequencies.
+func (m *Model) Scale(f float64) {
+	for _, h := range m.histograms() {
+		for i := range h {
+			h[i] *= f
+		}
+	}
+}
+
+// Clone returns a deep copy of the model.
+func (m *Model) Clone() *Model {
+	c := NewModel(m.Blocks())
+	c.Add(m)
+	return c
+}
+
+// TotalOps returns the number of recorded operations per class (point
+// queries, range queries, deletes, inserts, updates). Range queries are
+// counted by their starts; updates by their update-from entries.
+func (m *Model) TotalOps() (pq, rq, de, in, ud float64) {
+	for i := range m.PQ {
+		pq += m.PQ[i]
+		rq += m.RS[i]
+		de += m.DE[i]
+		in += m.IN[i]
+		ud += m.UDF[i] + m.UDB[i]
+	}
+	return pq, rq, de, in, ud
+}
+
+// Rebin aggregates the model down to n coarser bins (§4.3 "variable
+// histogram granularity", §6.3). n must divide into the current block count
+// evenly or the trailing bin absorbs the remainder.
+func (m *Model) Rebin(n int) *Model {
+	old := m.Blocks()
+	if n <= 0 || n > old {
+		panic(fmt.Sprintf("freq: cannot rebin %d blocks to %d", old, n))
+	}
+	c := NewModel(n)
+	dst, src := c.histograms(), m.histograms()
+	per := old / n
+	for h := range src {
+		for i, v := range src[h] {
+			b := i / per
+			if b >= n {
+				b = n - 1
+			}
+			dst[h][b] += v
+		}
+	}
+	return c
+}
+
+// RotationalShift returns a copy of the model with every histogram rotated
+// right by frac of the domain (Fig. 16's "rotational shift" uncertainty:
+// the actual workload targets a shifted part of the domain relative to the
+// training workload).
+func (m *Model) RotationalShift(frac float64) *Model {
+	n := m.Blocks()
+	k := int(frac*float64(n)+0.5) % n
+	if k < 0 {
+		k += n
+	}
+	c := NewModel(n)
+	dst, src := c.histograms(), m.histograms()
+	for h := range src {
+		for i, v := range src[h] {
+			dst[h][(i+k)%n] = v
+		}
+	}
+	return c
+}
+
+// MassShift returns a copy of the model with frac of the point-query mass
+// moved to inserts (positive frac) or frac of the insert mass moved to point
+// queries (negative frac), keeping each histogram's shape (Fig. 16's "mass
+// shift" uncertainty between the two competing operation classes).
+func (m *Model) MassShift(frac float64) *Model {
+	c := m.Clone()
+	if frac == 0 {
+		return c
+	}
+	from, to := c.PQ, c.IN
+	f := frac
+	if frac < 0 {
+		from, to = c.IN, c.PQ
+		f = -frac
+	}
+	var fromTot, toTot float64
+	for i := range from {
+		fromTot += from[i]
+		toTot += to[i]
+	}
+	moved := f * fromTot
+	if fromTot == 0 {
+		return c
+	}
+	for i := range from {
+		from[i] *= 1 - f
+	}
+	if toTot > 0 {
+		for i := range to {
+			to[i] += moved * to[i] / toTot
+		}
+	} else {
+		per := moved / float64(len(to))
+		for i := range to {
+			to[i] += per
+		}
+	}
+	return c
+}
+
+// Mapper translates domain values to logical block IDs by overlaying the
+// data distribution (a sorted key sample) on the block geometry, as the
+// paper does when simulating the sample workload "as if each operation is
+// executed on the initial dataset" (§4.2).
+type Mapper struct {
+	sorted      []int64
+	blockValues int
+	blocks      int
+}
+
+// NewMapper builds a Mapper from keys (sorted copy taken internally) with
+// blockValues values per logical block.
+func NewMapper(keys []int64, blockValues int) *Mapper {
+	if blockValues <= 0 {
+		panic(fmt.Sprintf("freq: non-positive blockValues %d", blockValues))
+	}
+	if len(keys) == 0 {
+		panic("freq: empty key set")
+	}
+	s := make([]int64, len(keys))
+	copy(s, keys)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	nb := (len(s) + blockValues - 1) / blockValues
+	return &Mapper{sorted: s, blockValues: blockValues, blocks: nb}
+}
+
+// Blocks returns the number of logical blocks the mapper covers.
+func (mp *Mapper) Blocks() int { return mp.blocks }
+
+// clampBlock converts a position in the sorted data to a block ID.
+func (mp *Mapper) clampBlock(pos int) int {
+	b := pos / mp.blockValues
+	if b >= mp.blocks {
+		b = mp.blocks - 1
+	}
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
+// Block returns the block that holds (or would hold) value v: the block of
+// the first position with key >= v.
+func (mp *Mapper) Block(v int64) int {
+	pos := sort.Search(len(mp.sorted), func(i int) bool { return mp.sorted[i] >= v })
+	return mp.clampBlock(pos)
+}
+
+// LastBlock returns the block of the last position with key <= v; used for
+// the end of range queries.
+func (mp *Mapper) LastBlock(v int64) int {
+	pos := sort.Search(len(mp.sorted), func(i int) bool { return mp.sorted[i] > v })
+	return mp.clampBlock(pos - 1)
+}
+
+// Capture is a convenience that applies one operation to the model using the
+// mapper. Kind-specific Record* methods remain available for callers that
+// already know block IDs.
+type OpKind int
+
+// Operation kinds understood by Capture.
+const (
+	OpPointQuery OpKind = iota
+	OpRangeQuery
+	OpInsert
+	OpDelete
+	OpUpdate
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpPointQuery:
+		return "point-query"
+	case OpRangeQuery:
+		return "range-query"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpUpdate:
+		return "update"
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// Op is a single logical operation of a sample workload, expressed over the
+// key domain. For range queries Key..Key2 is the inclusive value range; for
+// updates Key is the old value and Key2 the new one.
+type Op struct {
+	Kind OpKind
+	Key  int64
+	Key2 int64
+}
+
+// Capture documents op in the model using mp for value→block translation.
+func (m *Model) Capture(mp *Mapper, op Op) {
+	switch op.Kind {
+	case OpPointQuery:
+		m.RecordPointQuery(mp.Block(op.Key))
+	case OpRangeQuery:
+		m.RecordRangeQuery(mp.Block(op.Key), mp.LastBlock(op.Key2))
+	case OpInsert:
+		m.RecordInsert(mp.Block(op.Key))
+	case OpDelete:
+		m.RecordDelete(mp.Block(op.Key))
+	case OpUpdate:
+		m.RecordUpdate(mp.Block(op.Key), mp.Block(op.Key2))
+	default:
+		panic(fmt.Sprintf("freq: unknown op kind %v", op.Kind))
+	}
+}
+
+// CaptureAll documents every op of a sample workload.
+func (m *Model) CaptureAll(mp *Mapper, ops []Op) {
+	for _, op := range ops {
+		m.Capture(mp, op)
+	}
+}
+
+// FromSample builds a Frequency Model directly from a data sample and an
+// operation sample (Fig. 8a).
+func FromSample(keys []int64, blockValues int, ops []Op) (*Model, *Mapper) {
+	mp := NewMapper(keys, blockValues)
+	m := NewModel(mp.Blocks())
+	m.CaptureAll(mp, ops)
+	return m, mp
+}
+
+// Distribution is a normalized access-pattern density over the block domain:
+// Weight(i, n) returns the relative access weight of block i out of n.
+// Implementations need not normalize; FromDistributions normalizes.
+type Distribution func(i, n int) float64
+
+// DistSpec describes statistical workload knowledge for FromDistributions
+// (Fig. 8b): per operation class, a total operation count and an access
+// distribution over the domain. Nil distributions contribute nothing.
+type DistSpec struct {
+	PointQueries float64
+	PointDist    Distribution
+
+	RangeQueries   float64
+	RangeStartDist Distribution
+	// RangeBlocks is the average number of blocks a range query spans
+	// (>= 1). Scans and range-ends are derived from it.
+	RangeBlocks float64
+
+	Inserts    float64
+	InsertDist Distribution
+
+	Deletes    float64
+	DeleteDist Distribution
+
+	// Updates move values between blocks; UpdateFromDist and UpdateToDist
+	// locate the old and new values. Forward/backward split follows from
+	// the expected relative position of the two distributions.
+	Updates        float64
+	UpdateFromDist Distribution
+	UpdateToDist   Distribution
+}
+
+// normWeights evaluates d over n blocks and normalizes to sum 1. A nil d
+// yields a uniform distribution.
+func normWeights(d Distribution, n int) []float64 {
+	w := make([]float64, n)
+	var tot float64
+	for i := range w {
+		v := 1.0
+		if d != nil {
+			v = d(i, n)
+		}
+		if v < 0 {
+			v = 0
+		}
+		w[i] = v
+		tot += v
+	}
+	if tot == 0 {
+		for i := range w {
+			w[i] = 1 / float64(n)
+		}
+		return w
+	}
+	for i := range w {
+		w[i] /= tot
+	}
+	return w
+}
+
+// FromDistributions constructs a Frequency Model over n blocks from
+// statistical workload knowledge (§4.3).
+func FromDistributions(n int, spec DistSpec) *Model {
+	m := NewModel(n)
+	if spec.PointQueries > 0 {
+		w := normWeights(spec.PointDist, n)
+		for i := range w {
+			m.PQ[i] = spec.PointQueries * w[i]
+		}
+	}
+	if spec.RangeQueries > 0 {
+		span := spec.RangeBlocks
+		if span < 1 {
+			span = 1
+		}
+		w := normWeights(spec.RangeStartDist, n)
+		for i := range w {
+			starts := spec.RangeQueries * w[i]
+			if starts == 0 {
+				continue
+			}
+			m.RS[i] += starts
+			last := i + int(span+0.5) - 1
+			if last >= n {
+				last = n - 1
+			}
+			if last > i {
+				m.RE[last] += starts
+				for b := i + 1; b < last; b++ {
+					m.SC[b] += starts
+				}
+			}
+		}
+	}
+	if spec.Inserts > 0 {
+		w := normWeights(spec.InsertDist, n)
+		for i := range w {
+			m.IN[i] = spec.Inserts * w[i]
+		}
+	}
+	if spec.Deletes > 0 {
+		w := normWeights(spec.DeleteDist, n)
+		for i := range w {
+			m.DE[i] = spec.Deletes * w[i]
+		}
+	}
+	if spec.Updates > 0 {
+		from := normWeights(spec.UpdateFromDist, n)
+		to := normWeights(spec.UpdateToDist, n)
+		// Expected block positions decide the forward/backward split.
+		var ef, et float64
+		for i := range from {
+			ef += float64(i) * from[i]
+			et += float64(i) * to[i]
+		}
+		fwd := 0.5
+		if et > ef {
+			fwd = 1
+		} else if et < ef {
+			fwd = 0
+		}
+		for i := range from {
+			m.UDF[i] += spec.Updates * fwd * from[i]
+			m.UDB[i] += spec.Updates * (1 - fwd) * from[i]
+			m.UTF[i] += spec.Updates * fwd * to[i]
+			m.UTB[i] += spec.Updates * (1 - fwd) * to[i]
+		}
+	}
+	return m
+}
+
+// Uniform is a uniform access Distribution.
+func Uniform(i, n int) float64 { return 1 }
+
+// LinearRamp favors the end of the domain linearly (recent-data skew).
+func LinearRamp(i, n int) float64 { return float64(i + 1) }
+
+// ReverseRamp favors the beginning of the domain linearly.
+func ReverseRamp(i, n int) float64 { return float64(n - i) }
+
+// GhostAware returns the optimizer's view of the model when the column will
+// run with per-partition ghost values and a total budget of `budget` empty
+// slots (§4.6). Under ghost buffering:
+//
+//   - deletes never ripple — they leave a local hole — so their cost is the
+//     locating point query only (their counts move into PQ);
+//   - the ghost budget absorbs inserts and incoming updates up to its size;
+//     only the residual fraction pays ripple costs. Deletes replenish slots,
+//     so the net slot demand is inserts+update-targets−deletes.
+//
+// Absorbed updates still pay their source-side point query, so the absorbed
+// fraction of UDF/UDB also moves into PQ. The original model (not the
+// ghost-aware view) remains the right input for Eq. 18 allocation.
+func (m *Model) GhostAware(budget float64) *Model {
+	g := m.Clone()
+	var demand, deletes float64
+	for i := range g.IN {
+		demand += g.IN[i] + g.UTF[i] + g.UTB[i]
+		deletes += g.DE[i]
+	}
+	for i := range g.DE {
+		g.PQ[i] += g.DE[i]
+		g.DE[i] = 0
+	}
+	demand -= deletes
+	if demand <= 0 || budget <= 0 {
+		if demand <= 0 {
+			// Every insert is covered by a recycled slot.
+			for i := range g.IN {
+				g.PQ[i] += g.UDF[i] + g.UDB[i]
+				g.IN[i], g.UDF[i], g.UDB[i], g.UTF[i], g.UTB[i] = 0, 0, 0, 0, 0
+			}
+		}
+		return g
+	}
+	f := 1 - budget/demand
+	if f < 0 {
+		f = 0
+	}
+	for i := range g.IN {
+		g.IN[i] *= f
+		g.PQ[i] += (1 - f) * (g.UDF[i] + g.UDB[i])
+		g.UDF[i] *= f
+		g.UDB[i] *= f
+		g.UTF[i] *= f
+		g.UTB[i] *= f
+	}
+	return g
+}

@@ -1,0 +1,401 @@
+package freq
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// fig7Keys is the example column of Fig. 6/7 in the paper. The physical
+// layout shown there is range-partitioned; the Mapper works on the sorted
+// data distribution, which is what determines value→block placement.
+var fig7Keys = []int64{3, 1, 5, 4, 7, 8, 15, 18, 20, 19, 32, 55, 65, 67, 82, 95}
+
+func fig7Mapper(t *testing.T) *Mapper {
+	t.Helper()
+	mp := NewMapper(fig7Keys, 2)
+	if mp.Blocks() != 8 {
+		t.Fatalf("Blocks() = %d, want 8", mp.Blocks())
+	}
+	return mp
+}
+
+func expectHistogram(t *testing.T, name string, got []float64, want map[int]float64) {
+	t.Helper()
+	for i, v := range got {
+		if w := want[i]; v != w {
+			t.Errorf("%s[%d] = %v, want %v", name, i, v, w)
+		}
+	}
+}
+
+// TestFig7a..g reproduce the exact counter updates of Fig. 7.
+
+func TestFig7aPointQuery(t *testing.T) {
+	mp := fig7Mapper(t)
+	m := NewModel(mp.Blocks())
+	m.Capture(mp, Op{Kind: OpPointQuery, Key: 4})
+	expectHistogram(t, "pq", m.PQ, map[int]float64{1: 1})
+}
+
+func TestFig7bRangeQuery4to19(t *testing.T) {
+	mp := fig7Mapper(t)
+	m := NewModel(mp.Blocks())
+	m.Capture(mp, Op{Kind: OpRangeQuery, Key: 4, Key2: 19})
+	expectHistogram(t, "rs", m.RS, map[int]float64{1: 1})
+	expectHistogram(t, "sc", m.SC, map[int]float64{2: 1, 3: 1})
+	expectHistogram(t, "re", m.RE, map[int]float64{4: 1})
+}
+
+func TestFig7cSecondRangeQuery2to66(t *testing.T) {
+	mp := fig7Mapper(t)
+	m := NewModel(mp.Blocks())
+	m.Capture(mp, Op{Kind: OpRangeQuery, Key: 4, Key2: 19})
+	m.Capture(mp, Op{Kind: OpRangeQuery, Key: 2, Key2: 66})
+	expectHistogram(t, "rs", m.RS, map[int]float64{0: 1, 1: 1})
+	expectHistogram(t, "sc", m.SC, map[int]float64{1: 1, 2: 2, 3: 2, 4: 1, 5: 1})
+	expectHistogram(t, "re", m.RE, map[int]float64{4: 1, 6: 1})
+}
+
+func TestFig7dDelete32(t *testing.T) {
+	mp := fig7Mapper(t)
+	m := NewModel(mp.Blocks())
+	m.Capture(mp, Op{Kind: OpDelete, Key: 32})
+	expectHistogram(t, "de", m.DE, map[int]float64{5: 1})
+}
+
+func TestFig7eInsert16(t *testing.T) {
+	mp := fig7Mapper(t)
+	m := NewModel(mp.Blocks())
+	m.Capture(mp, Op{Kind: OpInsert, Key: 16})
+	expectHistogram(t, "in", m.IN, map[int]float64{3: 1})
+}
+
+func TestFig7fForwardUpdate3to16(t *testing.T) {
+	mp := fig7Mapper(t)
+	m := NewModel(mp.Blocks())
+	m.Capture(mp, Op{Kind: OpUpdate, Key: 3, Key2: 16})
+	expectHistogram(t, "udf", m.UDF, map[int]float64{0: 1})
+	expectHistogram(t, "utf", m.UTF, map[int]float64{3: 1})
+	expectHistogram(t, "udb", m.UDB, nil)
+	expectHistogram(t, "utb", m.UTB, nil)
+}
+
+func TestFig7gBackwardUpdate55to17(t *testing.T) {
+	mp := fig7Mapper(t)
+	m := NewModel(mp.Blocks())
+	m.Capture(mp, Op{Kind: OpUpdate, Key: 55, Key2: 17})
+	expectHistogram(t, "udb", m.UDB, map[int]float64{5: 1})
+	expectHistogram(t, "utb", m.UTB, map[int]float64{3: 1})
+	expectHistogram(t, "udf", m.UDF, nil)
+	expectHistogram(t, "utf", m.UTF, nil)
+}
+
+func TestRangeQueryWithinSingleBlock(t *testing.T) {
+	m := NewModel(4)
+	m.RecordRangeQuery(2, 2)
+	expectHistogram(t, "rs", m.RS, map[int]float64{2: 1})
+	expectHistogram(t, "sc", m.SC, nil)
+	expectHistogram(t, "re", m.RE, nil)
+}
+
+func TestRangeQuerySwapsReversedBounds(t *testing.T) {
+	m := NewModel(4)
+	m.RecordRangeQuery(3, 1)
+	expectHistogram(t, "rs", m.RS, map[int]float64{1: 1})
+	expectHistogram(t, "sc", m.SC, map[int]float64{2: 1})
+	expectHistogram(t, "re", m.RE, map[int]float64{3: 1})
+}
+
+func TestUpdateSameBlockIsBackward(t *testing.T) {
+	// §4.4: "the case i = j is correctly handled by either pair of
+	// equations; by convention, we pick the latter" (backward).
+	m := NewModel(4)
+	m.RecordUpdate(2, 2)
+	expectHistogram(t, "udb", m.UDB, map[int]float64{2: 1})
+	expectHistogram(t, "utb", m.UTB, map[int]float64{2: 1})
+	expectHistogram(t, "udf", m.UDF, nil)
+}
+
+func TestAddScaleClone(t *testing.T) {
+	m := NewModel(3)
+	m.RecordPointQuery(0)
+	m.RecordInsert(2)
+
+	c := m.Clone()
+	c.Scale(2)
+	if c.PQ[0] != 2 || c.IN[2] != 2 {
+		t.Errorf("scale: got pq=%v in=%v, want 2,2", c.PQ[0], c.IN[2])
+	}
+	if m.PQ[0] != 1 {
+		t.Error("Clone is not independent of the original")
+	}
+
+	m.Add(c)
+	if m.PQ[0] != 3 || m.IN[2] != 3 {
+		t.Errorf("add: got pq=%v in=%v, want 3,3", m.PQ[0], m.IN[2])
+	}
+}
+
+func TestAddPanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewModel(3).Add(NewModel(4))
+}
+
+func TestTotalOps(t *testing.T) {
+	m := NewModel(4)
+	m.RecordPointQuery(0)
+	m.RecordPointQuery(1)
+	m.RecordRangeQuery(0, 3)
+	m.RecordDelete(2)
+	m.RecordInsert(3)
+	m.RecordUpdate(0, 3)
+	m.RecordUpdate(3, 0)
+	pq, rq, de, in, ud := m.TotalOps()
+	if pq != 2 || rq != 1 || de != 1 || in != 1 || ud != 2 {
+		t.Errorf("TotalOps = %v %v %v %v %v, want 2 1 1 1 2", pq, rq, de, in, ud)
+	}
+}
+
+func TestRebinPreservesMass(t *testing.T) {
+	m := NewModel(8)
+	for i := 0; i < 8; i++ {
+		m.RecordPointQuery(i)
+		m.RecordInsert(i)
+	}
+	c := m.Rebin(4)
+	if c.Blocks() != 4 {
+		t.Fatalf("Blocks() = %d, want 4", c.Blocks())
+	}
+	for i := 0; i < 4; i++ {
+		if c.PQ[i] != 2 {
+			t.Errorf("PQ[%d] = %v, want 2", i, c.PQ[i])
+		}
+	}
+	pq1, _, _, in1, _ := m.TotalOps()
+	pq2, _, _, in2, _ := c.TotalOps()
+	if pq1 != pq2 || in1 != in2 {
+		t.Errorf("mass changed: pq %v->%v in %v->%v", pq1, pq2, in1, in2)
+	}
+}
+
+func TestRotationalShift(t *testing.T) {
+	m := NewModel(10)
+	m.RecordPointQuery(0)
+	m.RecordInsert(9)
+	s := m.RotationalShift(0.2)
+	expectHistogram(t, "pq", s.PQ, map[int]float64{2: 1})
+	expectHistogram(t, "in", s.IN, map[int]float64{1: 1}) // wraps around
+	// Zero shift is identity.
+	z := m.RotationalShift(0)
+	expectHistogram(t, "pq", z.PQ, map[int]float64{0: 1})
+}
+
+func TestMassShiftConservesTotalMass(t *testing.T) {
+	m := NewModel(4)
+	for i := 0; i < 4; i++ {
+		m.PQ[i] = 10
+		m.IN[i] = 5
+	}
+	s := m.MassShift(0.25)
+	pq, _, _, in, _ := s.TotalOps()
+	if math.Abs(pq-30) > 1e-9 {
+		t.Errorf("pq mass = %v, want 30", pq)
+	}
+	if math.Abs(in-30) > 1e-9 {
+		t.Errorf("in mass = %v, want 30", in)
+	}
+	// Negative shift moves inserts to point queries.
+	s2 := m.MassShift(-0.2)
+	pq2, _, _, in2, _ := s2.TotalOps()
+	if math.Abs(pq2-44) > 1e-9 || math.Abs(in2-16) > 1e-9 {
+		t.Errorf("negative shift: pq=%v in=%v, want 44,16", pq2, in2)
+	}
+}
+
+func TestMassShiftOntoEmptyTarget(t *testing.T) {
+	m := NewModel(4)
+	m.PQ[1] = 8
+	s := m.MassShift(0.5)
+	_, _, _, in, _ := s.TotalOps()
+	if math.Abs(in-4) > 1e-9 {
+		t.Errorf("in mass = %v, want 4 (spread uniformly)", in)
+	}
+}
+
+func TestMapperBlockProperties(t *testing.T) {
+	mp := NewMapper([]int64{10, 20, 30, 40, 50, 60, 70, 80}, 2)
+	tests := []struct {
+		v         int64
+		block     int
+		lastBlock int
+	}{
+		{5, 0, 0},   // below all data clamps to first block
+		{10, 0, 0},  // first value
+		{35, 1, 1},  // between 30 and 40: would insert at pos 3
+		{80, 3, 3},  // last value
+		{999, 3, 3}, // above all data clamps to last block
+	}
+	for _, tc := range tests {
+		if got := mp.Block(tc.v); got != tc.block {
+			t.Errorf("Block(%d) = %d, want %d", tc.v, got, tc.block)
+		}
+		if got := mp.LastBlock(tc.v); got != tc.lastBlock {
+			t.Errorf("LastBlock(%d) = %d, want %d", tc.v, got, tc.lastBlock)
+		}
+	}
+}
+
+func TestMapperBlockMonotonic(t *testing.T) {
+	keys := []int64{3, 141, 59, 26, 535, 89, 793, 238, 46, 264, 338, 327}
+	mp := NewMapper(keys, 3)
+	f := func(a, b int16) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return mp.Block(x) <= mp.Block(y) && mp.LastBlock(x) <= mp.LastBlock(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromDistributionsUniform(t *testing.T) {
+	m := FromDistributions(10, DistSpec{
+		PointQueries: 100,
+		Inserts:      50,
+		InsertDist:   ReverseRamp,
+	})
+	pq, _, _, in, _ := m.TotalOps()
+	if math.Abs(pq-100) > 1e-9 {
+		t.Errorf("pq mass = %v, want 100", pq)
+	}
+	if math.Abs(in-50) > 1e-9 {
+		t.Errorf("in mass = %v, want 50", in)
+	}
+	if m.PQ[0] != m.PQ[9] {
+		t.Errorf("uniform point dist uneven: %v vs %v", m.PQ[0], m.PQ[9])
+	}
+	if m.IN[0] <= m.IN[9] {
+		t.Errorf("reverse ramp should favor early blocks: %v vs %v", m.IN[0], m.IN[9])
+	}
+}
+
+func TestFromDistributionsRangeSpans(t *testing.T) {
+	m := FromDistributions(10, DistSpec{
+		RangeQueries:   10,
+		RangeBlocks:    3,
+		RangeStartDist: func(i, n int) float64 { return boolToF(i == 2) },
+	})
+	if m.RS[2] != 10 {
+		t.Errorf("RS[2] = %v, want 10", m.RS[2])
+	}
+	if m.SC[3] != 10 {
+		t.Errorf("SC[3] = %v, want 10", m.SC[3])
+	}
+	if m.RE[4] != 10 {
+		t.Errorf("RE[4] = %v, want 10", m.RE[4])
+	}
+}
+
+func TestFromDistributionsUpdatesDirection(t *testing.T) {
+	// Updates moving mass from early blocks to late blocks must be forward.
+	m := FromDistributions(8, DistSpec{
+		Updates:        8,
+		UpdateFromDist: ReverseRamp,
+		UpdateToDist:   LinearRamp,
+	})
+	var udf, udb float64
+	for i := range m.UDF {
+		udf += m.UDF[i]
+		udb += m.UDB[i]
+	}
+	if math.Abs(udf-8) > 1e-9 || udb != 0 {
+		t.Errorf("udf=%v udb=%v, want 8,0", udf, udb)
+	}
+}
+
+func boolToF(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestGhostAwareDeletesBecomeReads(t *testing.T) {
+	m := NewModel(4)
+	m.RecordDelete(1)
+	m.RecordDelete(1)
+	g := m.GhostAware(0)
+	if g.DE[1] != 0 {
+		t.Errorf("DE[1] = %v, want 0 (ghost deletes never ripple)", g.DE[1])
+	}
+	if g.PQ[1] != 2 {
+		t.Errorf("PQ[1] = %v, want 2 (delete keeps its locating read)", g.PQ[1])
+	}
+	// The original model is untouched.
+	if m.DE[1] != 2 {
+		t.Errorf("original mutated: DE[1] = %v", m.DE[1])
+	}
+}
+
+func TestGhostAwareBudgetScalesInserts(t *testing.T) {
+	m := NewModel(4)
+	for i := 0; i < 4; i++ {
+		m.IN[i] = 25 // 100 inserts total
+	}
+	g := m.GhostAware(60) // 60 absorbed, 40% residual
+	var tot float64
+	for i := range g.IN {
+		tot += g.IN[i]
+	}
+	if math.Abs(tot-40) > 1e-9 {
+		t.Errorf("residual inserts = %v, want 40", tot)
+	}
+	// Budget covering all demand removes the insert cost entirely.
+	full := m.GhostAware(100)
+	for i := range full.IN {
+		if full.IN[i] != 0 {
+			t.Errorf("IN[%d] = %v, want 0 with a covering budget", i, full.IN[i])
+		}
+	}
+}
+
+func TestGhostAwareDeletesReplenishSlots(t *testing.T) {
+	m := NewModel(2)
+	m.IN[0] = 50
+	m.DE[1] = 50
+	// Demand (50) minus recycled delete slots (50) = 0: no budget needed.
+	g := m.GhostAware(0)
+	if g.IN[0] != 0 {
+		t.Errorf("IN[0] = %v, want 0 (recycled slots cover inserts)", g.IN[0])
+	}
+}
+
+func TestGhostAwareUpdatesKeepReadSide(t *testing.T) {
+	m := NewModel(4)
+	m.RecordUpdate(0, 3)    // forward
+	m.RecordUpdate(3, 1)    // backward
+	g := m.GhostAware(1000) // everything absorbed
+	if g.UDF[0] != 0 || g.UTF[3] != 0 || g.UDB[3] != 0 || g.UTB[1] != 0 {
+		t.Errorf("absorbed updates still carry ripple terms: %+v", g)
+	}
+	// Their source-side point queries remain.
+	if g.PQ[0] != 1 || g.PQ[3] != 1 {
+		t.Errorf("PQ = %v/%v, want 1/1", g.PQ[0], g.PQ[3])
+	}
+}
+
+func TestGhostAwareZeroBudgetKeepsRippleMass(t *testing.T) {
+	m := NewModel(4)
+	m.IN[2] = 10
+	g := m.GhostAware(0)
+	if g.IN[2] != 10 {
+		t.Errorf("IN[2] = %v, want 10 with no budget", g.IN[2])
+	}
+}

@@ -1,0 +1,118 @@
+// Package ghost distributes ghost values — empty slots that act as
+// per-partition update buffers — across the partitions of a column layout
+// (§4.6 of the paper, Eq. 18).
+//
+// Inserts and incoming updates into a partition with a free ghost slot avoid
+// the ripple entirely; the budget is therefore distributed proportionally to
+// each partition's expected data movement from inserts and update-to
+// operations.
+package ghost
+
+import (
+	"fmt"
+	"sort"
+
+	"casper/internal/costmodel"
+	"casper/internal/freq"
+)
+
+// Allocate distributes total ghost slots over the partitions of layout
+// proportionally to their share of insert/update-to data movement (Eq. 18).
+// Rounding uses the largest-remainder method so the returned slots always
+// sum exactly to total. When the model predicts no data movement at all, the
+// budget falls back to an even split.
+func Allocate(m *freq.Model, layout costmodel.Layout, total int) []int {
+	if err := layout.Validate(); err != nil {
+		panic(fmt.Sprintf("ghost: %v", err))
+	}
+	k := layout.Partitions()
+	if total <= 0 {
+		return make([]int, k)
+	}
+	dm := movement(m, layout)
+	var dmTot float64
+	for _, v := range dm {
+		dmTot += v
+	}
+	if dmTot == 0 {
+		return Even(k, total)
+	}
+	return largestRemainder(dm, dmTot, total)
+}
+
+// movement returns dm_part(j): the per-partition data movement attributable
+// to inserts and incoming updates (Eq. 18's numerator). The paper's
+// worst-case accounting treats every insert and update-to as requiring a
+// ripple insert.
+func movement(m *freq.Model, layout costmodel.Layout) []float64 {
+	dm := make([]float64, layout.Partitions())
+	b := 0
+	for j, size := range layout.Sizes {
+		for i := 0; i < size; i++ {
+			if b < m.Blocks() {
+				dm[j] += m.IN[b] + m.UTF[b] + m.UTB[b]
+			}
+			b++
+		}
+	}
+	return dm
+}
+
+// largestRemainder apportions total slots to weights w (summing to wTot).
+func largestRemainder(w []float64, wTot float64, total int) []int {
+	k := len(w)
+	out := make([]int, k)
+	type frac struct {
+		j int
+		r float64
+	}
+	fr := make([]frac, k)
+	assigned := 0
+	for j, v := range w {
+		exact := v / wTot * float64(total)
+		out[j] = int(exact)
+		assigned += out[j]
+		fr[j] = frac{j, exact - float64(out[j])}
+	}
+	sort.Slice(fr, func(a, b int) bool {
+		if fr[a].r != fr[b].r {
+			return fr[a].r > fr[b].r
+		}
+		return fr[a].j < fr[b].j
+	})
+	for i := 0; assigned < total; i = (i + 1) % k {
+		out[fr[i].j]++
+		assigned++
+	}
+	return out
+}
+
+// Even splits total slots evenly over k partitions (the Equi-GV baseline of
+// §7), with the remainder going to the leading partitions.
+func Even(k, total int) []int {
+	if k <= 0 {
+		panic(fmt.Sprintf("ghost: non-positive partition count %d", k))
+	}
+	out := make([]int, k)
+	if total <= 0 {
+		return out
+	}
+	base, rem := total/k, total%k
+	for j := range out {
+		out[j] = base
+		if j < rem {
+			out[j]++
+		}
+	}
+	return out
+}
+
+// Budget converts a relative ghost value budget (fraction of the data size,
+// e.g. 0.01 for 1% as in Fig. 14) to an absolute slot count for a chunk of
+// n values.
+func Budget(n int, fraction float64) int {
+	if fraction <= 0 {
+		return 0
+	}
+	return int(float64(n)*fraction + 0.5)
+}

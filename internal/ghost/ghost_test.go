@@ -1,0 +1,152 @@
+package ghost
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"casper/internal/costmodel"
+	"casper/internal/freq"
+)
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+func TestAllocateProportionalToInserts(t *testing.T) {
+	// All movement targets partition 1 → the whole budget goes there.
+	m := freq.NewModel(6)
+	m.IN[2] = 10
+	m.IN[3] = 20
+	layout := costmodel.Layout{Sizes: []int{2, 2, 2}}
+	got := Allocate(m, layout, 100)
+	want := []int{0, 100, 0}
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("Allocate = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAllocateIncludesUpdateTargets(t *testing.T) {
+	// Eq. 18 counts update-to operations (both ripple directions) as data
+	// movement.
+	m := freq.NewModel(4)
+	m.UTF[0] = 5
+	m.UTB[3] = 15
+	layout := costmodel.Layout{Sizes: []int{2, 2}}
+	got := Allocate(m, layout, 20)
+	if got[0] != 5 || got[1] != 15 {
+		t.Fatalf("Allocate = %v, want [5 15]", got)
+	}
+}
+
+func TestAllocateSumsToBudgetExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(30)
+		m := freq.NewModel(n)
+		for i := 0; i < n; i++ {
+			m.IN[i] = float64(rng.Intn(10))
+			m.UTF[i] = float64(rng.Intn(5))
+		}
+		// Random layout over n blocks.
+		var sizes []int
+		rem := n
+		for rem > 0 {
+			s := 1 + rng.Intn(rem)
+			sizes = append(sizes, s)
+			rem -= s
+		}
+		layout := costmodel.Layout{Sizes: sizes}
+		total := rng.Intn(1000)
+		got := Allocate(m, layout, total)
+		if len(got) != layout.Partitions() {
+			t.Fatalf("allocation length %d != partitions %d", len(got), layout.Partitions())
+		}
+		if sum(got) != total {
+			t.Fatalf("allocation sums to %d, want %d (alloc=%v)", sum(got), total, got)
+		}
+		for j, g := range got {
+			if g < 0 {
+				t.Fatalf("negative allocation %d at partition %d", g, j)
+			}
+		}
+	}
+}
+
+func TestAllocateNoMovementFallsBackToEven(t *testing.T) {
+	m := freq.NewModel(6)
+	m.PQ[0] = 100 // reads only: no data movement
+	layout := costmodel.Layout{Sizes: []int{2, 2, 2}}
+	got := Allocate(m, layout, 9)
+	want := Even(3, 9)
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("Allocate = %v, want even %v", got, want)
+		}
+	}
+}
+
+func TestAllocateZeroBudget(t *testing.T) {
+	m := freq.NewModel(4)
+	m.IN[0] = 1
+	got := Allocate(m, costmodel.Layout{Sizes: []int{2, 2}}, 0)
+	if sum(got) != 0 {
+		t.Fatalf("zero budget allocated %v", got)
+	}
+}
+
+func TestEvenProperties(t *testing.T) {
+	f := func(kRaw, totalRaw uint8) bool {
+		k := int(kRaw%20) + 1
+		total := int(totalRaw)
+		out := Even(k, total)
+		if sum(out) != total {
+			return false
+		}
+		for _, v := range out {
+			if v < 0 || v > total/k+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvenPanicsOnZeroPartitions(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Even(0, 5)
+}
+
+func TestBudget(t *testing.T) {
+	tests := []struct {
+		n    int
+		frac float64
+		want int
+	}{
+		{1_000_000, 0.01, 10_000},
+		{1_000_000, 0.001, 1_000},
+		{1_000_000, 0.0001, 100},
+		{1_000_000, 0.10, 100_000},
+		{100, 0, 0},
+		{100, -1, 0},
+		{3, 0.5, 2}, // rounds
+	}
+	for _, tc := range tests {
+		if got := Budget(tc.n, tc.frac); got != tc.want {
+			t.Errorf("Budget(%d, %v) = %d, want %d", tc.n, tc.frac, got, tc.want)
+		}
+	}
+}

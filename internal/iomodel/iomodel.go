@@ -1,0 +1,198 @@
+// Package iomodel defines the four-constant block access cost model that
+// underlies Casper's layout optimization (§4.4–4.5 of the paper).
+//
+// Every storage engine operation is decomposed into block accesses of four
+// kinds: random read (RR), random write (RW), sequential read (SR), and
+// sequential write (SW). The constants are per-block latencies. The paper
+// establishes them by micro-benchmarking each deployment; Calibrate does the
+// same here, while DefaultParams mirrors the constants reported in §4.5
+// (100 ns random access per block, sequential access amortized 14× lower).
+package iomodel
+
+import (
+	"fmt"
+	"time"
+)
+
+// DefaultBlockBytes is the block size used throughout the paper's main
+// experiments (16 KB blocks over 1M-value chunks, §7).
+const DefaultBlockBytes = 16 * 1024
+
+// ValueBytes is the width of a column value. Casper stores columns as
+// fixed-width arrays of 8-byte integers (keys) — payloads are 4-byte values
+// handled by the table layer.
+const ValueBytes = 8
+
+// CostParams holds the calibrated per-block access costs, in nanoseconds,
+// together with the block geometry they were measured at.
+//
+// The zero value is not useful; use DefaultParams or Calibrate.
+type CostParams struct {
+	RR float64 // random read of one block
+	RW float64 // random write of one block
+	SR float64 // sequential read of one block
+	SW float64 // sequential write of one block
+
+	BlockBytes int // block size in bytes
+}
+
+// DefaultParams returns the constants reported in §4.5 of the paper for the
+// default block size: 100 ns random read/write per block, with sequential
+// access amortized to 1/14 of that.
+func DefaultParams() CostParams {
+	return CostParams{
+		RR:         100,
+		RW:         100,
+		SR:         100.0 / 14.0,
+		SW:         100.0 / 14.0,
+		BlockBytes: DefaultBlockBytes,
+	}
+}
+
+// EngineDefaults returns cost constants matched to this repository's
+// storage engine without running a calibration pass: a random single-row
+// block access costs ~100 ns (one cache miss chain), and a sequential scan
+// of one block costs ~0.45 ns per value. These are the constants the Engine
+// uses by default; DefaultParams preserves the paper's reported constants
+// for model-level experiments, and Calibrate measures the actual machine.
+func EngineDefaults(blockBytes int) CostParams {
+	if blockBytes <= 0 {
+		blockBytes = DefaultBlockBytes
+	}
+	vals := blockBytes / ValueBytes
+	if vals < 1 {
+		vals = 1
+	}
+	seq := 0.45 * float64(vals)
+	return CostParams{RR: 100, RW: 100, SR: seq, SW: seq, BlockBytes: blockBytes}
+}
+
+// BlockValues returns the number of column values per block.
+func (p CostParams) BlockValues() int {
+	if p.BlockBytes <= 0 {
+		return 0
+	}
+	return p.BlockBytes / ValueBytes
+}
+
+// WithBlockBytes returns a copy of p with the block size replaced and the
+// sequential costs rescaled proportionally (block costs scale linearly with
+// the number of values per block, while the random components are dominated
+// by the first cache miss and stay fixed, matching the paper's model where
+// costs are per block of the chosen size).
+func (p CostParams) WithBlockBytes(blockBytes int) CostParams {
+	if blockBytes <= 0 {
+		panic(fmt.Sprintf("iomodel: non-positive block size %d", blockBytes))
+	}
+	scale := float64(blockBytes) / float64(p.BlockBytes)
+	q := p
+	q.BlockBytes = blockBytes
+	q.SR *= scale
+	q.SW *= scale
+	return q
+}
+
+// Validate reports an error when the parameters are not usable by the cost
+// model (non-positive latencies or geometry).
+func (p CostParams) Validate() error {
+	switch {
+	case p.RR <= 0 || p.RW <= 0 || p.SR <= 0 || p.SW <= 0:
+		return fmt.Errorf("iomodel: all access costs must be positive, got %+v", p)
+	case p.BlockBytes < ValueBytes:
+		return fmt.Errorf("iomodel: block size %dB smaller than one value (%dB)", p.BlockBytes, ValueBytes)
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (p CostParams) String() string {
+	return fmt.Sprintf("CostParams{RR=%.1fns RW=%.1fns SR=%.2fns SW=%.2fns block=%dB}",
+		p.RR, p.RW, p.SR, p.SW, p.BlockBytes)
+}
+
+// Calibrate micro-benchmarks in-memory block accesses and returns fitted
+// cost constants for the given block size, mirroring §4.5 ("for every
+// instance of Casper deployed, we first need to establish these values
+// through micro-benchmarking").
+//
+// The measurement walks a working set much larger than typical caches with a
+// pseudo-random block permutation (random costs) and a linear pass
+// (sequential costs). Results are per-block nanosecond latencies.
+func Calibrate(blockBytes int) CostParams {
+	if blockBytes <= 0 {
+		blockBytes = DefaultBlockBytes
+	}
+	const setBytes = 64 << 20 // 64 MiB working set
+	vals := setBytes / ValueBytes
+	perBlock := blockBytes / ValueBytes
+	if perBlock == 0 {
+		perBlock = 1
+	}
+	nBlocks := vals / perBlock
+	data := make([]int64, vals)
+	for i := range data {
+		data[i] = int64(i)
+	}
+
+	// Pseudo-random block visit order (LCG permutation over blocks).
+	order := make([]int, nBlocks)
+	x := 12345
+	for i := range order {
+		x = (x*1103515245 + 12721) % nBlocks
+		if x < 0 {
+			x += nBlocks
+		}
+		order[i] = x
+	}
+
+	var sink int64
+
+	// Sequential read: one pass over everything.
+	start := time.Now()
+	for _, v := range data {
+		sink += v
+	}
+	srTotal := time.Since(start)
+	sr := float64(srTotal.Nanoseconds()) / float64(nBlocks)
+
+	// Sequential write.
+	start = time.Now()
+	for i := range data {
+		data[i] = int64(i) + sink&1
+	}
+	swTotal := time.Since(start)
+	sw := float64(swTotal.Nanoseconds()) / float64(nBlocks)
+
+	// Random read: touch the first value of each block in permuted order.
+	start = time.Now()
+	for _, b := range order {
+		sink += data[b*perBlock]
+	}
+	rrTotal := time.Since(start)
+	rr := float64(rrTotal.Nanoseconds()) / float64(nBlocks)
+
+	// Random write.
+	start = time.Now()
+	for _, b := range order {
+		data[b*perBlock] = sink
+	}
+	rwTotal := time.Since(start)
+	rw := float64(rwTotal.Nanoseconds()) / float64(nBlocks)
+
+	// Guard against degenerate timings on virtualized clocks.
+	const eps = 0.01
+	if rr < eps {
+		rr = eps
+	}
+	if rw < eps {
+		rw = eps
+	}
+	if sr < eps {
+		sr = eps
+	}
+	if sw < eps {
+		sw = eps
+	}
+	_ = sink
+	return CostParams{RR: rr, RW: rw, SR: sr, SW: sw, BlockBytes: blockBytes}
+}

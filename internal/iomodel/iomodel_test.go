@@ -1,0 +1,109 @@
+package iomodel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultParams(t *testing.T) {
+	p := DefaultParams()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	if p.RR != 100 || p.RW != 100 {
+		t.Errorf("random costs = %v/%v, want 100/100", p.RR, p.RW)
+	}
+	if got, want := p.RR/p.SR, 14.0; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("RR/SR ratio = %v, want 14 (paper §4.5)", got)
+	}
+	if p.BlockBytes != DefaultBlockBytes {
+		t.Errorf("block bytes = %d, want %d", p.BlockBytes, DefaultBlockBytes)
+	}
+}
+
+func TestBlockValues(t *testing.T) {
+	tests := []struct {
+		blockBytes int
+		want       int
+	}{
+		{16 * 1024, 2048},
+		{4096, 512},
+		{8, 1},
+		{0, 0},
+	}
+	for _, tc := range tests {
+		p := CostParams{BlockBytes: tc.blockBytes}
+		if got := p.BlockValues(); got != tc.want {
+			t.Errorf("BlockValues(%d) = %d, want %d", tc.blockBytes, got, tc.want)
+		}
+	}
+}
+
+func TestWithBlockBytesScalesSequential(t *testing.T) {
+	p := DefaultParams()
+	q := p.WithBlockBytes(p.BlockBytes * 2)
+	if q.RR != p.RR || q.RW != p.RW {
+		t.Errorf("random costs changed: %v -> %v", p, q)
+	}
+	if got, want := q.SR, 2*p.SR; got != want {
+		t.Errorf("SR = %v, want %v", got, want)
+	}
+	if got, want := q.SW, 2*p.SW; got != want {
+		t.Errorf("SW = %v, want %v", got, want)
+	}
+	if q.BlockBytes != 2*p.BlockBytes {
+		t.Errorf("BlockBytes = %d, want %d", q.BlockBytes, 2*p.BlockBytes)
+	}
+}
+
+func TestWithBlockBytesPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive block size")
+		}
+	}()
+	DefaultParams().WithBlockBytes(0)
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       CostParams
+		wantErr bool
+	}{
+		{"default ok", DefaultParams(), false},
+		{"zero RR", CostParams{RW: 1, SR: 1, SW: 1, BlockBytes: 64}, true},
+		{"negative SR", CostParams{RR: 1, RW: 1, SR: -1, SW: 1, BlockBytes: 64}, true},
+		{"tiny block", CostParams{RR: 1, RW: 1, SR: 1, SW: 1, BlockBytes: 4}, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.p.Validate()
+			if (err != nil) != tc.wantErr {
+				t.Errorf("Validate() err = %v, wantErr = %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestString(t *testing.T) {
+	s := DefaultParams().String()
+	for _, want := range []string{"RR=100.0ns", "block=16384B"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestCalibrateProducesUsableParams(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration walks a 64MiB working set")
+	}
+	p := Calibrate(4096)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("calibrated params invalid: %v", err)
+	}
+	if p.BlockBytes != 4096 {
+		t.Errorf("block bytes = %d, want 4096", p.BlockBytes)
+	}
+}

@@ -1,0 +1,134 @@
+// Package pindex implements the lightweight partition index of §3/§6.3: a
+// shallow k-ary search tree over per-partition metadata (minimum key and
+// positional information) that routes point and range operations to
+// partitions. For small partition counts the metadata behaves like
+// Zonemaps and a linear scan is competitive; both paths are provided.
+package pindex
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultFanout is the arity of the search tree. A node of 16 separators
+// spans two cache lines of int64 keys, keeping the tree shallow (three
+// levels cover 4096 partitions).
+const DefaultFanout = 16
+
+// Index routes domain values to partition ordinals. Partition j owns the
+// key range [lower[j], lower[j+1]), with lower[0] conceptually −∞ and the
+// last partition unbounded above.
+type Index struct {
+	// lower[j] is the smallest key routed to partition j, for j ≥ 1.
+	// lower[0] is unused (first partition catches everything below
+	// lower[1]).
+	lower  []int64
+	fanout int
+	// levels[0] is the root node's separators; levels[len-1] is the full
+	// separator array. Each level holds every fanout-th key of the next.
+	levels [][]int64
+}
+
+// New builds an index over k partitions from the k−1 separator keys:
+// seps[j] is the lower bound of partition j+1. Separators must be
+// non-decreasing.
+func New(seps []int64, fanout int) *Index {
+	if fanout < 2 {
+		fanout = DefaultFanout
+	}
+	for i := 1; i < len(seps); i++ {
+		if seps[i] < seps[i-1] {
+			panic(fmt.Sprintf("pindex: separators not sorted at %d: %d < %d", i, seps[i], seps[i-1]))
+		}
+	}
+	lower := make([]int64, len(seps)+1)
+	copy(lower[1:], seps)
+	idx := &Index{lower: lower, fanout: fanout}
+	idx.build()
+	return idx
+}
+
+// build constructs the k-ary level hierarchy bottom-up.
+func (ix *Index) build() {
+	base := ix.lower[1:]
+	ix.levels = [][]int64{base}
+	for len(ix.levels[0]) > ix.fanout {
+		prev := ix.levels[0]
+		// Take every fanout-th separator (the largest of each group) so a
+		// root comparison narrows the search to one group.
+		next := make([]int64, 0, (len(prev)+ix.fanout-1)/ix.fanout)
+		for i := ix.fanout - 1; i < len(prev); i += ix.fanout {
+			next = append(next, prev[i])
+		}
+		ix.levels = append([][]int64{next}, ix.levels...)
+	}
+}
+
+// Partitions returns the number of partitions the index routes to.
+func (ix *Index) Partitions() int { return len(ix.lower) }
+
+// Find returns the partition that owns value v: the largest j with
+// lower[j] <= v (or 0 when v precedes every separator). It descends the
+// k-ary tree: each level stores the maximum separator of every complete
+// fanout-group of the level below, so counting the keys ≤ v within one node
+// identifies the child group to descend into.
+func (ix *Index) Find(v int64) int {
+	g := 0 // child group within the current level
+	for li, level := range ix.levels {
+		start := g * ix.fanout
+		if li == 0 {
+			start = 0
+		}
+		if start > len(level) {
+			start = len(level)
+		}
+		end := start + ix.fanout
+		if li == 0 {
+			end = len(level)
+		}
+		if end > len(level) {
+			end = len(level)
+		}
+		j := start
+		for j < end && level[j] <= v {
+			j++
+		}
+		g = j
+	}
+	return g
+}
+
+// FindLinear routes v with a plain zonemap-style scan of the separators.
+// Exposed for benchmarking against the tree descent (§6.3: "If the chunk
+// size is small ... the metadata can be treated as Zonemaps and ... very
+// efficiently scanned").
+func (ix *Index) FindLinear(v int64) int {
+	j := 0
+	base := ix.lower[1:]
+	for j < len(base) && base[j] <= v {
+		j++
+	}
+	return j
+}
+
+// FindBinary routes v by binary search; the reference implementation used
+// in tests.
+func (ix *Index) FindBinary(v int64) int {
+	base := ix.lower[1:]
+	return sort.Search(len(base), func(i int) bool { return base[i] > v })
+}
+
+// Range returns the ordinals of the first and last partition that may hold
+// values in [lo, hi] inclusive.
+func (ix *Index) Range(lo, hi int64) (first, last int) {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	return ix.Find(lo), ix.Find(hi)
+}
+
+// LowerBound returns the lower key bound of partition j (meaningful for
+// j ≥ 1; partition 0 is unbounded below).
+func (ix *Index) LowerBound(j int) int64 {
+	return ix.lower[j]
+}

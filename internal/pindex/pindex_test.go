@@ -1,0 +1,147 @@
+package pindex
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func buildRandom(k, fanout int, rng *rand.Rand) *Index {
+	seps := make([]int64, k-1)
+	for i := range seps {
+		seps[i] = int64(rng.Intn(1000))
+	}
+	sort.Slice(seps, func(i, j int) bool { return seps[i] < seps[j] })
+	return New(seps, fanout)
+}
+
+func TestFindMatchesBinarySearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		k := 1 + rng.Intn(300)
+		fanout := 2 + rng.Intn(17)
+		ix := buildRandom(k, fanout, rng)
+		if ix.Partitions() != k {
+			t.Fatalf("Partitions() = %d, want %d", ix.Partitions(), k)
+		}
+		for probe := 0; probe < 200; probe++ {
+			v := int64(rng.Intn(1100) - 50)
+			want := ix.FindBinary(v)
+			if got := ix.Find(v); got != want {
+				t.Fatalf("k=%d fanout=%d: Find(%d) = %d, want %d", k, fanout, v, got, want)
+			}
+			if got := ix.FindLinear(v); got != want {
+				t.Fatalf("k=%d: FindLinear(%d) = %d, want %d", k, v, got, want)
+			}
+		}
+	}
+}
+
+func TestFindSinglePartition(t *testing.T) {
+	ix := New(nil, DefaultFanout)
+	if ix.Partitions() != 1 {
+		t.Fatalf("Partitions() = %d, want 1", ix.Partitions())
+	}
+	for _, v := range []int64{-100, 0, 100} {
+		if got := ix.Find(v); got != 0 {
+			t.Errorf("Find(%d) = %d, want 0", v, got)
+		}
+	}
+}
+
+func TestFindBoundarySemantics(t *testing.T) {
+	// Partition j owns [lower[j], lower[j+1]): a value equal to a
+	// separator belongs to the partition the separator opens.
+	ix := New([]int64{10, 20, 30}, 2)
+	tests := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {9, 0},
+		{10, 1}, {15, 1}, {19, 1},
+		{20, 2}, {29, 2},
+		{30, 3}, {1000, 3},
+	}
+	for _, tc := range tests {
+		if got := ix.Find(tc.v); got != tc.want {
+			t.Errorf("Find(%d) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestDuplicateSeparators(t *testing.T) {
+	// Duplicate separators create empty partitions; routing must still be
+	// consistent with binary search.
+	ix := New([]int64{10, 10, 10, 20}, 2)
+	for _, v := range []int64{5, 10, 15, 20, 25} {
+		if got, want := ix.Find(v), ix.FindBinary(v); got != want {
+			t.Errorf("Find(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestNewPanicsOnUnsortedSeparators(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unsorted separators")
+		}
+	}()
+	New([]int64{5, 3}, 4)
+}
+
+func TestRange(t *testing.T) {
+	ix := New([]int64{10, 20, 30}, DefaultFanout)
+	first, last := ix.Range(5, 25)
+	if first != 0 || last != 2 {
+		t.Errorf("Range(5,25) = %d,%d, want 0,2", first, last)
+	}
+	// Reversed bounds are normalized.
+	first, last = ix.Range(25, 5)
+	if first != 0 || last != 2 {
+		t.Errorf("Range(25,5) = %d,%d, want 0,2", first, last)
+	}
+	first, last = ix.Range(12, 13)
+	if first != 1 || last != 1 {
+		t.Errorf("Range(12,13) = %d,%d, want 1,1", first, last)
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	ix := New([]int64{10, 20}, DefaultFanout)
+	if got := ix.LowerBound(1); got != 10 {
+		t.Errorf("LowerBound(1) = %d, want 10", got)
+	}
+	if got := ix.LowerBound(2); got != 20 {
+		t.Errorf("LowerBound(2) = %d, want 20", got)
+	}
+}
+
+func TestFindQuickProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	ix := buildRandom(257, 16, rng) // forces a 3-level tree
+	f := func(v int64) bool {
+		return ix.Find(v) == ix.FindBinary(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkFindTree(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	ix := buildRandom(1024, 16, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Find(int64(i % 1000))
+	}
+}
+
+func BenchmarkFindLinear(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	ix := buildRandom(1024, 16, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.FindLinear(int64(i % 1000))
+	}
+}

@@ -1,0 +1,194 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"casper/internal/costmodel"
+)
+
+// BIPModel is the explicit linearized binary integer program of Eq. 20. The
+// paper hands this model to Mosek; we keep the construction to demonstrate
+// and test the linearization (the products of Eq. 19 replaced by auxiliary
+// variables y_{i,j} with the three linking constraints), and solve it with
+// the branch-and-bound in SolveBIP.
+//
+// Variables:
+//
+//	p_i, i ∈ [0,N)        boundary bits, p_{N−1} = 1
+//	y_{i,j}, 0 ≤ i ≤ j < N  y_{i,j} = Π_{k=i}^{j} (1−p_k)
+//
+// Constraints (per Eq. 20):
+//
+//	y_{i,i} = 1 − p_i
+//	y_{i,j} ≤ 1 − p_k        for every k ∈ [i,j]
+//	y_{i,j} ≥ 1 − Σ_{k=i}^{j} p_k
+type BIPModel struct {
+	N int
+	// CoefP[j] is the objective coefficient of p_j (from the trail_parts
+	// linearization Σ_i parts_i·Σ_{j≥i} p_j = Σ_j p_j·Σ_{i≤j} parts_i).
+	CoefP []float64
+	// CoefY[i][j−i] is the objective coefficient of y_{i,j}.
+	CoefY [][]float64
+	// Fixed is the constant objective term.
+	Fixed float64
+
+	terms *costmodel.Terms
+}
+
+// BuildBIP constructs the Eq. 20 model from cost terms.
+func BuildBIP(t *costmodel.Terms) *BIPModel {
+	n := t.Blocks()
+	m := &BIPModel{
+		N:     n,
+		CoefP: make([]float64, n),
+		CoefY: make([][]float64, n),
+		Fixed: t.FixedTotal(),
+		terms: t,
+	}
+	for i := 0; i < n; i++ {
+		m.CoefY[i] = make([]float64, n-i)
+	}
+	for j := 0; j < n; j++ {
+		m.CoefP[j] = t.BoundaryCost(j)
+	}
+	// bck term of block i: Σ_{j=0}^{i−1} y_{j,i−1} weighted by Bck[i].
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			m.CoefY[j][i-1-j] += t.Bck[i]
+		}
+	}
+	// fwd term of block i: Σ over suffix products y_{i,h}, h ∈ [i, N−1],
+	// weighted by Fwd[i]. (h = N−j−1 for j ∈ [0, N−i−1].)
+	for i := 0; i < n; i++ {
+		for h := i; h < n; h++ {
+			m.CoefY[i][h-i] += t.Fwd[i]
+		}
+	}
+	return m
+}
+
+// NumVariables returns the variable count of the model (p and y variables).
+func (m *BIPModel) NumVariables() int { return m.N + m.N*(m.N+1)/2 }
+
+// NumConstraints returns the constraint count of Eq. 20 (excluding binary
+// domains): the p_{N−1}=1 pin, one equality per y_{i,i}, one upper-bound
+// link per (y_{i,j}, k) pair with i<j, and one lower-bound link per y_{i,j}
+// with i<j.
+func (m *BIPModel) NumConstraints() int {
+	n := m.N
+	pairs := n * (n - 1) / 2 // y variables with i<j
+	upper := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			upper += j - i + 1
+		}
+	}
+	return 1 + n + upper + pairs
+}
+
+// Objective evaluates the linear objective for a boundary assignment,
+// deriving the y variables from their defining products. Tests use this to
+// confirm the linearization matches Eq. 16 exactly.
+func (m *BIPModel) Objective(p []bool) float64 {
+	if len(p) != m.N {
+		panic(fmt.Sprintf("solver: assignment has %d bits, want %d", len(p), m.N))
+	}
+	total := m.Fixed
+	for j, set := range p {
+		if set {
+			total += m.CoefP[j]
+		}
+	}
+	for i := 0; i < m.N; i++ {
+		prod := 1.0
+		for j := i; j < m.N; j++ {
+			if p[j] {
+				prod = 0
+			}
+			if prod == 0 {
+				break
+			}
+			total += m.CoefY[i][j-i]
+		}
+	}
+	return total
+}
+
+// SolveBIP solves the model exactly by depth-first branch and bound over the
+// boundary bits. The lower bound at each node is the cost of the committed
+// prefix plus the optimal unconstrained completion (a relaxation of the
+// Eq. 21 bounds, mirroring how relaxation-based solvers prune). Exponential
+// only where the SLA constraints bind; intended for modest N and for
+// cross-validating the DP.
+func SolveBIP(t *costmodel.Terms, opts Options) (Result, error) {
+	n := t.Blocks()
+	mps := opts.MaxPartitionBlocks
+	if mps <= 0 || mps > n {
+		mps = n
+	}
+	maxK := opts.MaxPartitions
+	if maxK <= 0 || maxK > n {
+		maxK = n
+	}
+	minK := opts.MinPartitions
+	if maxK*mps < n || minK > maxK {
+		return Result{}, fmt.Errorf("%w: N=%d mps=%d partitions in [%d,%d]", ErrInfeasible, n, mps, minK, maxK)
+	}
+
+	// suffixOpt[b]: optimal unconstrained-count cost of partitioning
+	// blocks [b, N) with partitions of width ≤ mps.
+	suffixOpt := make([]float64, n+1)
+	for b := n - 1; b >= 0; b-- {
+		best := math.Inf(1)
+		for e := b; e < n && e-b < mps; e++ {
+			if c := t.SegmentCost(b, e) + suffixOpt[e+1]; c < best {
+				best = c
+			}
+		}
+		suffixOpt[b] = best
+	}
+
+	bestCost := math.Inf(1)
+	var bestSizes []int
+	cur := make([]int, 0, n)
+
+	var dfs func(i, a, k int, cost float64)
+	dfs = func(i, a, k int, cost float64) {
+		if i == n {
+			if k >= minK && cost < bestCost {
+				bestCost = cost
+				bestSizes = append(bestSizes[:0], cur...)
+			}
+			return
+		}
+		if k >= maxK {
+			return
+		}
+		// Lower bound: close the open segment at the cheapest feasible
+		// end, then complete optimally without count constraints.
+		lb := math.Inf(1)
+		for b := i; b < n && b-a < mps; b++ {
+			if c := t.SegmentCost(a, b) + suffixOpt[b+1]; c < lb {
+				lb = c
+			}
+		}
+		if cost+lb >= bestCost {
+			return
+		}
+		// Branch p_i = 1: close segment [a, i].
+		cur = append(cur, i-a+1)
+		dfs(i+1, i+1, k+1, cost+t.SegmentCost(a, i))
+		cur = cur[:len(cur)-1]
+		// Branch p_i = 0: extend, if width and the final boundary allow.
+		if i != n-1 && i-a+1 < mps {
+			dfs(i+1, a, k, cost)
+		}
+	}
+	dfs(0, 0, 0, t.FixedTotal())
+
+	if bestSizes == nil {
+		return Result{}, ErrInfeasible
+	}
+	return Result{Layout: costmodel.Layout{Sizes: bestSizes}, Cost: bestCost}, nil
+}

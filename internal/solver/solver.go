@@ -1,0 +1,356 @@
+// Package solver finds optimal column layouts: it minimizes the Eq. 16
+// workload cost over all partitionings of a column chunk, subject to the
+// SLA bounds of Eq. 21 (§5 of the paper).
+//
+// The paper linearizes the objective into a binary integer program (Eq. 20)
+// and solves it with the commercial Mosek solver. This package substitutes
+// an exact segmentation dynamic program: because the objective decomposes
+// into independent per-partition costs (see internal/costmodel), the DP
+// returns a provably optimal layout in
+//
+//	O(N·MPS)   with a read SLA (max partition size MPS),
+//	O(N²)      unconstrained, and
+//	O(N²·K)    with an update SLA (max K partitions).
+//
+// A branch-and-bound solver over the explicit Eq. 20 BIP model and a
+// brute-force enumerator cross-validate the DP in tests.
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"casper/internal/costmodel"
+	"casper/internal/iomodel"
+)
+
+// Options constrains the optimization (Eq. 21).
+type Options struct {
+	// MaxPartitionBlocks bounds the widest partition (read SLA). 0 means
+	// unconstrained.
+	MaxPartitionBlocks int
+	// MaxPartitions bounds the number of partitions (update/insert SLA).
+	// 0 means unconstrained.
+	MaxPartitions int
+	// MinPartitions forces at least this many partitions; used by the
+	// experiment harness to hold the partition count comparable across
+	// layout strategies. 0 means unconstrained. Values above the block
+	// count clamp to one partition per block (chunks smaller than the
+	// budget simply use their finest layout).
+	MinPartitions int
+}
+
+// ErrInfeasible is returned when no layout satisfies the constraints (e.g.
+// MaxPartitions · MaxPartitionBlocks < N).
+var ErrInfeasible = errors.New("solver: constraints are infeasible")
+
+// Result is an optimization outcome.
+type Result struct {
+	Layout costmodel.Layout
+	// Cost is the Eq. 16 objective value of Layout (including the fixed,
+	// partitioning-independent part).
+	Cost float64
+}
+
+// ReadSLAToMaxBlocks converts a point-query latency SLA (ns) to the widest
+// admissible partition in blocks. A partition of s blocks costs
+// RR + SR·(s−1) (Eq. 7 with the partition fully scanned), so
+// s ≤ (readSLA − RR)/SR + 1. Returns ErrInfeasible when even a single-block
+// partition violates the SLA.
+func ReadSLAToMaxBlocks(readSLA float64, p iomodel.CostParams) (int, error) {
+	if readSLA < p.RR {
+		return 0, fmt.Errorf("%w: read SLA %.1fns below one random read (%.1fns)", ErrInfeasible, readSLA, p.RR)
+	}
+	return int((readSLA-p.RR)/p.SR) + 1, nil
+}
+
+// UpdateSLAToMaxPartitions converts an insert/update latency SLA (ns) to the
+// maximum admissible partition count (Eq. 21): the most expensive insert
+// ripples through all k partitions at cost (RR+RW)·(1+k).
+func UpdateSLAToMaxPartitions(updateSLA float64, p iomodel.CostParams) (int, error) {
+	k := int(updateSLA/(p.RR+p.RW)) - 1
+	if k < 1 {
+		return 0, fmt.Errorf("%w: update SLA %.1fns below one ripple step (%.1fns)", ErrInfeasible, updateSLA, p.RR+p.RW)
+	}
+	return k, nil
+}
+
+// Optimize returns a minimum-cost layout for the given cost terms subject to
+// opts. The result is exactly optimal (not a relaxation).
+func Optimize(t *costmodel.Terms, opts Options) (Result, error) {
+	n := t.Blocks()
+	mps := opts.MaxPartitionBlocks
+	if mps <= 0 || mps > n {
+		mps = n
+	}
+	minK, maxK := opts.MinPartitions, opts.MaxPartitions
+	if maxK <= 0 || maxK > n {
+		maxK = n
+	}
+	if minK < 0 {
+		minK = 0
+	}
+	if minK > n {
+		minK = n
+	}
+	if minK > maxK || maxK*mps < n {
+		return Result{}, fmt.Errorf("%w: N=%d, maxPartitionBlocks=%d, partitions in [%d,%d]",
+			ErrInfeasible, n, mps, minK, maxK)
+	}
+	if minK == 0 && maxK >= n {
+		return optimizeUnbounded(t, mps), nil
+	}
+	return optimizeBoundedPartitions(t, mps, minK, maxK)
+}
+
+// optimizeUnbounded runs the O(N·MPS) DP with no partition-count constraint.
+func optimizeUnbounded(t *costmodel.Terms, mps int) Result {
+	n := t.Blocks()
+	dp := make([]float64, n+1) // dp[b] = best cost of blocks [0,b)
+	prev := make([]int, n+1)   // prev[b] = start of the last partition
+	for b := 1; b <= n; b++ {
+		dp[b] = math.Inf(1)
+		lo := b - mps
+		if lo < 0 {
+			lo = 0
+		}
+		for a := lo; a < b; a++ {
+			c := dp[a] + t.SegmentCost(a, b-1)
+			if c < dp[b] {
+				dp[b] = c
+				prev[b] = a
+			}
+		}
+	}
+	return Result{
+		Layout: traceback(prev, n),
+		Cost:   dp[n] + t.FixedTotal(),
+	}
+}
+
+// optimizeBoundedPartitions runs the exact DP with a partition-count
+// dimension: dp[k][b] = best cost of blocks [0,b) using exactly k
+// partitions.
+func optimizeBoundedPartitions(t *costmodel.Terms, mps, minK, maxK int) (Result, error) {
+	n := t.Blocks()
+	const inf = math.MaxFloat64
+	cur := make([]float64, n+1)
+	next := make([]float64, n+1)
+	// prevStart[k][b] for traceback; kept as flat slices of int32 to bound
+	// memory at maxK·(n+1)·4 bytes.
+	prevStart := make([][]int32, maxK+1)
+	for i := range cur {
+		cur[i] = inf
+	}
+	cur[0] = 0
+
+	bestCost := inf
+	bestK := -1
+	for k := 1; k <= maxK; k++ {
+		ps := make([]int32, n+1)
+		for b := 0; b <= n; b++ {
+			next[b] = inf
+			ps[b] = -1
+		}
+		for b := 1; b <= n; b++ {
+			lo := b - mps
+			if lo < 0 {
+				lo = 0
+			}
+			for a := lo; a < b; a++ {
+				if cur[a] == inf {
+					continue
+				}
+				c := cur[a] + t.SegmentCost(a, b-1)
+				if c < next[b] {
+					next[b] = c
+					ps[b] = int32(a)
+				}
+			}
+		}
+		prevStart[k] = ps
+		if k >= minK && next[n] < bestCost {
+			bestCost = next[n]
+			bestK = k
+		}
+		cur, next = next, cur
+	}
+	if bestK < 0 {
+		return Result{}, fmt.Errorf("%w: no layout with %d..%d partitions of ≤%d blocks covers %d blocks",
+			ErrInfeasible, minK, maxK, mps, n)
+	}
+	// Traceback through the k dimension.
+	sizes := make([]int, 0, bestK)
+	b := n
+	for k := bestK; k >= 1; k-- {
+		a := int(prevStart[k][b])
+		sizes = append(sizes, b-a)
+		b = a
+	}
+	// Reverse into forward order.
+	for i, j := 0, len(sizes)-1; i < j; i, j = i+1, j-1 {
+		sizes[i], sizes[j] = sizes[j], sizes[i]
+	}
+	return Result{
+		Layout: costmodel.Layout{Sizes: sizes},
+		Cost:   bestCost + t.FixedTotal(),
+	}, nil
+}
+
+func traceback(prev []int, n int) costmodel.Layout {
+	var rev []int
+	for b := n; b > 0; {
+		a := prev[b]
+		rev = append(rev, b-a)
+		b = a
+	}
+	sizes := make([]int, len(rev))
+	for i := range rev {
+		sizes[i] = rev[len(rev)-1-i]
+	}
+	return costmodel.Layout{Sizes: sizes}
+}
+
+// OptimizeLagrangian approximately enforces a partition budget by charging a
+// penalty λ per boundary and binary-searching λ until the unconstrained DP
+// uses at most maxPartitions. It runs in O(N·MPS·log) and is useful for very
+// large chunks; Optimize remains the exact reference.
+func OptimizeLagrangian(t *costmodel.Terms, mps, maxPartitions int) (Result, error) {
+	n := t.Blocks()
+	if mps <= 0 || mps > n {
+		mps = n
+	}
+	if maxPartitions <= 0 || maxPartitions > n {
+		maxPartitions = n
+	}
+	if maxPartitions*mps < n {
+		return Result{}, fmt.Errorf("%w: %d partitions of ≤%d blocks cannot cover %d blocks",
+			ErrInfeasible, maxPartitions, mps, n)
+	}
+	run := func(lambda float64) Result {
+		dp := make([]float64, n+1)
+		prev := make([]int, n+1)
+		for b := 1; b <= n; b++ {
+			dp[b] = math.Inf(1)
+			lo := b - mps
+			if lo < 0 {
+				lo = 0
+			}
+			for a := lo; a < b; a++ {
+				c := dp[a] + t.SegmentCost(a, b-1) + lambda
+				if c < dp[b] {
+					dp[b] = c
+					prev[b] = a
+				}
+			}
+		}
+		l := traceback(prev, n)
+		return Result{Layout: l, Cost: t.Cost(l.Boundaries())}
+	}
+	res := run(0)
+	if res.Layout.Partitions() <= maxPartitions {
+		return res, nil
+	}
+	lo, hi := 0.0, 1.0
+	for run(hi).Layout.Partitions() > maxPartitions {
+		hi *= 2
+		if hi > 1e18 {
+			return Result{}, fmt.Errorf("%w: penalty search diverged", ErrInfeasible)
+		}
+	}
+	best := run(hi)
+	for iter := 0; iter < 60; iter++ {
+		mid := (lo + hi) / 2
+		r := run(mid)
+		if r.Layout.Partitions() <= maxPartitions {
+			hi = mid
+			if r.Cost < best.Cost {
+				best = r
+			}
+		} else {
+			lo = mid
+		}
+	}
+	return best, nil
+}
+
+// Enumerate exhaustively searches all 2^(N−1) partitionings; it exists to
+// validate the DP in tests. Practical only for small N.
+func Enumerate(t *costmodel.Terms, opts Options) (Result, error) {
+	n := t.Blocks()
+	if n > 22 {
+		return Result{}, fmt.Errorf("solver: refusing to enumerate N=%d > 22", n)
+	}
+	mps := opts.MaxPartitionBlocks
+	if mps <= 0 {
+		mps = n
+	}
+	maxK, minK := opts.MaxPartitions, opts.MinPartitions
+	if maxK <= 0 {
+		maxK = n
+	}
+	best := Result{Cost: math.Inf(1)}
+	p := make([]bool, n)
+	p[n-1] = true
+	var found bool
+	for mask := 0; mask < 1<<(n-1); mask++ {
+		for i := 0; i < n-1; i++ {
+			p[i] = mask&(1<<i) != 0
+		}
+		l := costmodel.FromBoundaries(p)
+		if l.Partitions() > maxK || l.Partitions() < minK {
+			continue
+		}
+		ok := true
+		for _, s := range l.Sizes {
+			if s > mps {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if c := t.Cost(p); c < best.Cost {
+			best = Result{Layout: l, Cost: c}
+			found = true
+		}
+	}
+	if !found {
+		return Result{}, ErrInfeasible
+	}
+	return best, nil
+}
+
+// ChunkResult pairs a chunk index with its optimization result.
+type ChunkResult struct {
+	Chunk  int
+	Result Result
+	Err    error
+}
+
+// OptimizeChunks optimizes every chunk independently with up to parallelism
+// concurrent workers, exploiting the embarrassing parallelism of §6.3.
+// Results are returned in chunk order.
+func OptimizeChunks(terms []*costmodel.Terms, opts Options, parallelism int) []ChunkResult {
+	if parallelism <= 0 {
+		parallelism = 1
+	}
+	results := make([]ChunkResult, len(terms))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, parallelism)
+	for i, t := range terms {
+		wg.Add(1)
+		go func(i int, t *costmodel.Terms) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r, err := Optimize(t, opts)
+			results[i] = ChunkResult{Chunk: i, Result: r, Err: err}
+		}(i, t)
+	}
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,362 @@
+package solver
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"casper/internal/costmodel"
+	"casper/internal/freq"
+	"casper/internal/iomodel"
+)
+
+func randomModel(n int, seed int64) *freq.Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := freq.NewModel(n)
+	ops := 5 * n
+	for i := 0; i < ops; i++ {
+		switch rng.Intn(5) {
+		case 0:
+			m.RecordPointQuery(rng.Intn(n))
+		case 1:
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a > b {
+				a, b = b, a
+			}
+			m.RecordRangeQuery(a, b)
+		case 2:
+			m.RecordInsert(rng.Intn(n))
+		case 3:
+			m.RecordDelete(rng.Intn(n))
+		case 4:
+			m.RecordUpdate(rng.Intn(n), rng.Intn(n))
+		}
+	}
+	return m
+}
+
+func randomTerms(n int, seed int64) *costmodel.Terms {
+	return costmodel.Compute(randomModel(n, seed), iomodel.DefaultParams())
+}
+
+func checkLayoutCovers(t *testing.T, l costmodel.Layout, n int) {
+	t.Helper()
+	if err := l.Validate(); err != nil {
+		t.Fatalf("invalid layout: %v", err)
+	}
+	sum := 0
+	for _, s := range l.Sizes {
+		sum += s
+	}
+	if sum != n {
+		t.Fatalf("layout covers %d blocks, want %d (%v)", sum, n, l.Sizes)
+	}
+}
+
+func TestOptimizeMatchesEnumeration(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		n := 4 + int(seed)%9
+		terms := randomTerms(n, seed)
+		got, err := Optimize(terms, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want, err := Enumerate(terms, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if math.Abs(got.Cost-want.Cost) > 1e-6*(1+math.Abs(want.Cost)) {
+			t.Errorf("seed %d: DP cost %v != enumerated optimum %v", seed, got.Cost, want.Cost)
+		}
+		checkLayoutCovers(t, got.Layout, n)
+		// The reported cost must equal the evaluated cost of the layout.
+		if c := terms.Cost(got.Layout.Boundaries()); math.Abs(c-got.Cost) > 1e-6*(1+math.Abs(c)) {
+			t.Errorf("seed %d: reported %v, layout evaluates to %v", seed, got.Cost, c)
+		}
+	}
+}
+
+func TestOptimizeWithMaxPartitionBlocks(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		n := 8 + int(seed)
+		terms := randomTerms(n, seed+100)
+		mps := 3
+		got, err := Optimize(terms, Options{MaxPartitionBlocks: mps})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, s := range got.Layout.Sizes {
+			if s > mps {
+				t.Fatalf("seed %d: partition of %d blocks exceeds MPS %d", seed, s, mps)
+			}
+		}
+		want, err := Enumerate(terms, Options{MaxPartitionBlocks: mps})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if math.Abs(got.Cost-want.Cost) > 1e-6*(1+math.Abs(want.Cost)) {
+			t.Errorf("seed %d: DP %v != enum %v", seed, got.Cost, want.Cost)
+		}
+	}
+}
+
+func TestOptimizeWithMaxPartitions(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		n := 8 + int(seed)
+		terms := randomTerms(n, seed+200)
+		maxK := 2 + int(seed)%3
+		got, err := Optimize(terms, Options{MaxPartitions: maxK})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got.Layout.Partitions() > maxK {
+			t.Fatalf("seed %d: %d partitions exceeds limit %d", seed, got.Layout.Partitions(), maxK)
+		}
+		want, err := Enumerate(terms, Options{MaxPartitions: maxK})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if math.Abs(got.Cost-want.Cost) > 1e-6*(1+math.Abs(want.Cost)) {
+			t.Errorf("seed %d: DP %v != enum %v", seed, got.Cost, want.Cost)
+		}
+	}
+}
+
+func TestOptimizeWithMinPartitions(t *testing.T) {
+	// Insert-heavy workloads want one partition; MinPartitions forces more.
+	n := 10
+	m := freq.NewModel(n)
+	for i := 0; i < n; i++ {
+		m.IN[i] = 100
+	}
+	terms := costmodel.Compute(m, iomodel.DefaultParams())
+	free, err := Optimize(terms, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.Layout.Partitions() != 1 {
+		t.Fatalf("insert-only optimum should be 1 partition, got %d", free.Layout.Partitions())
+	}
+	forced, err := Optimize(terms, Options{MinPartitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forced.Layout.Partitions() < 4 {
+		t.Fatalf("MinPartitions violated: %d < 4", forced.Layout.Partitions())
+	}
+	if forced.Cost < free.Cost {
+		t.Errorf("constrained cost %v cannot beat unconstrained %v", forced.Cost, free.Cost)
+	}
+}
+
+func TestOptimizeCombinedConstraintsMatchEnumeration(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		n := 9 + int(seed)%4
+		terms := randomTerms(n, seed+300)
+		opts := Options{MaxPartitionBlocks: 4, MaxPartitions: 5, MinPartitions: 3}
+		got, gotErr := Optimize(terms, opts)
+		want, wantErr := Enumerate(terms, opts)
+		if (gotErr != nil) != (wantErr != nil) {
+			t.Fatalf("seed %d: err mismatch %v vs %v", seed, gotErr, wantErr)
+		}
+		if gotErr != nil {
+			continue
+		}
+		if math.Abs(got.Cost-want.Cost) > 1e-6*(1+math.Abs(want.Cost)) {
+			t.Errorf("seed %d: DP %v != enum %v", seed, got.Cost, want.Cost)
+		}
+	}
+}
+
+func TestOptimizeInfeasible(t *testing.T) {
+	terms := randomTerms(10, 1)
+	_, err := Optimize(terms, Options{MaxPartitionBlocks: 2, MaxPartitions: 3})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+	_, err = Optimize(terms, Options{MinPartitions: 5, MaxPartitions: 3})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible for MinPartitions>MaxPartitions, got %v", err)
+	}
+	// MinPartitions beyond the block count clamps to the finest layout.
+	r, err := Optimize(terms, Options{MinPartitions: 11})
+	if err != nil {
+		t.Fatalf("MinPartitions>N should clamp, got %v", err)
+	}
+	if r.Layout.Partitions() != 10 {
+		t.Fatalf("clamped layout has %d partitions, want 10", r.Layout.Partitions())
+	}
+}
+
+func TestOptimizeBeatsOrMatchesHeuristicLayouts(t *testing.T) {
+	// The optimum must be ≤ the cost of every heuristic layout.
+	for seed := int64(0); seed < 10; seed++ {
+		n := 24
+		terms := randomTerms(n, seed+400)
+		opt, err := Optimize(terms, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{1, 2, 3, 4, 6, 8, 12, 24} {
+			c := terms.Cost(costmodel.EquiWidth(n, k).Boundaries())
+			if opt.Cost > c+1e-6 {
+				t.Errorf("seed %d: optimum %v worse than equi-width k=%d (%v)", seed, opt.Cost, k, c)
+			}
+		}
+	}
+}
+
+func TestLagrangianRespectsBudgetAndNearOptimal(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		n := 30
+		terms := randomTerms(n, seed+500)
+		maxK := 5
+		lag, err := OptimizeLagrangian(terms, 0, maxK)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lag.Layout.Partitions() > maxK {
+			t.Fatalf("lagrangian used %d partitions > %d", lag.Layout.Partitions(), maxK)
+		}
+		exact, err := Optimize(terms, Options{MaxPartitions: maxK})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lag.Cost < exact.Cost-1e-6 {
+			t.Fatalf("lagrangian %v beat exact %v — impossible", lag.Cost, exact.Cost)
+		}
+		if lag.Cost > exact.Cost*1.10+1e-6 {
+			t.Errorf("seed %d: lagrangian %v more than 10%% above exact %v", seed, lag.Cost, exact.Cost)
+		}
+	}
+}
+
+func TestSLAConversions(t *testing.T) {
+	p := iomodel.DefaultParams()
+	mps, err := ReadSLAToMaxBlocks(p.RR+3*p.SR, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mps != 4 {
+		t.Errorf("MPS = %d, want 4", mps)
+	}
+	if _, err := ReadSLAToMaxBlocks(p.RR/2, p); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("sub-RR read SLA should be infeasible, got %v", err)
+	}
+	k, err := UpdateSLAToMaxPartitions(5*(p.RR+p.RW), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 4 {
+		t.Errorf("maxK = %d, want 4", k)
+	}
+	if _, err := UpdateSLAToMaxPartitions(p.RR, p); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("sub-ripple update SLA should be infeasible, got %v", err)
+	}
+}
+
+func TestTighterUpdateSLAMonotonicallyFewerPartitions(t *testing.T) {
+	// Fig. 15's mechanism: decreasing the insert SLA decreases the number
+	// of partitions the optimizer may use.
+	terms := randomTerms(40, 42)
+	prevParts := math.MaxInt32
+	p := iomodel.DefaultParams()
+	for _, slaMul := range []float64{40, 20, 10, 5, 3} {
+		maxK, err := UpdateSLAToMaxPartitions(slaMul*(p.RR+p.RW), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Optimize(terms, Options{MaxPartitions: maxK})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Layout.Partitions() > prevParts {
+			t.Errorf("partitions grew (%d -> %d) as SLA tightened", prevParts, r.Layout.Partitions())
+		}
+		if r.Layout.Partitions() > maxK {
+			t.Errorf("SLA violated: %d > %d", r.Layout.Partitions(), maxK)
+		}
+		prevParts = r.Layout.Partitions()
+	}
+}
+
+func TestBIPObjectiveMatchesEq16(t *testing.T) {
+	// The Eq. 20 linearization must agree with Eq. 16 on every assignment.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(10)
+		terms := randomTerms(n, int64(trial+600))
+		model := BuildBIP(terms)
+		p := make([]bool, n)
+		for i := range p {
+			p[i] = rng.Intn(2) == 0
+		}
+		p[n-1] = true
+		if got, want := model.Objective(p), terms.Cost(p); math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("n=%d: BIP objective %v != Eq.16 cost %v", n, got, want)
+		}
+	}
+}
+
+func TestBIPModelShape(t *testing.T) {
+	terms := randomTerms(6, 1)
+	m := BuildBIP(terms)
+	if got, want := m.NumVariables(), 6+21; got != want {
+		t.Errorf("variables = %d, want %d", got, want)
+	}
+	if m.NumConstraints() <= 0 {
+		t.Error("constraint count must be positive")
+	}
+}
+
+func TestSolveBIPMatchesDP(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		n := 5 + int(seed)
+		terms := randomTerms(n, seed+700)
+		for _, opts := range []Options{
+			{},
+			{MaxPartitionBlocks: 3},
+			{MaxPartitions: 3},
+			{MaxPartitionBlocks: 4, MaxPartitions: 4, MinPartitions: 2},
+		} {
+			dp, dpErr := Optimize(terms, opts)
+			bb, bbErr := SolveBIP(terms, opts)
+			if (dpErr != nil) != (bbErr != nil) {
+				t.Fatalf("seed %d opts %+v: err mismatch %v vs %v", seed, opts, dpErr, bbErr)
+			}
+			if dpErr != nil {
+				continue
+			}
+			if math.Abs(dp.Cost-bb.Cost) > 1e-6*(1+math.Abs(dp.Cost)) {
+				t.Errorf("seed %d opts %+v: DP %v != BIP %v", seed, opts, dp.Cost, bb.Cost)
+			}
+		}
+	}
+}
+
+func TestOptimizeChunksParallel(t *testing.T) {
+	terms := make([]*costmodel.Terms, 8)
+	for i := range terms {
+		terms[i] = randomTerms(16, int64(i+800))
+	}
+	serial := OptimizeChunks(terms, Options{}, 1)
+	parallel := OptimizeChunks(terms, Options{}, 4)
+	for i := range terms {
+		if serial[i].Err != nil || parallel[i].Err != nil {
+			t.Fatalf("chunk %d: errs %v / %v", i, serial[i].Err, parallel[i].Err)
+		}
+		if serial[i].Result.Cost != parallel[i].Result.Cost {
+			t.Errorf("chunk %d: serial %v != parallel %v", i, serial[i].Result.Cost, parallel[i].Result.Cost)
+		}
+		if parallel[i].Chunk != i {
+			t.Errorf("chunk order broken: got %d at %d", parallel[i].Chunk, i)
+		}
+	}
+}
+
+func TestEnumerateRefusesLargeN(t *testing.T) {
+	if _, err := Enumerate(randomTerms(23, 1), Options{}); err == nil {
+		t.Fatal("expected refusal for N=23")
+	}
+}

@@ -1,0 +1,383 @@
+package table
+
+import (
+	"math/rand"
+	"testing"
+
+	"casper/internal/workload"
+)
+
+func testConfig(mode Mode) Config {
+	return Config{
+		Mode:        mode,
+		PayloadCols: 4,
+		ChunkValues: 512,
+		BlockValues: 32,
+		GhostFrac:   0.01,
+		Partitions:  8,
+	}
+}
+
+func buildTable(t *testing.T, mode Mode, n int) *Table {
+	t.Helper()
+	keys := workload.UniformKeys(n, int64(n)*10, 21)
+	tb, err := New(keys, testConfig(mode), nil)
+	if err != nil {
+		t.Fatalf("New(%v): %v", mode, err)
+	}
+	return tb
+}
+
+func TestNewAllModes(t *testing.T) {
+	for _, mode := range Modes() {
+		tb := buildTable(t, mode, 2000)
+		if tb.Len() != 2000 {
+			t.Errorf("%v: Len = %d, want 2000", mode, tb.Len())
+		}
+		if tb.Chunks() < 2 {
+			t.Errorf("%v: chunks = %d, want >= 2", mode, tb.Chunks())
+		}
+	}
+}
+
+func TestNewRejectsEmpty(t *testing.T) {
+	if _, err := New(nil, testConfig(NoOrder), nil); err == nil {
+		t.Fatal("empty key set accepted")
+	}
+}
+
+// TestAllModesAgreeOnWorkload runs an identical operation stream through
+// every layout mode and requires identical query answers — the layouts are
+// interchangeable access paths over the same logical relation.
+func TestAllModesAgreeOnWorkload(t *testing.T) {
+	keys := workload.UniformKeys(3000, 30_000, 33)
+	spec, err := workload.Preset(workload.HybridSkewed, 2500, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Mix = append(spec.Mix,
+		workload.MixEntry{Kind: workload.Q2RangeCount, Frac: 0.1, Access: workload.Uniform},
+		workload.MixEntry{Kind: workload.Q3RangeSum, Frac: 0.1, Access: workload.Uniform},
+		workload.MixEntry{Kind: workload.Q5Delete, Frac: 0.05, Access: workload.Uniform},
+	)
+	ops, err := workload.Generate(keys, 30_000, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var reference []int64
+	var refMode Mode
+	for i, mode := range Modes() {
+		tb, err := New(keys, testConfig(mode), nil)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if mode == Casper {
+			if err := tb.TrainLayout(ops[:500], 2); err != nil {
+				t.Fatalf("TrainLayout: %v", err)
+			}
+		}
+		results := make([]int64, len(ops))
+		for j, op := range ops {
+			results[j] = tb.Execute(op)
+		}
+		if i == 0 {
+			reference = results
+			refMode = mode
+			continue
+		}
+		for j := range results {
+			if results[j] != reference[j] {
+				t.Fatalf("%v diverges from %v at op %d (%+v): %d vs %d",
+					mode, refMode, j, ops[j], results[j], reference[j])
+			}
+		}
+	}
+}
+
+func TestPointAndRangeQueries(t *testing.T) {
+	keys := []int64{5, 10, 10, 20, 30, 40, 50, 60, 70, 80}
+	for _, mode := range Modes() {
+		tb, err := New(keys, Config{Mode: mode, PayloadCols: 2, ChunkValues: 100, BlockValues: 2, Partitions: 3}, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if got := tb.PointQuery(10); got != 2 {
+			t.Errorf("%v: PointQuery(10) = %d, want 2", mode, got)
+		}
+		if got := tb.RangeCount(10, 50); got != 6 {
+			t.Errorf("%v: RangeCount(10,50) = %d, want 6", mode, got)
+		}
+		if got := tb.RangeSum(10, 50); got != 160 {
+			t.Errorf("%v: RangeSum(10,50) = %d, want 160", mode, got)
+		}
+	}
+}
+
+func TestInsertDeleteUpdateAcrossChunks(t *testing.T) {
+	keys := make([]int64, 1000)
+	for i := range keys {
+		keys[i] = int64(i)
+	}
+	for _, mode := range Modes() {
+		cfg := testConfig(mode)
+		cfg.ChunkValues = 250
+		tb, err := New(keys, cfg, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if tb.Chunks() != 4 {
+			t.Fatalf("%v: chunks = %d, want 4", mode, tb.Chunks())
+		}
+		// Cross-chunk update: key 10 (chunk 0) → 900 (chunk 3).
+		if err := tb.UpdateKey(10, 900); err != nil {
+			t.Fatalf("%v: UpdateKey: %v", mode, err)
+		}
+		if got := tb.PointQuery(10); got != 0 {
+			t.Errorf("%v: old key still present", mode)
+		}
+		if got := tb.PointQuery(900); got != 2 {
+			t.Errorf("%v: PointQuery(900) = %d, want 2", mode, got)
+		}
+		if tb.Len() != 1000 {
+			t.Errorf("%v: Len = %d, want 1000", mode, tb.Len())
+		}
+		// Delete and insert.
+		if err := tb.Delete(500); err != nil {
+			t.Fatalf("%v: Delete: %v", mode, err)
+		}
+		tb.Insert(500)
+		if tb.Len() != 1000 {
+			t.Errorf("%v: Len after delete+insert = %d", mode, tb.Len())
+		}
+	}
+}
+
+func TestUpdatePreservesPayload(t *testing.T) {
+	keys := make([]int64, 400)
+	for i := range keys {
+		keys[i] = int64(i) * 3
+	}
+	gen := func(key int64, col int) int32 { return int32(key*100) + int32(col) }
+	for _, mode := range Modes() {
+		cfg := testConfig(mode)
+		cfg.ChunkValues = 100
+		tb, err := New(keys, cfg, gen)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		// Same-chunk update.
+		if err := tb.UpdateKey(30, 31); err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if got, ok := tb.Payload(31, 2); !ok || got != 30*100+2 {
+			t.Errorf("%v: payload after same-chunk update = %d,%v, want %d", mode, got, ok, 30*100+2)
+		}
+		// Cross-chunk update (key 60 in chunk 0; 901 is absent and routes
+		// to the last chunk).
+		if err := tb.UpdateKey(60, 901); err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if got, ok := tb.Payload(901, 1); !ok || got != 60*100+1 {
+			t.Errorf("%v: payload after cross-chunk update = %d,%v, want %d", mode, got, ok, 60*100+1)
+		}
+	}
+}
+
+func TestMultiRangeSum(t *testing.T) {
+	keys := make([]int64, 100)
+	for i := range keys {
+		keys[i] = int64(i)
+	}
+	gen := func(key int64, col int) int32 {
+		if col == 0 {
+			return int32(key % 10) // filter column
+		}
+		return int32(key) // sum column
+	}
+	for _, mode := range Modes() {
+		tb, err := New(keys, Config{Mode: mode, PayloadCols: 2, ChunkValues: 1000, BlockValues: 8, Partitions: 4}, gen)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		// Keys 20..39 with key%10 in [2,4]: 22,23,24,32,33,34.
+		got := tb.MultiRangeSum(20, 39, []PayloadFilter{{Col: 0, Lo: 2, Hi: 4}}, 1)
+		want := int64(22 + 23 + 24 + 32 + 33 + 34)
+		if got != want {
+			t.Errorf("%v: MultiRangeSum = %d, want %d", mode, got, want)
+		}
+	}
+}
+
+func TestTrainLayoutAdaptsToSkew(t *testing.T) {
+	// Point queries hammer the high domain; inserts hammer the low
+	// domain. Casper should use narrow partitions where reads land and
+	// give ghost slots where inserts land.
+	keys := make([]int64, 2048)
+	for i := range keys {
+		keys[i] = int64(i)
+	}
+	cfg := Config{
+		Mode:        Casper,
+		PayloadCols: 1,
+		ChunkValues: 4096, // single chunk
+		BlockValues: 64,
+		GhostFrac:   0.05,
+		Partitions:  16,
+	}
+	tb, err := New(keys, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reads must outweigh insert ripple cost for fine partitioning to pay
+	// off: point queries outnumber inserts 10:1 (Fig. 2a's trade-off).
+	var sample []workload.Op
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 4000; i++ {
+		sample = append(sample, workload.Op{Kind: workload.Q1PointQuery, Key: 1536 + int64(rng.Intn(512))})
+		if i%10 == 0 {
+			sample = append(sample, workload.Op{Kind: workload.Q4Insert, Key: int64(rng.Intn(512))})
+		}
+	}
+	if err := tb.TrainLayout(sample, 1); err != nil {
+		t.Fatal(err)
+	}
+	ls := tb.Layouts()
+	if len(ls) != 1 {
+		t.Fatalf("layouts = %d, want 1", len(ls))
+	}
+	l := ls[0]
+	if l.Partitions > 16 {
+		t.Errorf("partition budget violated: %d > 16", l.Partitions)
+	}
+	if l.Partitions < 2 {
+		t.Fatalf("optimizer kept a single partition: %v", l.Sizes)
+	}
+	// Ghost slots should concentrate where inserts land (low domain).
+	// Sizes and the positions derived from them are in values.
+	var earlyGhosts, lateGhosts, covered int
+	for j, size := range l.Sizes {
+		mid := covered + size/2
+		if mid < 1024 {
+			earlyGhosts += l.Ghosts[j]
+		} else {
+			lateGhosts += l.Ghosts[j]
+		}
+		covered += size
+	}
+	if earlyGhosts <= lateGhosts {
+		t.Errorf("ghosts not skewed to insert region: early=%d late=%d", earlyGhosts, lateGhosts)
+	}
+	// Partitions in the read-heavy region should be narrower on average
+	// than in the insert-heavy region.
+	var readVals, readParts, restVals, restParts int
+	covered = 0
+	for _, size := range l.Sizes {
+		mid := covered + size/2
+		if mid >= 1536 {
+			readVals += size
+			readParts++
+		} else {
+			restVals += size
+			restParts++
+		}
+		covered += size
+	}
+	if readParts == 0 || restParts == 0 {
+		t.Fatalf("unexpected layout %v", l.Sizes)
+	}
+	readAvg := float64(readVals) / float64(readParts)
+	restAvg := float64(restVals) / float64(restParts)
+	if readAvg >= restAvg {
+		t.Errorf("read-region partitions (%v values avg) should be narrower than the rest (%v)",
+			readAvg, restAvg)
+	}
+}
+
+func TestTrainLayoutRequiresCasper(t *testing.T) {
+	tb := buildTable(t, Equi, 500)
+	if err := tb.TrainLayout(nil, 1); err == nil {
+		t.Fatal("TrainLayout accepted on Equi table")
+	}
+}
+
+func TestTrainLayoutPreservesData(t *testing.T) {
+	keys := workload.UniformKeys(1500, 15_000, 8)
+	cfg := testConfig(Casper)
+	tb, err := New(keys, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := workload.Preset(workload.HybridSkewed, 1000, 3)
+	sample, _ := workload.Generate(keys, 15_000, spec)
+	before := tb.RangeSum(0, 15_000)
+	if err := tb.TrainLayout(sample, 2); err != nil {
+		t.Fatal(err)
+	}
+	if after := tb.RangeSum(0, 15_000); after != before {
+		t.Fatalf("data changed across retrain: %d -> %d", before, after)
+	}
+	if tb.Len() != 1500 {
+		t.Fatalf("Len = %d, want 1500", tb.Len())
+	}
+}
+
+func TestExecuteParallelMatchesSerial(t *testing.T) {
+	keys := workload.UniformKeys(2000, 20_000, 44)
+	spec, _ := workload.Preset(workload.ReadOnlyUniform, 2000, 6)
+	ops, err := workload.Generate(keys, 20_000, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read-only ops commute, so parallel and serial sums must match.
+	var readOnly []workload.Op
+	for _, op := range ops {
+		if op.Kind == workload.Q1PointQuery || op.Kind == workload.Q2RangeCount {
+			readOnly = append(readOnly, op)
+		}
+	}
+	tb := buildTable(t, Casper, 2000)
+	serial := tb.ExecuteAll(readOnly)
+	parallel := tb.ExecuteParallel(readOnly, 4)
+	if serial != parallel {
+		t.Fatalf("parallel sum %d != serial %d", parallel, serial)
+	}
+}
+
+func TestParallelMixedWorkloadIsRaceFree(t *testing.T) {
+	// Run under -race: concurrent mixed operations must not race even
+	// though results are order-dependent.
+	keys := workload.UniformKeys(2000, 20_000, 45)
+	spec, _ := workload.Preset(workload.HybridSkewed, 3000, 7)
+	ops, err := workload.Generate(keys, 20_000, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []Mode{Casper, StateOfArt} {
+		cfg := testConfig(mode)
+		tb, err := New(keys, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb.ExecuteParallel(ops, 4)
+	}
+}
+
+func TestDuplicateRunsCrossingChunkBoundary(t *testing.T) {
+	keys := make([]int64, 0, 600)
+	for i := 0; i < 200; i++ {
+		keys = append(keys, 1)
+	}
+	for i := 0; i < 400; i++ {
+		keys = append(keys, int64(i+10))
+	}
+	cfg := testConfig(Casper)
+	cfg.ChunkValues = 128
+	tb, err := New(keys, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.PointQuery(1); got != 200 {
+		t.Fatalf("PointQuery(1) = %d, want 200 (duplicates split across chunks)", got)
+	}
+}

@@ -1,0 +1,250 @@
+// Package txn provides snapshot-isolation transactions via multi-version
+// concurrency control, following §6.1 of the paper: every transaction reads
+// a snapshot as of its begin timestamp, buffers writes locally, and at
+// commit time the first committer wins — concurrent writers of the same row
+// abort and roll back.
+//
+// The manager versions logical rows identified by int64 keys. The storage
+// engine applies committed writes to the physical column layout after
+// commit, so long-running analytical scans never observe partial
+// transactions.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Errors returned by Commit and transaction operations.
+var (
+	// ErrConflict reports a write-write conflict: another transaction
+	// committed a version of a written row after this transaction began.
+	ErrConflict = errors.New("txn: write-write conflict")
+	// ErrClosed reports use of a committed or aborted transaction.
+	ErrClosed = errors.New("txn: transaction is closed")
+)
+
+// Status is a transaction's lifecycle state.
+type Status int
+
+const (
+	Active Status = iota
+	Committed
+	Aborted
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Committed:
+		return "committed"
+	case Aborted:
+		return "aborted"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// version is one committed value of a row.
+type version struct {
+	commitTS uint64
+	value    int64
+	deleted  bool
+}
+
+// write is a buffered, uncommitted mutation.
+type write struct {
+	value   int64
+	deleted bool
+}
+
+// Manager is the timestamp oracle plus version store.
+type Manager struct {
+	mu       sync.Mutex
+	clock    uint64
+	versions map[int64][]version // per row, ascending commitTS
+}
+
+// NewManager returns an empty manager.
+func NewManager() *Manager {
+	return &Manager{versions: make(map[int64][]version)}
+}
+
+// Seed installs an initial committed version for key at timestamp 0, used to
+// load existing data without running transactions.
+func (m *Manager) Seed(key, value int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.versions[key] = append(m.versions[key], version{commitTS: 0, value: value})
+}
+
+// Txn is one transaction. It is not safe for concurrent use by multiple
+// goroutines; different transactions may run concurrently.
+type Txn struct {
+	m      *Manager
+	readTS uint64
+	writes map[int64]write
+	status Status
+}
+
+// Begin starts a transaction reading the current snapshot.
+func (m *Manager) Begin() *Txn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return &Txn{
+		m:      m,
+		readTS: m.clock,
+		writes: make(map[int64]write),
+		status: Active,
+	}
+}
+
+// Status returns the transaction's state.
+func (t *Txn) Status() Status { return t.status }
+
+// ReadTS returns the snapshot timestamp.
+func (t *Txn) ReadTS() uint64 { return t.readTS }
+
+// Read returns the value of key visible to this transaction: its own
+// buffered write if any, otherwise the newest version with
+// commitTS <= readTS. ok is false when the row is absent or deleted in the
+// snapshot.
+func (t *Txn) Read(key int64) (int64, bool, error) {
+	if t.status != Active {
+		return 0, false, ErrClosed
+	}
+	if w, ok := t.writes[key]; ok {
+		if w.deleted {
+			return 0, false, nil
+		}
+		return w.value, true, nil
+	}
+	t.m.mu.Lock()
+	defer t.m.mu.Unlock()
+	return snapshotRead(t.m.versions[key], t.readTS)
+}
+
+func snapshotRead(chain []version, ts uint64) (int64, bool, error) {
+	for i := len(chain) - 1; i >= 0; i-- {
+		if chain[i].commitTS <= ts {
+			if chain[i].deleted {
+				return 0, false, nil
+			}
+			return chain[i].value, true, nil
+		}
+	}
+	return 0, false, nil
+}
+
+// Write buffers a value for key in the transaction's local buffer.
+func (t *Txn) Write(key, value int64) error {
+	if t.status != Active {
+		return ErrClosed
+	}
+	t.writes[key] = write{value: value}
+	return nil
+}
+
+// Delete buffers a deletion of key.
+func (t *Txn) Delete(key int64) error {
+	if t.status != Active {
+		return ErrClosed
+	}
+	t.writes[key] = write{deleted: true}
+	return nil
+}
+
+// WriteSet returns the keys this transaction has buffered writes for.
+func (t *Txn) WriteSet() []int64 {
+	out := make([]int64, 0, len(t.writes))
+	for k := range t.writes {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Commit validates and installs the write set atomically. First committer
+// wins: if any written key has a version committed after this transaction's
+// snapshot, Commit aborts the transaction and returns ErrConflict.
+func (t *Txn) Commit() error {
+	if t.status != Active {
+		return ErrClosed
+	}
+	t.m.mu.Lock()
+	defer t.m.mu.Unlock()
+	for key := range t.writes {
+		chain := t.m.versions[key]
+		if len(chain) > 0 && chain[len(chain)-1].commitTS > t.readTS {
+			t.status = Aborted
+			return fmt.Errorf("%w on key %d", ErrConflict, key)
+		}
+	}
+	t.m.clock++
+	ts := t.m.clock
+	for key, w := range t.writes {
+		t.m.versions[key] = append(t.m.versions[key], version{
+			commitTS: ts,
+			value:    w.value,
+			deleted:  w.deleted,
+		})
+	}
+	t.status = Committed
+	return nil
+}
+
+// Abort discards the write buffer.
+func (t *Txn) Abort() {
+	if t.status == Active {
+		t.status = Aborted
+	}
+}
+
+// ReadCommitted returns the latest committed value of key outside any
+// transaction.
+func (m *Manager) ReadCommitted(key int64) (int64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, ok, _ := snapshotRead(m.versions[key], m.clock)
+	return v, ok
+}
+
+// GC drops versions that no snapshot at or after horizon can observe,
+// keeping at least the newest version of every row.
+func (m *Manager) GC(horizon uint64) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dropped := 0
+	for key, chain := range m.versions {
+		// Keep the newest version with commitTS <= horizon and everything
+		// after it.
+		keepFrom := 0
+		for i := len(chain) - 1; i >= 0; i-- {
+			if chain[i].commitTS <= horizon {
+				keepFrom = i
+				break
+			}
+		}
+		if keepFrom > 0 {
+			dropped += keepFrom
+			m.versions[key] = append([]version(nil), chain[keepFrom:]...)
+		}
+		if len(m.versions[key]) == 1 && m.versions[key][0].deleted {
+			delete(m.versions, key)
+		}
+	}
+	return dropped
+}
+
+// VersionCount returns the total number of stored versions (for tests and
+// GC monitoring).
+func (m *Manager) VersionCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, c := range m.versions {
+		n += len(c)
+	}
+	return n
+}

@@ -1,0 +1,212 @@
+package txn
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestBasicCommitVisibility(t *testing.T) {
+	m := NewManager()
+	t1 := m.Begin()
+	if err := t1.Write(1, 100); err != nil {
+		t.Fatal(err)
+	}
+	// Uncommitted writes are invisible to other transactions (no dirty
+	// reads).
+	t2 := m.Begin()
+	if _, ok, _ := t2.Read(1); ok {
+		t.Fatal("dirty read: t2 sees t1's uncommitted write")
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// t2's snapshot predates the commit: still invisible.
+	if _, ok, _ := t2.Read(1); ok {
+		t.Fatal("snapshot violation: t2 sees a commit after its begin")
+	}
+	// A new transaction sees it.
+	t3 := m.Begin()
+	v, ok, err := t3.Read(1)
+	if err != nil || !ok || v != 100 {
+		t.Fatalf("t3.Read(1) = %v,%v,%v, want 100,true,nil", v, ok, err)
+	}
+}
+
+func TestReadYourOwnWrites(t *testing.T) {
+	m := NewManager()
+	tx := m.Begin()
+	tx.Write(7, 70)
+	v, ok, _ := tx.Read(7)
+	if !ok || v != 70 {
+		t.Fatalf("own write invisible: %v,%v", v, ok)
+	}
+	tx.Delete(7)
+	if _, ok, _ := tx.Read(7); ok {
+		t.Fatal("own delete invisible")
+	}
+}
+
+func TestFirstCommitterWins(t *testing.T) {
+	m := NewManager()
+	m.Seed(1, 10)
+	a := m.Begin()
+	b := m.Begin()
+	a.Write(1, 11)
+	b.Write(1, 12)
+	if err := a.Commit(); err != nil {
+		t.Fatalf("first committer failed: %v", err)
+	}
+	err := b.Commit()
+	if !errors.Is(err, ErrConflict) {
+		t.Fatalf("second committer got %v, want ErrConflict", err)
+	}
+	if b.Status() != Aborted {
+		t.Fatalf("loser status = %v, want aborted", b.Status())
+	}
+	if v, ok := m.ReadCommitted(1); !ok || v != 11 {
+		t.Fatalf("committed value = %v,%v, want 11", v, ok)
+	}
+}
+
+func TestDisjointWritersBothCommit(t *testing.T) {
+	m := NewManager()
+	a := m.Begin()
+	b := m.Begin()
+	a.Write(1, 1)
+	b.Write(2, 2)
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatalf("disjoint writer aborted: %v", err)
+	}
+}
+
+func TestSnapshotStableUnderConcurrentCommits(t *testing.T) {
+	m := NewManager()
+	m.Seed(5, 50)
+	reader := m.Begin()
+	w := m.Begin()
+	w.Write(5, 51)
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// The long-running reader keeps seeing its snapshot (repeatable read).
+	for i := 0; i < 3; i++ {
+		v, ok, _ := reader.Read(5)
+		if !ok || v != 50 {
+			t.Fatalf("snapshot drifted: %v,%v, want 50", v, ok)
+		}
+	}
+}
+
+func TestDeleteVisibility(t *testing.T) {
+	m := NewManager()
+	m.Seed(9, 90)
+	d := m.Begin()
+	d.Delete(9)
+	if err := d.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.ReadCommitted(9); ok {
+		t.Fatal("deleted row still visible")
+	}
+	// Pre-delete snapshots still see it.
+	if v, ok, _ := m.Begin().Read(9); ok || v != 0 {
+		// New snapshot: must NOT see it.
+		t.Fatalf("new snapshot sees deleted row: %v %v", v, ok)
+	}
+}
+
+func TestClosedTransactionRejectsOperations(t *testing.T) {
+	m := NewManager()
+	tx := m.Begin()
+	tx.Abort()
+	if err := tx.Write(1, 1); !errors.Is(err, ErrClosed) {
+		t.Errorf("Write after abort = %v", err)
+	}
+	if _, _, err := tx.Read(1); !errors.Is(err, ErrClosed) {
+		t.Errorf("Read after abort = %v", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Commit after abort = %v", err)
+	}
+}
+
+func TestAbortDiscardsWrites(t *testing.T) {
+	m := NewManager()
+	tx := m.Begin()
+	tx.Write(3, 33)
+	tx.Abort()
+	if _, ok := m.ReadCommitted(3); ok {
+		t.Fatal("aborted write became visible")
+	}
+}
+
+func TestWriteSet(t *testing.T) {
+	m := NewManager()
+	tx := m.Begin()
+	tx.Write(1, 1)
+	tx.Write(2, 2)
+	tx.Delete(3)
+	if got := len(tx.WriteSet()); got != 3 {
+		t.Fatalf("write set size = %d, want 3", got)
+	}
+}
+
+func TestGCDropsOldVersions(t *testing.T) {
+	m := NewManager()
+	m.Seed(1, 0)
+	for i := 0; i < 10; i++ {
+		tx := m.Begin()
+		tx.Write(1, int64(i))
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := m.VersionCount(); n != 11 {
+		t.Fatalf("version count = %d, want 11", n)
+	}
+	dropped := m.GC(^uint64(0))
+	if dropped != 10 {
+		t.Fatalf("GC dropped %d, want 10", dropped)
+	}
+	if v, ok := m.ReadCommitted(1); !ok || v != 9 {
+		t.Fatalf("after GC value = %v,%v, want 9", v, ok)
+	}
+}
+
+func TestConcurrentTransfersPreserveInvariant(t *testing.T) {
+	// Classic SI stress: concurrent transfers between two accounts; the
+	// total must be conserved across all committed transactions.
+	m := NewManager()
+	m.Seed(1, 500)
+	m.Seed(2, 500)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tx := m.Begin()
+				a, ok1, _ := tx.Read(1)
+				b, ok2, _ := tx.Read(2)
+				if !ok1 || !ok2 {
+					tx.Abort()
+					continue
+				}
+				amt := int64(g + 1)
+				tx.Write(1, a-amt)
+				tx.Write(2, b+amt)
+				_ = tx.Commit() // conflicts abort; that is fine
+			}
+		}(g)
+	}
+	wg.Wait()
+	a, _ := m.ReadCommitted(1)
+	b, _ := m.ReadCommitted(2)
+	if a+b != 1000 {
+		t.Fatalf("invariant broken: %d + %d != 1000", a, b)
+	}
+}

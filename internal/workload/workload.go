@@ -1,0 +1,413 @@
+// Package workload implements the HAP (Hybrid Access Patterns) benchmark of
+// §7.1 of the paper: the six query templates Q1–Q6 over a keyed relation,
+// composed into the hybrid, read-only, and update-only mixes with uniform or
+// skewed access used throughout the paper's evaluation (Figs. 12–16), plus
+// the TPC-H-Q6-shaped workload of Fig. 1 and the ghost-value workloads of
+// Fig. 14.
+//
+//	Q1  SELECT a1..ak FROM R WHERE a0 = v            (point query)
+//	Q2  SELECT count(*) FROM R WHERE a0 ∈ [vs,ve)    (aggregate range)
+//	Q3  SELECT a1+..+ak FROM R WHERE a0 ∈ [vs,ve)    (arithmetic range)
+//	Q4  INSERT INTO R VALUES (...)                   (insert)
+//	Q5  DELETE FROM R WHERE a0 = v                   (delete)
+//	Q6  UPDATE R SET a0 = vnew WHERE a0 = v          (key update)
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"casper/internal/freq"
+)
+
+// Kind enumerates the HAP queries.
+type Kind int
+
+const (
+	Q1PointQuery Kind = iota
+	Q2RangeCount
+	Q3RangeSum
+	Q4Insert
+	Q5Delete
+	Q6Update
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Q1PointQuery:
+		return "Q1(point)"
+	case Q2RangeCount:
+		return "Q2(count)"
+	case Q3RangeSum:
+		return "Q3(sum)"
+	case Q4Insert:
+		return "Q4(insert)"
+	case Q5Delete:
+		return "Q5(delete)"
+	case Q6Update:
+		return "Q6(update)"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Access selects where in the domain an operation lands.
+type Access int
+
+const (
+	// Uniform spreads accesses evenly over the domain.
+	Uniform Access = iota
+	// SkewedRecent concentrates accesses on the high end of the domain
+	// (the paper's "skewed accesses to more recent data").
+	SkewedRecent
+	// SkewedEarly concentrates accesses on the low end of the domain.
+	SkewedEarly
+	// RampRecent spreads accesses with linearly increasing density toward
+	// the high end of the domain (the broad skew of Fig. 16a).
+	RampRecent
+	// RampEarly spreads accesses with linearly decreasing density.
+	RampEarly
+)
+
+// Op is one benchmark operation over the key domain. Key2 is the range end
+// for Q2/Q3 and the new key for Q6.
+type Op struct {
+	Kind Kind
+	Key  int64
+	Key2 int64
+}
+
+// MixEntry gives one operation class a share of the workload and an access
+// pattern.
+type MixEntry struct {
+	Kind   Kind
+	Frac   float64
+	Access Access
+}
+
+// Spec describes a workload to generate.
+type Spec struct {
+	Name string
+	Mix  []MixEntry
+	// RangeFrac is the width of Q2/Q3 ranges as a fraction of the domain.
+	RangeFrac float64
+	// Ops is the number of operations to generate.
+	Ops int
+	// Seed fixes the generator.
+	Seed int64
+}
+
+// Validate reports malformed specs (empty mix, non-positive fractions).
+func (s Spec) Validate() error {
+	if len(s.Mix) == 0 {
+		return fmt.Errorf("workload %q: empty mix", s.Name)
+	}
+	var tot float64
+	for _, e := range s.Mix {
+		if e.Frac <= 0 {
+			return fmt.Errorf("workload %q: non-positive fraction %v for %v", s.Name, e.Frac, e.Kind)
+		}
+		tot += e.Frac
+	}
+	if tot <= 0 {
+		return fmt.Errorf("workload %q: zero total fraction", s.Name)
+	}
+	return nil
+}
+
+// Generator draws operations against a live key pool, so deletes and
+// updates overwhelmingly target existing keys.
+type Generator struct {
+	rng       *rand.Rand
+	zipf      *rand.Zipf
+	pool      []int64
+	domainMax int64
+}
+
+// zipfRange is the resolution of the skewed-position generator.
+const zipfRange = 1 << 20
+
+// NewGenerator builds a generator over the initial keys; domainMax bounds
+// the key domain [0, domainMax].
+func NewGenerator(initialKeys []int64, domainMax int64, seed int64) *Generator {
+	rng := rand.New(rand.NewSource(seed))
+	pool := make([]int64, len(initialKeys))
+	copy(pool, initialKeys)
+	return &Generator{
+		rng:       rng,
+		zipf:      rand.NewZipf(rng, 1.3, 8, zipfRange-1),
+		pool:      pool,
+		domainMax: domainMax,
+	}
+}
+
+// skewedFrac returns a position in [0,1) concentrated near 0.
+func (g *Generator) skewedFrac() float64 {
+	return float64(g.zipf.Uint64()) / zipfRange
+}
+
+// domainKey draws a key from the domain under the access pattern.
+func (g *Generator) domainKey(a Access) int64 {
+	switch a {
+	case SkewedRecent:
+		return g.domainMax - int64(g.skewedFrac()*float64(g.domainMax))
+	case SkewedEarly:
+		return int64(g.skewedFrac() * float64(g.domainMax))
+	case RampRecent:
+		return int64(math.Sqrt(g.rng.Float64()) * float64(g.domainMax))
+	case RampEarly:
+		return int64((1 - math.Sqrt(g.rng.Float64())) * float64(g.domainMax))
+	default:
+		return g.rng.Int63n(g.domainMax + 1)
+	}
+}
+
+// poolIndex draws an index into the live pool under the access pattern,
+// where high indices are the most recently inserted keys.
+func (g *Generator) poolIndex(a Access) int {
+	n := len(g.pool)
+	switch a {
+	case SkewedRecent:
+		return n - 1 - int(g.skewedFrac()*float64(n))
+	case SkewedEarly:
+		return int(g.skewedFrac() * float64(n))
+	case RampRecent:
+		return int(math.Sqrt(g.rng.Float64()) * float64(n-1))
+	case RampEarly:
+		return int((1 - math.Sqrt(g.rng.Float64())) * float64(n-1))
+	default:
+		return g.rng.Intn(n)
+	}
+}
+
+// Generate produces spec.Ops operations. The pool is mutated as inserts and
+// deletes are generated, so the stream is self-consistent.
+func Generate(initialKeys []int64, domainMax int64, spec Spec) ([]Op, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(initialKeys) == 0 {
+		return nil, fmt.Errorf("workload %q: empty initial key set", spec.Name)
+	}
+	g := NewGenerator(initialKeys, domainMax, spec.Seed)
+
+	// Cumulative mix for roulette selection.
+	var tot float64
+	for _, e := range spec.Mix {
+		tot += e.Frac
+	}
+	ops := make([]Op, 0, spec.Ops)
+	for len(ops) < spec.Ops {
+		r := g.rng.Float64() * tot
+		var entry MixEntry
+		for _, e := range spec.Mix {
+			if r < e.Frac {
+				entry = e
+				break
+			}
+			r -= e.Frac
+		}
+		if entry.Frac == 0 {
+			entry = spec.Mix[len(spec.Mix)-1]
+		}
+		if op, ok := g.generateOne(entry, spec.RangeFrac); ok {
+			ops = append(ops, op)
+		}
+	}
+	return ops, nil
+}
+
+func (g *Generator) generateOne(e MixEntry, rangeFrac float64) (Op, bool) {
+	switch e.Kind {
+	case Q1PointQuery:
+		// Point queries draw from the domain distribution directly: a hit
+		// and a miss scan the same partition, so the access *position* is
+		// what matters for layout decisions.
+		return Op{Kind: Q1PointQuery, Key: g.domainKey(e.Access)}, true
+	case Q2RangeCount, Q3RangeSum:
+		width := int64(rangeFrac * float64(g.domainMax))
+		if width < 1 {
+			width = 1
+		}
+		lo := g.domainKey(e.Access)
+		if lo > g.domainMax-width {
+			lo = g.domainMax - width
+		}
+		if lo < 0 {
+			lo = 0
+		}
+		return Op{Kind: e.Kind, Key: lo, Key2: lo + width}, true
+	case Q4Insert:
+		v := g.domainKey(e.Access)
+		g.pool = append(g.pool, v)
+		return Op{Kind: Q4Insert, Key: v}, true
+	case Q5Delete:
+		if len(g.pool) == 0 {
+			return Op{}, false
+		}
+		i := g.poolIndex(e.Access)
+		v := g.pool[i]
+		g.pool[i] = g.pool[len(g.pool)-1]
+		g.pool = g.pool[:len(g.pool)-1]
+		return Op{Kind: Q5Delete, Key: v}, true
+	case Q6Update:
+		if len(g.pool) == 0 {
+			return Op{}, false
+		}
+		i := g.poolIndex(e.Access)
+		old := g.pool[i]
+		new := g.rng.Int63n(g.domainMax + 1)
+		g.pool[i] = new
+		return Op{Kind: Q6Update, Key: old, Key2: new}, true
+	}
+	return Op{}, false
+}
+
+// ToFreqOps converts benchmark operations to Frequency Model training
+// operations.
+func ToFreqOps(ops []Op) []freq.Op {
+	out := make([]freq.Op, 0, len(ops))
+	for _, op := range ops {
+		switch op.Kind {
+		case Q1PointQuery:
+			out = append(out, freq.Op{Kind: freq.OpPointQuery, Key: op.Key})
+		case Q2RangeCount, Q3RangeSum:
+			out = append(out, freq.Op{Kind: freq.OpRangeQuery, Key: op.Key, Key2: op.Key2})
+		case Q4Insert:
+			out = append(out, freq.Op{Kind: freq.OpInsert, Key: op.Key})
+		case Q5Delete:
+			out = append(out, freq.Op{Kind: freq.OpDelete, Key: op.Key})
+		case Q6Update:
+			out = append(out, freq.Op{Kind: freq.OpUpdate, Key: op.Key, Key2: op.Key2})
+		}
+	}
+	return out
+}
+
+// Counts tallies the operations per kind.
+func Counts(ops []Op) map[Kind]int {
+	m := make(map[Kind]int)
+	for _, op := range ops {
+		m[op.Kind]++
+	}
+	return m
+}
+
+// ---------------------------------------------------------------------------
+// Paper workload presets
+// ---------------------------------------------------------------------------
+
+// Preset names match the experiment harness and EXPERIMENTS.md.
+const (
+	HybridSkewed      = "hybrid-skewed"       // Fig. 12/13a: Q1 49%, Q4 50%, Q6 1%
+	HybridRangeSkewed = "hybrid-range-skewed" // Fig. 12: Q3 49%, Q4 50%, Q6 1%
+	ReadOnlySkewed    = "read-only-skewed"    // Fig. 12/13b: Q1 94%, Q2 5%, Q6 1%
+	ReadOnlyUniform   = "read-only-uniform"   // Fig. 12
+	UpdateOnlySkewed  = "update-only-skewed"  // Fig. 12: Q4 80%, Q5 19%, Q6 1%
+	UpdateOnlyUniform = "update-only-uniform" // Fig. 12/13c
+	SLAHybrid         = "sla-hybrid"          // Fig. 15: Q1 89%, Q4 10%, Q6 1%
+	UDI1              = "udi1"                // Fig. 14: update-only, skewed
+	UDI2              = "udi2"                // Fig. 14: update-only, uniform
+	YCSBA2            = "ycsb-a2"             // Fig. 14: hybrid, skewed
+	Robust5050        = "robust-50-50"        // Fig. 16: PQ late domain + IN early domain
+)
+
+// Preset returns the named paper workload spec with the given operation
+// count and seed, or an error for unknown names.
+func Preset(name string, ops int, seed int64) (Spec, error) {
+	s := Spec{Name: name, Ops: ops, Seed: seed, RangeFrac: 0.02}
+	switch name {
+	case HybridSkewed:
+		s.Mix = []MixEntry{
+			{Q1PointQuery, 0.49, SkewedRecent},
+			{Q4Insert, 0.50, SkewedRecent},
+			{Q6Update, 0.01, Uniform},
+		}
+	case HybridRangeSkewed:
+		s.Mix = []MixEntry{
+			{Q3RangeSum, 0.49, SkewedRecent},
+			{Q4Insert, 0.50, SkewedRecent},
+			{Q6Update, 0.01, Uniform},
+		}
+	case ReadOnlySkewed:
+		s.Mix = []MixEntry{
+			{Q1PointQuery, 0.94, SkewedRecent},
+			{Q2RangeCount, 0.05, SkewedRecent},
+			{Q6Update, 0.01, Uniform},
+		}
+	case ReadOnlyUniform:
+		s.Mix = []MixEntry{
+			{Q1PointQuery, 0.94, Uniform},
+			{Q2RangeCount, 0.05, Uniform},
+			{Q6Update, 0.01, Uniform},
+		}
+	case UpdateOnlySkewed:
+		s.Mix = []MixEntry{
+			{Q4Insert, 0.80, SkewedRecent},
+			{Q5Delete, 0.19, SkewedRecent},
+			{Q6Update, 0.01, Uniform},
+		}
+	case UpdateOnlyUniform:
+		s.Mix = []MixEntry{
+			{Q4Insert, 0.80, Uniform},
+			{Q5Delete, 0.19, Uniform},
+			{Q6Update, 0.01, Uniform},
+		}
+	case SLAHybrid:
+		s.Mix = []MixEntry{
+			{Q1PointQuery, 0.89, SkewedRecent},
+			{Q4Insert, 0.10, SkewedRecent},
+			{Q6Update, 0.01, Uniform},
+		}
+	case UDI1:
+		s.Mix = []MixEntry{
+			{Q4Insert, 0.80, SkewedRecent},
+			{Q5Delete, 0.19, SkewedRecent},
+			{Q6Update, 0.01, Uniform},
+		}
+	case UDI2:
+		s.Mix = []MixEntry{
+			{Q4Insert, 0.80, Uniform},
+			{Q5Delete, 0.19, Uniform},
+			{Q6Update, 0.01, Uniform},
+		}
+	case YCSBA2:
+		s.Mix = []MixEntry{
+			{Q1PointQuery, 0.50, SkewedRecent},
+			{Q4Insert, 0.49, SkewedRecent},
+			{Q6Update, 0.01, Uniform},
+		}
+	case Robust5050:
+		// Fig. 16a: broad ramp histograms, not concentrated spikes —
+		// point queries mostly target the late domain, inserts the early
+		// domain, with mass everywhere.
+		s.Mix = []MixEntry{
+			{Q1PointQuery, 0.50, RampRecent},
+			{Q4Insert, 0.50, RampEarly},
+		}
+	default:
+		return Spec{}, fmt.Errorf("workload: unknown preset %q", name)
+	}
+	return s, nil
+}
+
+// PresetNames lists every preset in a stable order.
+func PresetNames() []string {
+	return []string{
+		HybridSkewed, HybridRangeSkewed, ReadOnlySkewed, ReadOnlyUniform,
+		UpdateOnlySkewed, UpdateOnlyUniform, SLAHybrid, UDI1, UDI2, YCSBA2,
+		Robust5050,
+	}
+}
+
+// UniformKeys generates n uniformly distributed distinct-ish keys over
+// [0, domainMax] (§7.1 loads 100M uniformly distributed integers).
+func UniformKeys(n int, domainMax int64, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = rng.Int63n(domainMax + 1)
+	}
+	return keys
+}

@@ -1,0 +1,261 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"casper/internal/freq"
+)
+
+func initialKeys() []int64 { return UniformKeys(10_000, 1_000_000, 7) }
+
+func TestGenerateMixFractions(t *testing.T) {
+	spec, err := Preset(HybridSkewed, 20_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, err := Generate(initialKeys(), 1_000_000, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 20_000 {
+		t.Fatalf("generated %d ops, want 20000", len(ops))
+	}
+	c := Counts(ops)
+	frac := func(k Kind) float64 { return float64(c[k]) / float64(len(ops)) }
+	if f := frac(Q1PointQuery); math.Abs(f-0.49) > 0.03 {
+		t.Errorf("Q1 fraction = %v, want ~0.49", f)
+	}
+	if f := frac(Q4Insert); math.Abs(f-0.50) > 0.03 {
+		t.Errorf("Q4 fraction = %v, want ~0.50", f)
+	}
+	if f := frac(Q6Update); math.Abs(f-0.01) > 0.01 {
+		t.Errorf("Q6 fraction = %v, want ~0.01", f)
+	}
+}
+
+func TestGenerateDeterministicBySeed(t *testing.T) {
+	spec, _ := Preset(UpdateOnlyUniform, 1000, 42)
+	a, err := Generate(initialKeys(), 1_000_000, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(initialKeys(), 1_000_000, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	spec.Seed = 43
+	c, _ := Generate(initialKeys(), 1_000_000, spec)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestSkewedRecentTargetsHighDomain(t *testing.T) {
+	spec := Spec{
+		Name: "skew-test",
+		Mix:  []MixEntry{{Q4Insert, 1, SkewedRecent}},
+		Ops:  5000,
+		Seed: 3,
+	}
+	ops, err := Generate(initialKeys(), 1_000_000, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var above int
+	for _, op := range ops {
+		if op.Key > 800_000 {
+			above++
+		}
+	}
+	if f := float64(above) / float64(len(ops)); f < 0.7 {
+		t.Errorf("only %v of skewed-recent inserts in top 20%% of domain", f)
+	}
+}
+
+func TestSkewedEarlyTargetsLowDomain(t *testing.T) {
+	spec := Spec{
+		Name: "skew-test",
+		Mix:  []MixEntry{{Q4Insert, 1, SkewedEarly}},
+		Ops:  5000,
+		Seed: 3,
+	}
+	ops, err := Generate(initialKeys(), 1_000_000, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var below int
+	for _, op := range ops {
+		if op.Key < 200_000 {
+			below++
+		}
+	}
+	if f := float64(below) / float64(len(ops)); f < 0.7 {
+		t.Errorf("only %v of skewed-early inserts in bottom 20%% of domain", f)
+	}
+}
+
+func TestRangeWidthFollowsSelectivity(t *testing.T) {
+	spec := Spec{
+		Name:      "range-test",
+		Mix:       []MixEntry{{Q3RangeSum, 1, Uniform}},
+		RangeFrac: 0.05,
+		Ops:       100,
+		Seed:      5,
+	}
+	dom := int64(1_000_000)
+	ops, err := Generate(initialKeys(), dom, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops {
+		w := op.Key2 - op.Key
+		if w != int64(0.05*float64(dom)) {
+			t.Fatalf("range width %d, want %d", w, int64(0.05*float64(dom)))
+		}
+		if op.Key < 0 || op.Key2 > dom {
+			t.Fatalf("range [%d,%d] outside domain", op.Key, op.Key2)
+		}
+	}
+}
+
+func TestDeletesTargetExistingKeys(t *testing.T) {
+	keys := initialKeys()
+	present := make(map[int64]int, len(keys))
+	for _, k := range keys {
+		present[k]++
+	}
+	spec, _ := Preset(UpdateOnlyUniform, 5000, 9)
+	ops, err := Generate(keys, 1_000_000, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, op := range ops {
+		switch op.Kind {
+		case Q4Insert:
+			present[op.Key]++
+		case Q5Delete:
+			if present[op.Key] == 0 {
+				t.Fatalf("op %d deletes absent key %d", i, op.Key)
+			}
+			present[op.Key]--
+		case Q6Update:
+			if present[op.Key] == 0 {
+				t.Fatalf("op %d updates absent key %d", i, op.Key)
+			}
+			present[op.Key]--
+			present[op.Key2]++
+		}
+	}
+}
+
+func TestToFreqOps(t *testing.T) {
+	ops := []Op{
+		{Kind: Q1PointQuery, Key: 5},
+		{Kind: Q2RangeCount, Key: 1, Key2: 9},
+		{Kind: Q3RangeSum, Key: 2, Key2: 8},
+		{Kind: Q4Insert, Key: 3},
+		{Kind: Q5Delete, Key: 4},
+		{Kind: Q6Update, Key: 5, Key2: 6},
+	}
+	fops := ToFreqOps(ops)
+	if len(fops) != 6 {
+		t.Fatalf("got %d freq ops, want 6", len(fops))
+	}
+	wantKinds := []freq.OpKind{
+		freq.OpPointQuery, freq.OpRangeQuery, freq.OpRangeQuery,
+		freq.OpInsert, freq.OpDelete, freq.OpUpdate,
+	}
+	for i, f := range fops {
+		if f.Kind != wantKinds[i] {
+			t.Errorf("op %d kind = %v, want %v", i, f.Kind, wantKinds[i])
+		}
+	}
+}
+
+func TestAllPresetsGenerate(t *testing.T) {
+	for _, name := range PresetNames() {
+		spec, err := Preset(name, 500, 11)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ops, err := Generate(initialKeys(), 1_000_000, spec)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(ops) != 500 {
+			t.Errorf("%s: generated %d ops, want 500", name, len(ops))
+		}
+	}
+	if _, err := Preset("nope", 10, 1); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := (Spec{Name: "x"}).Validate(); err == nil {
+		t.Error("empty mix accepted")
+	}
+	bad := Spec{Name: "x", Mix: []MixEntry{{Q1PointQuery, -1, Uniform}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative fraction accepted")
+	}
+	if _, err := Generate(nil, 100, Spec{Name: "x", Mix: []MixEntry{{Q1PointQuery, 1, Uniform}}, Ops: 1}); err == nil {
+		t.Error("empty key set accepted")
+	}
+}
+
+func TestUniformKeysWithinDomain(t *testing.T) {
+	keys := UniformKeys(1000, 500, 2)
+	if len(keys) != 1000 {
+		t.Fatalf("got %d keys", len(keys))
+	}
+	for _, k := range keys {
+		if k < 0 || k > 500 {
+			t.Fatalf("key %d outside [0,500]", k)
+		}
+	}
+}
+
+func TestRobustPresetOpposingSkews(t *testing.T) {
+	// Fig. 16's training workload: point queries on the late domain,
+	// inserts on the early domain.
+	spec, _ := Preset(Robust5050, 4000, 13)
+	ops, err := Generate(initialKeys(), 1_000_000, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pqHigh, inLow, pqN, inN int
+	for _, op := range ops {
+		switch op.Kind {
+		case Q1PointQuery:
+			pqN++
+			if op.Key > 500_000 {
+				pqHigh++
+			}
+		case Q4Insert:
+			inN++
+			if op.Key < 500_000 {
+				inLow++
+			}
+		}
+	}
+	if f := float64(pqHigh) / float64(pqN); f < 0.6 {
+		t.Errorf("point queries not skewed late: %v", f)
+	}
+	if f := float64(inLow) / float64(inN); f < 0.6 {
+		t.Errorf("inserts not skewed early: %v", f)
+	}
+}
