@@ -18,14 +18,36 @@
 //	_ = eng.Train(sample, runtime.NumCPU())
 //	n := eng.PointQuery(12345)          // scans one partition
 //	eng.Insert(777)                      // absorbed by a ghost slot
+//
+// # Architecture: sharding & background retraining
+//
+// Internally the engine is a fleet of independently laid-out Casper tables
+// (internal/shard). Options.Shards hash- or range-partitions the key domain
+// across N tables, each with its own locks, monitor window, and cost-model
+// training state; the default of 1 shard preserves the original single-table
+// behavior exactly. Point queries route to the owning shard; range reads fan
+// out across the spanned shards on parallel goroutines and merge their
+// results; ApplyBatch groups a write batch by shard and applies the groups
+// concurrently (ApplyBatchAsync does so off the caller's goroutine).
+//
+// StartAutoRetrain launches a background worker implementing the paper's
+// online arc (Fig. 10): every operation feeds a per-shard access histogram,
+// and when a shard's histogram drifts past a total-variation threshold from
+// the one captured at its last training, the worker re-solves that shard's
+// layout on a shadow copy of the table and swaps the copy in atomically.
+// Writes that land mid-training are journaled and replayed onto the shadow
+// before the swap, so re-layout never loses a mutation and readers never
+// block on the solver.
 package casper
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"casper/internal/iomodel"
+	"casper/internal/shard"
 	"casper/internal/solver"
 	"casper/internal/table"
 	"casper/internal/txn"
@@ -114,11 +136,21 @@ type Options struct {
 	// PayloadGen derives payload values from keys at load and insert
 	// time; nil uses the package default.
 	PayloadGen func(key int64, col int) int32
+	// Shards splits the key domain across this many independent tables,
+	// each with its own locks and training state (default 1 — exactly the
+	// original single-table engine).
+	Shards int
+	// ShardByRange partitions shards on the initial keys' quantiles
+	// instead of the default hash partitioning. Range sharding prunes
+	// range-query fan-out; hash sharding spreads hot key ranges across
+	// the whole fleet.
+	ShardByRange bool
 }
 
-// Engine is a single-table storage engine instance.
+// Engine is a storage engine instance: a fleet of one or more independently
+// laid-out Casper tables behind a single table-like API.
 type Engine struct {
-	tbl    *table.Table
+	sh     *shard.Engine
 	params iomodel.CostParams
 	mode   Mode
 	mgr    *txn.Manager
@@ -161,49 +193,58 @@ func Open(keys []int64, opts Options) (*Engine, error) {
 	if opts.PayloadGen != nil {
 		gen = table.PayloadGen(opts.PayloadGen)
 	}
-	tbl, err := table.New(keys, table.Config{
-		Mode:           tableMode(opts.Mode),
-		PayloadCols:    payloadCols,
-		ChunkValues:    opts.ChunkValues,
-		GhostFrac:      ghostFrac,
-		Partitions:     opts.Partitions,
-		Params:         params,
-		SolverOpts:     sopts,
-		MergeThreshold: opts.MergeThreshold,
-	}, gen)
+	sh, err := shard.New(keys, shard.Config{
+		Shards:  opts.Shards,
+		ByRange: opts.ShardByRange,
+		Gen:     gen,
+		Table: table.Config{
+			Mode:           tableMode(opts.Mode),
+			PayloadCols:    payloadCols,
+			ChunkValues:    opts.ChunkValues,
+			GhostFrac:      ghostFrac,
+			Partitions:     opts.Partitions,
+			Params:         params,
+			SolverOpts:     sopts,
+			MergeThreshold: opts.MergeThreshold,
+		},
+	})
 	if err != nil {
 		return nil, fmt.Errorf("casper: %w", err)
 	}
-	return &Engine{tbl: tbl, params: params, mode: opts.Mode, mgr: txn.NewManager()}, nil
+	return &Engine{sh: sh, params: params, mode: opts.Mode, mgr: txn.NewManager()}, nil
 }
 
 // Mode returns the engine's layout mode.
 func (e *Engine) Mode() Mode { return e.mode }
 
-// Len returns the live row count.
-func (e *Engine) Len() int { return e.tbl.Len() }
+// Shards returns the engine's shard count.
+func (e *Engine) Shards() int { return e.sh.Shards() }
 
-// Chunks returns the number of column chunks.
-func (e *Engine) Chunks() int { return e.tbl.Chunks() }
+// Len returns the live row count.
+func (e *Engine) Len() int { return e.sh.Len() }
+
+// Chunks returns the number of column chunks across all shards.
+func (e *Engine) Chunks() int { return e.sh.Chunks() }
 
 // CostParams returns the calibrated block access constants in use.
 func (e *Engine) CostParams() string { return e.params.String() }
 
-// Train re-partitions a ModeCasper engine for the sampled workload: builds
-// per-chunk Frequency Models, solves the layout optimization (parallel
-// across chunks), and applies the layouts with Eq. 18 ghost allocation.
+// Train re-partitions a ModeCasper engine for the sampled workload: the
+// sample is split per shard, then each shard builds per-chunk Frequency
+// Models, solves the layout optimization (parallel across chunks), and
+// applies the layouts with Eq. 18 ghost allocation.
 func (e *Engine) Train(sample []Op, parallelism int) error {
-	return e.tbl.TrainLayout(toWorkloadOps(sample), parallelism)
+	return e.sh.Train(toWorkloadOps(sample), parallelism)
 }
 
 // PointQuery returns the number of live rows with the given key (Q1).
-func (e *Engine) PointQuery(key int64) int { return e.tbl.PointQuery(key) }
+func (e *Engine) PointQuery(key int64) int { return e.sh.PointQuery(key) }
 
 // RangeCount counts live rows with keys in [lo, hi] (Q2).
-func (e *Engine) RangeCount(lo, hi int64) int { return e.tbl.RangeCount(lo, hi) }
+func (e *Engine) RangeCount(lo, hi int64) int { return e.sh.RangeCount(lo, hi) }
 
 // RangeSum sums the keys of live rows in [lo, hi] (Q3).
-func (e *Engine) RangeSum(lo, hi int64) int64 { return e.tbl.RangeSum(lo, hi) }
+func (e *Engine) RangeSum(lo, hi int64) int64 { return e.sh.RangeSum(lo, hi) }
 
 // Filter is a conjunctive range predicate on one payload column.
 type Filter struct {
@@ -218,20 +259,20 @@ func (e *Engine) MultiRangeSum(lo, hi int64, filters []Filter, sumCol int) int64
 	for i, f := range filters {
 		fs[i] = table.PayloadFilter{Col: f.Col, Lo: f.Lo, Hi: f.Hi}
 	}
-	return e.tbl.MultiRangeSum(lo, hi, fs, sumCol)
+	return e.sh.MultiRangeSum(lo, hi, fs, sumCol)
 }
 
 // Insert adds a row with the given key (Q4).
-func (e *Engine) Insert(key int64) { e.tbl.Insert(key) }
+func (e *Engine) Insert(key int64) { e.sh.Insert(key) }
 
 // Delete removes one row with the given key (Q5).
-func (e *Engine) Delete(key int64) error { return e.tbl.Delete(key) }
+func (e *Engine) Delete(key int64) error { return e.sh.Delete(key) }
 
 // UpdateKey changes one row's key, preserving its payload (Q6).
-func (e *Engine) UpdateKey(old, new int64) error { return e.tbl.UpdateKey(old, new) }
+func (e *Engine) UpdateKey(old, new int64) error { return e.sh.UpdateKey(old, new) }
 
 // Payload returns payload column col of one row with the given key.
-func (e *Engine) Payload(key int64, col int) (int32, bool) { return e.tbl.Payload(key, col) }
+func (e *Engine) Payload(key int64, col int) (int32, bool) { return e.sh.Payload(key, col) }
 
 // OpKind enumerates workload operations.
 type OpKind int
@@ -312,7 +353,7 @@ func (e *Engine) Execute(op Op) int64 {
 	if mon != nil {
 		mon.record(op)
 	}
-	return e.tbl.Execute(workload.Op{Kind: workloadKind(op.Kind), Key: op.Key, Key2: op.Key2})
+	return e.sh.Execute(workload.Op{Kind: workloadKind(op.Kind), Key: op.Key, Key2: op.Key2})
 }
 
 // ExecuteAll runs the operations serially.
@@ -321,7 +362,7 @@ func (e *Engine) ExecuteAll(ops []Op) int64 {
 	mon := e.mon
 	e.monMu.Unlock()
 	if mon == nil {
-		return e.tbl.ExecuteAll(toWorkloadOps(ops))
+		return e.sh.ExecuteAll(toWorkloadOps(ops))
 	}
 	var sink int64
 	for _, op := range ops {
@@ -331,25 +372,61 @@ func (e *Engine) ExecuteAll(ops []Op) int64 {
 }
 
 // ExecuteParallel spreads the operations over the given number of worker
-// goroutines; chunk-level locking serializes conflicting writes.
+// goroutines; shard- and chunk-level locking serializes conflicting writes.
 func (e *Engine) ExecuteParallel(ops []Op, workers int) int64 {
-	return e.tbl.ExecuteParallel(toWorkloadOps(ops), workers)
+	return e.sh.ExecuteParallel(toWorkloadOps(ops), workers)
+}
+
+// ApplyBatch groups the operations by owning shard and applies each group on
+// its own goroutine — the batched write path. Operations keep their relative
+// order within a shard; operations spanning shards apply after the per-shard
+// waves. Returns the summed sink values. Batched operations feed an active
+// monitor just like Execute, so Retrain sees the full workload.
+func (e *Engine) ApplyBatch(ops []Op) int64 {
+	e.monMu.Lock()
+	mon := e.mon
+	e.monMu.Unlock()
+	if mon != nil {
+		for _, op := range ops {
+			mon.record(op)
+		}
+	}
+	return e.sh.ApplyBatch(toWorkloadOps(ops))
+}
+
+// PendingBatch is a handle to a batch being applied asynchronously.
+type PendingBatch struct {
+	ch chan int64
+}
+
+// Wait blocks until the batch has been applied and returns its summed sink.
+func (b *PendingBatch) Wait() int64 { return <-b.ch }
+
+// ApplyBatchAsync applies the batch on a background goroutine and returns
+// immediately; Wait on the handle to collect the result. Like ApplyBatch,
+// the operations feed an active monitor.
+func (e *Engine) ApplyBatchAsync(ops []Op) *PendingBatch {
+	b := &PendingBatch{ch: make(chan int64, 1)}
+	go func() { b.ch <- e.ApplyBatch(ops) }()
+	return b
 }
 
 // LayoutSummary describes one chunk's physical layout.
 type LayoutSummary struct {
+	Shard      int
 	Chunk      int
 	Partitions int
 	Sizes      []int // live values per partition
 	Ghosts     []int // free ghost slots per partition
 }
 
-// Layouts reports the current physical layout of partitioned chunks.
+// Layouts reports the current physical layout of partitioned chunks across
+// all shards.
 func (e *Engine) Layouts() []LayoutSummary {
-	in := e.tbl.Layouts()
+	in := e.sh.Layouts()
 	out := make([]LayoutSummary, len(in))
 	for i, l := range in {
-		out[i] = LayoutSummary(l)
+		out[i] = LayoutSummary{Shard: l.Shard, Chunk: l.Chunk, Partitions: l.Partitions, Sizes: l.Sizes, Ghosts: l.Ghosts}
 	}
 	return out
 }
@@ -411,7 +488,7 @@ func (e *Engine) Begin() *Tx {
 // transaction reasons about it.
 func (t *Tx) seen(key int64) {
 	if _, ok := t.e.mgr.ReadCommitted(key); !ok {
-		if n := t.e.tbl.PointQuery(key); n > 0 {
+		if n := t.e.sh.PointQuery(key); n > 0 {
 			t.e.mgr.Seed(key, int64(n))
 		}
 	}
@@ -617,3 +694,43 @@ func (e *Engine) Retrain(parallelism int) error {
 	}
 	return e.Train(ops, parallelism)
 }
+
+// RetrainPolicy tunes the background auto-retrainer (see StartAutoRetrain).
+// Zero fields select defaults.
+type RetrainPolicy struct {
+	// CheckEvery is the drift check cadence (default 100ms).
+	CheckEvery time.Duration
+	// MinOps is the minimum number of operations a shard must observe
+	// since its last training before it is considered (default 1000).
+	MinOps int
+	// MaxDrift triggers a retrain when the total-variation distance
+	// between a shard's current access histogram and its at-training
+	// baseline reaches this value in [0, 1] (default 0.15).
+	MaxDrift float64
+	// Parallelism is the per-retrain solver parallelism (default 1).
+	Parallelism int
+}
+
+// StartAutoRetrain launches the background retraining worker: every
+// operation feeds per-shard access histograms, and a shard whose access
+// pattern drifts past the policy threshold is re-trained on a shadow copy
+// that is swapped in atomically — reads and writes never block on the
+// solver. Requires ModeCasper.
+func (e *Engine) StartAutoRetrain(p RetrainPolicy) error {
+	return e.sh.StartAutoRetrain(shard.RetrainPolicy{
+		CheckEvery:  p.CheckEvery,
+		MinOps:      p.MinOps,
+		MaxDrift:    p.MaxDrift,
+		Parallelism: p.Parallelism,
+	})
+}
+
+// StopAutoRetrain stops the background retrainer, waiting for any in-flight
+// retrain to finish. Safe to call when none is running.
+func (e *Engine) StopAutoRetrain() { e.sh.StopAutoRetrain() }
+
+// Retrains returns the number of completed background shard retrains.
+func (e *Engine) Retrains() uint64 { return e.sh.Retrains() }
+
+// Close stops background workers. The engine remains usable for queries.
+func (e *Engine) Close() { e.sh.Close() }

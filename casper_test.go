@@ -291,3 +291,99 @@ func TestDeleteReturnsNotFoundError(t *testing.T) {
 	var dummy error = err
 	_ = errors.Unwrap(dummy) // must be a wrapped, inspectable error
 }
+
+func TestShardedEngineMatchesSingleTable(t *testing.T) {
+	keys := UniformKeys(5_000, 50_000, 77)
+	single, err := Open(keys, testOptions(ModeCasper))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := testOptions(ModeCasper)
+	opts.Shards = 8
+	sharded, err := Open(keys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Shards() != 1 || sharded.Shards() != 8 {
+		t.Fatalf("shard counts = %d, %d", single.Shards(), sharded.Shards())
+	}
+	sample, err := PresetWorkload(HybridSkewed, keys, 50_000, 1_000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []*Engine{single, sharded} {
+		if err := e.Train(sample, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ops, err := PresetWorkload(HybridSkewed, keys, 50_000, 1_000, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, p := single.ExecuteAll(ops), sharded.ExecuteAll(ops); s != p {
+		t.Fatalf("single sink %d != sharded sink %d", s, p)
+	}
+	if s, p := single.Len(), sharded.Len(); s != p {
+		t.Fatalf("single Len %d != sharded Len %d", s, p)
+	}
+	for k := int64(0); k < 50_000; k += 509 {
+		if s, p := single.PointQuery(k), sharded.PointQuery(k); s != p {
+			t.Fatalf("PointQuery(%d): single %d != sharded %d", k, s, p)
+		}
+	}
+	if s, p := single.RangeSum(1_000, 40_000), sharded.RangeSum(1_000, 40_000); s != p {
+		t.Fatalf("RangeSum: single %d != sharded %d", s, p)
+	}
+	if got := len(sharded.Layouts()); got == 0 {
+		t.Error("sharded Layouts empty")
+	}
+}
+
+func TestApplyBatchPublic(t *testing.T) {
+	opts := testOptions(ModeCasper)
+	opts.Shards = 4
+	keys := UniformKeys(2_000, 20_000, 77)
+	e, err := Open(keys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch []Op
+	for i := 0; i < 256; i++ {
+		batch = append(batch, Op{Kind: Insert, Key: int64(100_000 + i)})
+	}
+	before := e.Len()
+	if sink := e.ApplyBatch(batch); sink != int64(len(batch)) {
+		t.Fatalf("batch sink = %d, want %d", sink, len(batch))
+	}
+	if got, want := e.Len(), before+len(batch); got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	p := e.ApplyBatchAsync(batch)
+	if sink := p.Wait(); sink != int64(len(batch)) {
+		t.Fatalf("async batch sink = %d, want %d", sink, len(batch))
+	}
+}
+
+func TestAutoRetrainPublic(t *testing.T) {
+	opts := testOptions(ModeCasper)
+	opts.Shards = 2
+	keys := UniformKeys(4_000, 40_000, 77)
+	e, err := Open(keys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.StartAutoRetrain(RetrainPolicy{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.StartAutoRetrain(RetrainPolicy{}); err == nil {
+		t.Error("second StartAutoRetrain should error")
+	}
+	e.StopAutoRetrain()
+	e.StopAutoRetrain() // idempotent
+	e.Close()
+
+	sorted := openTest(t, ModeSorted, 100)
+	if err := sorted.StartAutoRetrain(RetrainPolicy{}); err == nil {
+		t.Error("auto-retrain on non-Casper mode should error")
+	}
+}

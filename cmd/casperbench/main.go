@@ -1,9 +1,10 @@
 // Command casperbench regenerates the tables and figures of "Optimal Column
-// Layout for Hybrid Workloads" (PVLDB 2019).
+// Layout for Hybrid Workloads" (PVLDB 2019), and measures the sharded
+// engine's multi-client throughput.
 //
 // Usage:
 //
-//	casperbench [-fig N | -table N | -all] [-rows N] [-ops N] [-workers N]
+//	casperbench [-fig N | -table N | -all | -throughput] [-rows N] [-ops N] [-workers N]
 //
 // Examples:
 //
@@ -11,6 +12,7 @@
 //	casperbench -fig 12                   # six layouts × six workloads
 //	casperbench -fig 9 -rows 1000000      # model verification on a 1M chunk
 //	casperbench -table 1                  # the design-space table
+//	casperbench -throughput -shards 1,2,4,8 -workers 8
 package main
 
 import (
@@ -18,6 +20,9 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
+	"time"
 
 	"casper/internal/experiments"
 )
@@ -30,6 +35,8 @@ func main() {
 		abl     = flag.Bool("ablations", false, "run the design-choice ablations")
 		comp    = flag.Bool("compression", false, "run the compression synergy report (§6.2)")
 		gran    = flag.Bool("granularity", false, "run the histogram granularity sweep (§4.3)")
+		thr     = flag.Bool("throughput", false, "measure sharded-engine throughput across shard counts")
+		shards  = flag.String("shards", "1,2,4,8", "shard counts for -throughput (comma separated)")
 		rows    = flag.Int("rows", 0, "initial table rows (default 200k)")
 		ops     = flag.Int("ops", 0, "measured operations per run (default 4k)")
 		workers = flag.Int("workers", runtime.NumCPU(), "execution/optimization parallelism")
@@ -49,6 +56,11 @@ func main() {
 	}
 
 	switch {
+	case *thr:
+		if err := runThroughput(*shards, sc.Rows, *ops, *workers, sc.Seed); err != nil {
+			fmt.Fprintf(os.Stderr, "casperbench: %v\n", err)
+			os.Exit(1)
+		}
 	case *all:
 		for _, r := range experiments.All(sc) {
 			fmt.Println(r)
@@ -91,4 +103,46 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runThroughput drives the sharded engine with `workers` concurrent clients
+// over read-heavy and write-heavy skewed mixes for every requested shard
+// count, printing ops/sec and the scaling factor against the first listed
+// shard count (the baseline).
+func runThroughput(shardList string, rows, measuredOps, workers int, seed int64) error {
+	if rows <= 0 {
+		rows = 200_000
+	}
+	if measuredOps <= 0 {
+		measuredOps = 100_000
+	}
+	var counts []int
+	for _, f := range strings.Split(shardList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -shards entry %q", f)
+		}
+		counts = append(counts, n)
+	}
+	fmt.Printf("sharded throughput: %d rows, %d ops/run, %d workers (GOMAXPROCS %d)\n",
+		rows, measuredOps, workers, runtime.GOMAXPROCS(0))
+	fmt.Printf("scaling factors are relative to shards=%d\n\n", counts[0])
+	for _, mix := range experiments.ShardedMixes() {
+		var base float64
+		for _, n := range counts {
+			eng, ops, err := experiments.ShardedScenario(mix.Preset, n, rows, measuredOps, workers, seed)
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			eng.ExecuteParallel(ops, workers)
+			opsPerSec := float64(len(ops)) / time.Since(start).Seconds()
+			if base == 0 {
+				base = opsPerSec
+			}
+			fmt.Printf("%-12s shards=%-2d  %10.0f ops/s   %4.2fx\n", mix.Name, n, opsPerSec, opsPerSec/base)
+		}
+		fmt.Println()
+	}
+	return nil
 }

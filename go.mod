@@ -1,0 +1,3 @@
+module casper
+
+go 1.22

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"casper"
+)
+
+// ShardedMix pairs a display name with the preset it measures.
+type ShardedMix struct {
+	Name   string
+	Preset string
+}
+
+// ShardedMixes are the workload mixes of the sharded throughput scenario,
+// shared by BenchmarkShardedThroughput and `casperbench -throughput` so the
+// two report comparable numbers.
+func ShardedMixes() []ShardedMix {
+	return []ShardedMix{
+		{"read-heavy", casper.ReadOnlySkewed},
+		{"write-heavy", casper.UpdateOnlySkewed},
+	}
+}
+
+// ShardedDomain is the key domain of the sharded throughput scenario.
+const ShardedDomain = 2_000_000
+
+// ShardedScenario builds the trained sharded engine plus the measured op
+// stream for one throughput mix — the single definition of the scenario both
+// the benchmark and the CLI drive.
+func ShardedScenario(preset string, shards, rows, measuredOps, trainParallelism int, seed int64) (*casper.Engine, []casper.Op, error) {
+	keys := casper.UniformKeys(rows, ShardedDomain, seed)
+	eng, err := casper.Open(keys, casper.Options{
+		Mode:        casper.ModeCasper,
+		PayloadCols: 3,
+		ChunkValues: 16_384,
+		GhostFrac:   0.01,
+		Partitions:  16,
+		Shards:      shards,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	sample, err := casper.PresetWorkload(preset, keys, ShardedDomain, 4_000, seed+1)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := eng.Train(sample, trainParallelism); err != nil {
+		return nil, nil, err
+	}
+	ops, err := casper.PresetWorkload(preset, keys, ShardedDomain, measuredOps, seed+2)
+	if err != nil {
+		return nil, nil, err
+	}
+	return eng, ops, nil
+}

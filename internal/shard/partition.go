@@ -1,0 +1,100 @@
+package shard
+
+import (
+	"sort"
+)
+
+// Partitioner routes keys to shards.
+type Partitioner interface {
+	// Shard returns the ordinal of the shard owning key. Every occurrence
+	// of a key (duplicates included) must route to the same shard.
+	Shard(key int64) int
+	// Span returns the inclusive shard interval [a, b] that a key range
+	// [lo, hi] can touch.
+	Span(lo, hi int64) (int, int)
+	// Shards returns the shard count.
+	Shards() int
+}
+
+// HashPartitioner spreads keys across shards by a Fibonacci multiplicative
+// hash. It is robust to key skew — a hot key range fans out over the whole
+// fleet — at the price of range queries touching every shard.
+type HashPartitioner struct {
+	n int
+}
+
+// NewHashPartitioner builds a hash partitioner over n shards.
+func NewHashPartitioner(n int) *HashPartitioner {
+	if n < 1 {
+		n = 1
+	}
+	return &HashPartitioner{n: n}
+}
+
+// fibMix is 2^64 / phi, the Fibonacci hashing multiplier.
+const fibMix = 0x9e3779b97f4a7c15
+
+// Shard implements Partitioner.
+func (p *HashPartitioner) Shard(key int64) int {
+	h := uint64(key) * fibMix
+	h ^= h >> 29
+	return int(h % uint64(p.n))
+}
+
+// Span implements Partitioner: a hash-partitioned range touches every shard.
+func (p *HashPartitioner) Span(lo, hi int64) (int, int) { return 0, p.n - 1 }
+
+// Shards implements Partitioner.
+func (p *HashPartitioner) Shards() int { return p.n }
+
+// RangePartitioner splits the key domain at fixed boundaries, so range
+// queries touch only the shards overlapping the range. Boundaries are
+// typically quantiles of the initial key set (see NewRangePartitioner).
+type RangePartitioner struct {
+	// bounds[i] is the smallest key owned by shard i+1; len(bounds) is
+	// one less than the shard count.
+	bounds []int64
+}
+
+// NewRangePartitioner builds a range partitioner with n shards whose
+// boundaries are the n-quantiles of keys (any order), so the initial load
+// balances evenly even under skewed key distributions.
+func NewRangePartitioner(keys []int64, n int) *RangePartitioner {
+	if n < 1 {
+		n = 1
+	}
+	sorted := make([]int64, len(keys))
+	copy(sorted, keys)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var bounds []int64
+	for i := 1; i < n; i++ {
+		idx := i * len(sorted) / n
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		b := sorted[idx]
+		// Boundaries must be strictly increasing or duplicate keys could
+		// straddle shards; collapse ties rather than split a key.
+		if len(bounds) > 0 && b <= bounds[len(bounds)-1] {
+			continue
+		}
+		bounds = append(bounds, b)
+	}
+	return &RangePartitioner{bounds: bounds}
+}
+
+// Shard implements Partitioner: the number of boundaries ≤ key.
+func (p *RangePartitioner) Shard(key int64) int {
+	return sort.Search(len(p.bounds), func(i int) bool { return p.bounds[i] > key })
+}
+
+// Span implements Partitioner.
+func (p *RangePartitioner) Span(lo, hi int64) (int, int) {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	return p.Shard(lo), p.Shard(hi)
+}
+
+// Shards implements Partitioner.
+func (p *RangePartitioner) Shards() int { return len(p.bounds) + 1 }

@@ -1,0 +1,281 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"casper/internal/table"
+	"casper/internal/workload"
+)
+
+// driftBuckets is the resolution of the per-shard access histogram used to
+// detect workload drift.
+const driftBuckets = 64
+
+// monitor is a per-shard window of recent operations plus an access
+// histogram compared against the histogram captured at the last training to
+// decide when the layout has drifted out from under the workload. Monitor
+// locks never nest inside shard or table locks.
+type monitor struct {
+	mu         sync.Mutex
+	cap        int
+	ops        []workload.Op
+	hist       [driftBuckets]float64
+	baseline   [driftBuckets]float64
+	hasBase    bool
+	sinceTrain int
+}
+
+func newMonitor(cap int) *monitor {
+	return &monitor{cap: cap}
+}
+
+// record appends one operation to the window and its key bucket to the
+// histogram, halving both when the window overflows so recent traffic
+// dominates.
+func (m *monitor) record(op workload.Op, bucket int) {
+	m.mu.Lock()
+	if len(m.ops) >= m.cap {
+		copy(m.ops, m.ops[len(m.ops)-m.cap/2:])
+		m.ops = m.ops[:m.cap/2]
+		for i := range m.hist {
+			m.hist[i] /= 2
+		}
+	}
+	m.ops = append(m.ops, op)
+	m.hist[bucket]++
+	m.sinceTrain++
+	m.mu.Unlock()
+}
+
+// stats returns the operations recorded since the last (re)train and the
+// total-variation distance between the current access histogram and the
+// baseline captured at that train (1 when no baseline exists yet).
+func (m *monitor) stats() (since int, drift float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	since = m.sinceTrain
+	if !m.hasBase {
+		return since, 1
+	}
+	return since, tvDistance(m.hist, m.baseline)
+}
+
+// tvDistance is the total-variation distance between two histograms after
+// normalization: 0.5 · Σ|p−q| ∈ [0, 1].
+func tvDistance(a, b [driftBuckets]float64) float64 {
+	var sa, sb float64
+	for i := range a {
+		sa += a[i]
+		sb += b[i]
+	}
+	if sa == 0 || sb == 0 {
+		return 0
+	}
+	var d float64
+	for i := range a {
+		d += abs(a[i]/sa - b[i]/sb)
+	}
+	return d / 2
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// sample snapshots the window for training without touching drift state, so
+// a failed retrain leaves the trigger armed for the next tick.
+func (m *monitor) sample() []workload.Op {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]workload.Op, len(m.ops))
+	copy(out, m.ops)
+	return out
+}
+
+// rebase re-bases the drift baseline on the current histogram; called after
+// a retrain actually completed.
+func (m *monitor) rebase() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.baseline = m.hist
+	m.hasBase = true
+	m.sinceTrain = 0
+}
+
+// RetrainPolicy tunes the background retrainer.
+type RetrainPolicy struct {
+	// CheckEvery is the drift check cadence (default 100ms).
+	CheckEvery time.Duration
+	// MinOps is the minimum number of operations a shard must observe
+	// since its last training before it is considered (default 1000).
+	MinOps int
+	// MaxDrift triggers a retrain when the total-variation distance
+	// between the shard's current access histogram and its at-training
+	// baseline reaches this value (default 0.15). A shard that has never
+	// been trained through the retrainer counts as fully drifted.
+	MaxDrift float64
+	// Parallelism is the per-retrain solver parallelism (default 1).
+	Parallelism int
+}
+
+func (p RetrainPolicy) withDefaults() RetrainPolicy {
+	if p.CheckEvery <= 0 {
+		p.CheckEvery = 100 * time.Millisecond
+	}
+	if p.MinOps <= 0 {
+		p.MinOps = 1000
+	}
+	if p.MaxDrift <= 0 {
+		p.MaxDrift = 0.15
+	}
+	if p.Parallelism < 1 {
+		p.Parallelism = 1
+	}
+	return p
+}
+
+// StartAutoRetrain launches the background retraining worker: it monitors
+// every operation, and when a shard's access pattern drifts past the policy
+// threshold it re-trains that shard's layout on a shadow copy and swaps the
+// copy in atomically. Reads and writes keep flowing to the live table for
+// the whole training; they are blocked only for the snapshot and the swap.
+// Requires Casper mode.
+func (e *Engine) StartAutoRetrain(p RetrainPolicy) error {
+	if e.cfg.Mode != table.Casper {
+		return fmt.Errorf("shard: auto-retrain requires Casper mode, have %v", e.cfg.Mode)
+	}
+	e.retrainMu.Lock()
+	defer e.retrainMu.Unlock()
+	if e.stopCh != nil {
+		return fmt.Errorf("shard: auto-retrain already running")
+	}
+	p = p.withDefaults()
+	e.stopCh = make(chan struct{})
+	e.doneCh = make(chan struct{})
+	e.monOn.Store(true)
+	go e.retrainLoop(p, e.stopCh, e.doneCh)
+	return nil
+}
+
+// StopAutoRetrain stops the worker and waits for any in-flight retrain to
+// finish. Safe to call when no worker is running.
+func (e *Engine) StopAutoRetrain() {
+	e.retrainMu.Lock()
+	defer e.retrainMu.Unlock()
+	if e.stopCh == nil {
+		return
+	}
+	close(e.stopCh)
+	<-e.doneCh
+	e.stopCh, e.doneCh = nil, nil
+	e.monOn.Store(false)
+}
+
+// Retrains returns the number of completed background shard retrains.
+func (e *Engine) Retrains() uint64 { return e.retrains.Load() }
+
+func (e *Engine) retrainLoop(p RetrainPolicy, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	tick := time.NewTicker(p.CheckEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			for i, s := range e.shards {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				since, drift := s.mon.stats()
+				if since < p.MinOps || drift < p.MaxDrift {
+					continue
+				}
+				sample := s.mon.sample()
+				if err := e.RetrainShard(i, sample, p.Parallelism); err != nil {
+					// Drift state is untouched, so the trigger stays
+					// armed and the next tick retries.
+					continue
+				}
+				s.mon.rebase()
+			}
+		}
+	}
+}
+
+// RetrainShard re-solves shard i's layout for the sample on a shadow copy
+// and swaps the shadow in. Writes that land during training are journaled
+// against the outgoing table and replayed onto the shadow before the swap,
+// so no mutation is lost; readers keep scanning the outgoing table and never
+// observe an intermediate layout. Row counts and key contents are preserved
+// exactly; for duplicate keys with differing payloads, a replayed delete may
+// keep a different duplicate's payload than the live table did (Delete
+// removes an unspecified row with the key — see run's journaling caveat).
+func (e *Engine) RetrainShard(i int, sample []workload.Op, parallelism int) error {
+	if i < 0 || i >= len(e.shards) {
+		return fmt.Errorf("shard: retrain of unknown shard %d", i)
+	}
+	s := e.shards[i]
+	s.layoutMu.Lock()
+	defer s.layoutMu.Unlock()
+
+	// Snapshot under the exclusive lock: no writer can slip a mutation
+	// between the snapshot and the journal turning on.
+	s.mu.Lock()
+	if s.tbl == nil {
+		s.mu.Unlock()
+		return nil
+	}
+	keys, rows := s.tbl.Snapshot()
+	s.jmu.Lock()
+	s.journaling = true
+	s.journal = s.journal[:0]
+	s.jmu.Unlock()
+	s.mu.Unlock()
+
+	// journaling transitions must happen under the exclusive swap lock:
+	// writers read the flag under the shared lock without touching jmu.
+	stopJournal := func() {
+		s.mu.Lock()
+		s.journaling = false
+		s.journal = nil
+		s.mu.Unlock()
+	}
+	if len(keys) == 0 {
+		stopJournal()
+		return nil
+	}
+
+	// Build and train the shadow with no shard locks held: the live table
+	// keeps serving reads and absorbing (journaled) writes.
+	shadow, err := table.NewFromRows(keys, rows, s.cfg)
+	if err != nil {
+		stopJournal()
+		return fmt.Errorf("shard %d: shadow build: %w", i, err)
+	}
+	if err := shadow.TrainLayout(sample, parallelism); err != nil {
+		stopJournal()
+		return fmt.Errorf("shard %d: shadow train: %w", i, err)
+	}
+
+	// Swap: drain the journal onto the shadow, then publish it.
+	s.mu.Lock()
+	s.jmu.Lock()
+	for _, j := range s.journal {
+		j.applyTo(shadow)
+	}
+	s.journaling = false
+	s.journal = nil
+	s.jmu.Unlock()
+	s.tbl = shadow
+	s.mu.Unlock()
+	e.retrains.Add(1)
+	return nil
+}

@@ -1,0 +1,695 @@
+// Package shard scales the single-table Casper engine to a fleet of
+// independently laid-out tables. The paper observes that column layouts
+// "create regions of the data that can be processed in parallel" (§6);
+// shard takes that to its production conclusion:
+//
+//   - the key domain is hash- or range-partitioned across N tables, each
+//     with its own locks, monitor window, and cost-model training state;
+//   - point and range reads fan out across the spanned shards and merge;
+//   - ApplyBatch groups a write batch by shard and applies the groups in
+//     parallel;
+//   - a background worker watches per-shard access-pattern drift and
+//     re-trains drifted shards on a shadow copy, swapping the new layout in
+//     atomically so reads never block on re-layout (the online A' arc of
+//     Fig. 10).
+//
+// A 1-shard engine is behaviorally identical to the bare table, which keeps
+// the public casper API backward compatible.
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"casper/internal/table"
+	"casper/internal/workload"
+)
+
+// journalKind enumerates the mutations a retrain journal can carry.
+type journalKind int
+
+const (
+	jInsert journalKind = iota
+	jInsertRow
+	jDelete
+	jUpdate
+)
+
+// journalOp is one mutation recorded while a shadow retrain is in flight,
+// replayed onto the shadow table before it is swapped in.
+type journalOp struct {
+	kind journalKind
+	key  int64
+	key2 int64
+	row  []int32
+}
+
+func (j journalOp) applyTo(t *table.Table) {
+	switch j.kind {
+	case jInsert:
+		t.Insert(j.key)
+	case jInsertRow:
+		t.InsertRow(j.key, j.row)
+	case jDelete:
+		_ = t.Delete(j.key) // mirrored failure: key also absent in shadow
+	case jUpdate:
+		_ = t.UpdateKey(j.key, j.key2)
+	}
+}
+
+// errEmptyShard marks operations against a shard that holds no rows yet.
+var errEmptyShard = fmt.Errorf("shard: empty shard")
+
+// shard is one partition: a table plus the swap lock and retrain journal.
+type shard struct {
+	// mu guards the tbl pointer. Readers and writers hold it shared for
+	// the duration of an operation; the retrainer holds it exclusive only
+	// to snapshot and to swap, never while solving layouts.
+	mu  sync.RWMutex
+	tbl *table.Table // nil until the shard receives its first row
+
+	// jmu guards the retrain journal. While journaling, writers apply
+	// and append under mu.RLock + jmu (keeping journal order identical
+	// to application order); the retrainer flips journaling and drains
+	// the journal under mu.Lock, so a swap observes every mutation
+	// applied to the outgoing table.
+	jmu        sync.Mutex
+	journaling bool // written only under mu.Lock; stable under mu.RLock
+	journal    []journalOp
+
+	// layoutMu serializes layout mutations (in-place Train vs shadow
+	// retrain) on this shard: a user-driven Train blocks behind an
+	// in-flight background retrain (and vice versa) instead of failing.
+	layoutMu sync.Mutex
+
+	cfg table.Config // table config, for seeding and shadow rebuilds
+	mon *monitor
+}
+
+// Config configures New.
+type Config struct {
+	// Shards is the partition count (default 1).
+	Shards int
+	// ByRange selects range partitioning on the initial keys' quantiles
+	// instead of the default hash partitioning. Range partitioning prunes
+	// range-query fan-out; hash partitioning spreads hot key ranges over
+	// the whole fleet.
+	ByRange bool
+	// Table configures each shard's table.
+	Table table.Config
+	// Gen generates payload rows at load time (nil = table default).
+	Gen table.PayloadGen
+	// MonitorCap is the per-shard monitor window in operations
+	// (default 8192); the window feeds background retraining.
+	MonitorCap int
+}
+
+// Engine is a sharded Casper engine.
+type Engine struct {
+	cfg    table.Config
+	part   Partitioner
+	shards []*shard
+
+	// monOn gates per-operation monitor recording; it is only set while a
+	// background retrainer is running, so the unmonitored fast path costs
+	// one atomic load.
+	monOn        atomic.Bool
+	keyLo, keyHi int64 // initial key extremes, for drift bucketing
+
+	retrainMu sync.Mutex
+	stopCh    chan struct{}
+	doneCh    chan struct{}
+	retrains  atomic.Uint64
+}
+
+// New loads keys (any order) into a sharded engine.
+func New(keys []int64, cfg Config) (*Engine, error) {
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("shard: empty key set")
+	}
+	n := cfg.Shards
+	if n < 1 {
+		n = 1
+	}
+	var part Partitioner
+	if cfg.ByRange {
+		part = NewRangePartitioner(keys, n)
+	} else {
+		part = NewHashPartitioner(n)
+	}
+	monCap := cfg.MonitorCap
+	if monCap <= 0 {
+		monCap = 8192
+	}
+	e := &Engine{cfg: cfg.Table, part: part, keyLo: keys[0], keyHi: keys[0]}
+	perShard := make([][]int64, part.Shards())
+	for _, k := range keys {
+		perShard[part.Shard(k)] = append(perShard[part.Shard(k)], k)
+		if k < e.keyLo {
+			e.keyLo = k
+		}
+		if k > e.keyHi {
+			e.keyHi = k
+		}
+	}
+	for i := 0; i < part.Shards(); i++ {
+		s := &shard{cfg: cfg.Table, mon: newMonitor(monCap)}
+		if len(perShard[i]) > 0 {
+			tbl, err := table.New(perShard[i], cfg.Table, cfg.Gen)
+			if err != nil {
+				return nil, fmt.Errorf("shard %d: %w", i, err)
+			}
+			s.tbl = tbl
+		}
+		e.shards = append(e.shards, s)
+	}
+	return e, nil
+}
+
+// Shards returns the shard count.
+func (e *Engine) Shards() int { return e.part.Shards() }
+
+// Partitioner returns the key router in use.
+func (e *Engine) Partitioner() Partitioner { return e.part }
+
+// shardFor routes a key to its shard.
+func (e *Engine) shardFor(key int64) *shard { return e.shards[e.part.Shard(key)] }
+
+// bucket maps a key to a drift-histogram bucket over the initial domain.
+func (e *Engine) bucket(key int64) int {
+	span := e.keyHi - e.keyLo + 1
+	if span <= 0 {
+		return 0
+	}
+	b := int(float64(key-e.keyLo) / float64(span) * driftBuckets)
+	if b < 0 {
+		b = 0
+	}
+	if b >= driftBuckets {
+		b = driftBuckets - 1
+	}
+	return b
+}
+
+// record feeds an operation into the monitor of every shard it touches,
+// under the same RouteOp rule the training split uses.
+func (e *Engine) record(op workload.Op) {
+	owner := e.part.Shard(op.Key)
+	workload.RouteOp(op, e.part.Shard, e.part.Span, func(s int) {
+		key := op.Key
+		if op.Kind == workload.Q6Update && s != owner {
+			key = op.Key2 // the update lands in this shard at its new key
+		}
+		e.shards[s].mon.record(op, e.bucket(key))
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Shard-local application with journaling
+// ---------------------------------------------------------------------------
+
+// run executes a mutation against the shard's current table under the swap
+// read lock, journaling it (on success) when a shadow retrain is in flight.
+// When the shard is still empty, seed builds a one-row table for inserts;
+// deletes and updates report errEmptyShard.
+//
+// The journaling flag only transitions under the exclusive swap lock, so it
+// is stable for the whole RLock window here. While a retrain is in flight,
+// apply and journal-append happen atomically under jmu: dependent writes
+// (an update another writer's delete relies on) land in the journal in
+// exactly their application order, so the shadow replay preserves the live
+// table's row counts and key contents exactly. One caveat inherits from
+// Delete's own contract ("removes one row with the key, unspecified which"):
+// when duplicate keys carry different payloads, a replayed delete may keep a
+// different duplicate's payload than the live table did — within contract,
+// but not byte-identical (see ROADMAP: row-identity journaling). When no
+// retrain is running, writes skip jmu entirely and only contend on the
+// table's chunk locks.
+func (s *shard) run(j journalOp, fn func(*table.Table) error) error {
+	for {
+		s.mu.RLock()
+		if t := s.tbl; t != nil {
+			var err error
+			if s.journaling {
+				s.jmu.Lock()
+				err = fn(t)
+				if err == nil {
+					s.journal = append(s.journal, j)
+				}
+				s.jmu.Unlock()
+			} else {
+				err = fn(t)
+			}
+			s.mu.RUnlock()
+			return err
+		}
+		s.mu.RUnlock()
+		if j.kind == jDelete || j.kind == jUpdate {
+			return errEmptyShard
+		}
+		if s.seed(j) {
+			return nil
+		}
+		// Lost the creation race; retry through the populated path.
+	}
+}
+
+// seed creates the shard's table holding exactly j's row. Returns false if
+// another writer created the table first.
+func (s *shard) seed(j journalOp) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tbl != nil {
+		return false
+	}
+	tbl, err := table.NewFromRows([]int64{j.key}, [][]int32{j.row}, s.cfg)
+	if err != nil {
+		panic(fmt.Sprintf("shard: seeding one-row table: %v", err))
+	}
+	s.tbl = tbl
+	return true
+}
+
+// read runs fn against the current table under the swap read lock; fn is
+// skipped (zero result) while the shard is empty.
+func (s *shard) read(fn func(*table.Table)) {
+	s.mu.RLock()
+	if s.tbl != nil {
+		fn(s.tbl)
+	}
+	s.mu.RUnlock()
+}
+
+// ---------------------------------------------------------------------------
+// Reads: fan out across spanned shards and merge
+// ---------------------------------------------------------------------------
+
+// PointQuery returns the number of live rows with the given key (Q1).
+func (e *Engine) PointQuery(key int64) int {
+	if e.monOn.Load() {
+		e.record(workload.Op{Kind: workload.Q1PointQuery, Key: key})
+	}
+	n := 0
+	e.shardFor(key).read(func(t *table.Table) { n = t.PointQuery(key) })
+	return n
+}
+
+// fanOut merges fn over shards [a, b], returning the sum. The merge runs on
+// parallel goroutines when the runtime has CPUs to run them; on a single-CPU
+// runtime a sequential merge is strictly cheaper.
+func (e *Engine) fanOut(a, b int, fn func(*table.Table) int64) int64 {
+	if a == b {
+		var v int64
+		e.shards[a].read(func(t *table.Table) { v = fn(t) })
+		return v
+	}
+	if runtime.GOMAXPROCS(0) == 1 {
+		var sum int64
+		for i := a; i <= b; i++ {
+			e.shards[i].read(func(t *table.Table) { sum += fn(t) })
+		}
+		return sum
+	}
+	var wg sync.WaitGroup
+	parts := make([]int64, b-a+1)
+	for i := a; i <= b; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e.shards[i].read(func(t *table.Table) { parts[i-a] = fn(t) })
+		}(i)
+	}
+	wg.Wait()
+	var sum int64
+	for _, v := range parts {
+		sum += v
+	}
+	return sum
+}
+
+// RangeCount counts live rows with keys in [lo, hi] (Q2).
+func (e *Engine) RangeCount(lo, hi int64) int {
+	if hi < lo {
+		return 0
+	}
+	if e.monOn.Load() {
+		e.record(workload.Op{Kind: workload.Q2RangeCount, Key: lo, Key2: hi})
+	}
+	a, b := e.part.Span(lo, hi)
+	return int(e.fanOut(a, b, func(t *table.Table) int64 { return int64(t.RangeCount(lo, hi)) }))
+}
+
+// RangeSum sums the keys of live rows in [lo, hi] (Q3).
+func (e *Engine) RangeSum(lo, hi int64) int64 {
+	if hi < lo {
+		return 0
+	}
+	if e.monOn.Load() {
+		e.record(workload.Op{Kind: workload.Q3RangeSum, Key: lo, Key2: hi})
+	}
+	a, b := e.part.Span(lo, hi)
+	return e.fanOut(a, b, func(t *table.Table) int64 { return t.RangeSum(lo, hi) })
+}
+
+// MultiRangeSum runs the TPC-H-Q6-shaped query across all spanned shards.
+func (e *Engine) MultiRangeSum(lo, hi int64, filters []table.PayloadFilter, sumCol int) int64 {
+	if hi < lo {
+		return 0
+	}
+	if e.monOn.Load() {
+		e.record(workload.Op{Kind: workload.Q3RangeSum, Key: lo, Key2: hi})
+	}
+	a, b := e.part.Span(lo, hi)
+	return e.fanOut(a, b, func(t *table.Table) int64 { return t.MultiRangeSum(lo, hi, filters, sumCol) })
+}
+
+// Payload returns payload column col of one row with the given key.
+func (e *Engine) Payload(key int64, col int) (int32, bool) {
+	var v int32
+	var ok bool
+	e.shardFor(key).read(func(t *table.Table) { v, ok = t.Payload(key, col) })
+	return v, ok
+}
+
+// Len returns the live row count across all shards.
+func (e *Engine) Len() int {
+	n := 0
+	for _, s := range e.shards {
+		s.read(func(t *table.Table) { n += t.Len() })
+	}
+	return n
+}
+
+// Chunks returns the total column chunk count across all shards.
+func (e *Engine) Chunks() int {
+	n := 0
+	for _, s := range e.shards {
+		s.read(func(t *table.Table) { n += t.Chunks() })
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// Writes
+// ---------------------------------------------------------------------------
+
+// Insert adds a row with the given key (Q4).
+func (e *Engine) Insert(key int64) {
+	if e.monOn.Load() {
+		e.record(workload.Op{Kind: workload.Q4Insert, Key: key})
+	}
+	_ = e.shardFor(key).run(journalOp{kind: jInsert, key: key},
+		func(t *table.Table) error { t.Insert(key); return nil })
+}
+
+// insertRow adds a row with an explicit payload (cross-shard update half).
+func (e *Engine) insertRow(key int64, row []int32) {
+	_ = e.shardFor(key).run(journalOp{kind: jInsertRow, key: key, row: row},
+		func(t *table.Table) error { t.InsertRow(key, row); return nil })
+}
+
+// Delete removes one row with the given key (Q5).
+func (e *Engine) Delete(key int64) error {
+	if e.monOn.Load() {
+		e.record(workload.Op{Kind: workload.Q5Delete, Key: key})
+	}
+	err := e.shardFor(key).run(journalOp{kind: jDelete, key: key},
+		func(t *table.Table) error { return t.Delete(key) })
+	if err == errEmptyShard {
+		return fmt.Errorf("shard: delete of absent key %d", key)
+	}
+	return err
+}
+
+// UpdateKey changes one row's key, preserving its payload (Q6). When the old
+// and new keys live on different shards the move is a take+insert pair; a
+// concurrent reader may briefly observe the row on neither shard, but never
+// on both and never with a torn payload.
+func (e *Engine) UpdateKey(old, new int64) error {
+	if e.monOn.Load() {
+		e.record(workload.Op{Kind: workload.Q6Update, Key: old, Key2: new})
+	}
+	so, sn := e.part.Shard(old), e.part.Shard(new)
+	if so == sn {
+		err := e.shards[so].run(journalOp{kind: jUpdate, key: old, key2: new},
+			func(t *table.Table) error { return t.UpdateKey(old, new) })
+		if err == errEmptyShard {
+			return fmt.Errorf("shard: update of absent key %d", old)
+		}
+		return err
+	}
+	var row []int32
+	err := e.shards[so].run(journalOp{kind: jDelete, key: old},
+		func(t *table.Table) error {
+			var terr error
+			row, terr = t.TakeRow(old)
+			return terr
+		})
+	if err == errEmptyShard {
+		return fmt.Errorf("shard: update of absent key %d", old)
+	}
+	if err != nil {
+		return err
+	}
+	e.insertRow(new, row)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Batched execution
+// ---------------------------------------------------------------------------
+
+// Execute runs one operation, returning a sink value (query result or 1/0
+// success flag for writes).
+func (e *Engine) Execute(op workload.Op) int64 {
+	switch op.Kind {
+	case workload.Q1PointQuery:
+		return int64(e.PointQuery(op.Key))
+	case workload.Q2RangeCount:
+		return int64(e.RangeCount(op.Key, op.Key2))
+	case workload.Q3RangeSum:
+		return e.RangeSum(op.Key, op.Key2)
+	case workload.Q4Insert:
+		e.Insert(op.Key)
+		return 1
+	case workload.Q5Delete:
+		if err := e.Delete(op.Key); err == nil {
+			return 1
+		}
+		return 0
+	case workload.Q6Update:
+		if err := e.UpdateKey(op.Key, op.Key2); err == nil {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// ExecuteAll runs the operations serially in order.
+func (e *Engine) ExecuteAll(ops []workload.Op) int64 {
+	var sink int64
+	for _, op := range ops {
+		sink += e.Execute(op)
+	}
+	return sink
+}
+
+// ExecuteParallel spreads the operations over the given number of worker
+// goroutines regardless of shard affinity; shard and chunk locks serialize
+// conflicting writes.
+func (e *Engine) ExecuteParallel(ops []workload.Op, workers int) int64 {
+	if workers <= 1 {
+		return e.ExecuteAll(ops)
+	}
+	var wg sync.WaitGroup
+	sums := make([]int64, workers)
+	per := (len(ops) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > len(ops) {
+			hi = len(ops)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w int, part []workload.Op) {
+			defer wg.Done()
+			var s int64
+			for _, op := range part {
+				s += e.Execute(op)
+			}
+			sums[w] = s
+		}(w, ops[lo:hi])
+	}
+	wg.Wait()
+	var sink int64
+	for _, s := range sums {
+		sink += s
+	}
+	return sink
+}
+
+// ApplyBatch groups the operations by owning shard and applies each group on
+// its own goroutine — the batched write path. Single-shard operations keep
+// their relative order within a shard; operations spanning shards (range
+// reads under hash partitioning, cross-shard updates) run after the
+// per-shard waves. The returned sink is order-independent for disjoint-key
+// batches.
+func (e *Engine) ApplyBatch(ops []workload.Op) int64 {
+	n := e.part.Shards()
+	if n == 1 {
+		return e.ExecuteAll(ops)
+	}
+	groups := make([][]workload.Op, n)
+	var cross []workload.Op
+	for _, op := range ops {
+		// RouteOp yields every shard the op touches; single-shard ops
+		// join that shard's parallel group, multi-shard ops go to the
+		// cross wave.
+		first, touched := -1, 0
+		workload.RouteOp(op, e.part.Shard, e.part.Span, func(s int) {
+			if touched == 0 {
+				first = s
+			}
+			touched++
+		})
+		if touched == 1 {
+			groups[first] = append(groups[first], op)
+		} else {
+			cross = append(cross, op)
+		}
+	}
+	var wg sync.WaitGroup
+	sums := make([]int64, n)
+	for i, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, g []workload.Op) {
+			defer wg.Done()
+			var s int64
+			for _, op := range g {
+				s += e.Execute(op)
+			}
+			sums[i] = s
+		}(i, g)
+	}
+	wg.Wait()
+	var sink int64
+	for _, s := range sums {
+		sink += s
+	}
+	for _, op := range cross {
+		sink += e.Execute(op)
+	}
+	return sink
+}
+
+// Pending is a handle to an asynchronously applied batch.
+type Pending struct {
+	ch chan int64
+}
+
+// Wait blocks until the batch has been applied and returns its sink value.
+func (p *Pending) Wait() int64 { return <-p.ch }
+
+// ApplyBatchAsync applies the batch on a background goroutine, returning
+// immediately with a handle the caller can Wait on.
+func (e *Engine) ApplyBatchAsync(ops []workload.Op) *Pending {
+	p := &Pending{ch: make(chan int64, 1)}
+	go func() { p.ch <- e.ApplyBatch(ops) }()
+	return p
+}
+
+// ---------------------------------------------------------------------------
+// Training
+// ---------------------------------------------------------------------------
+
+// Train re-partitions every shard for the sampled workload. The sample is
+// split per shard (range ops feed every spanned shard, updates both
+// endpoints), then the shards train concurrently, dividing the solver
+// parallelism between them. Training mutates layouts in place under chunk
+// locks; use the background retrainer for non-blocking re-layout.
+func (e *Engine) Train(sample []workload.Op, parallelism int) error {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	n := e.part.Shards()
+	per := workload.SplitByShard(sample, n, e.part.Shard, e.part.Span)
+	conc := n
+	if parallelism < conc {
+		conc = parallelism
+	}
+	solverPar := parallelism / conc
+	if solverPar < 1 {
+		solverPar = 1
+	}
+	sem := make(chan struct{}, conc)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		s := e.shards[i]
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, s *shard) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = e.trainShard(i, s, per[i], solverPar)
+		}(i, s)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// trainShard runs an in-place TrainLayout on one shard, serialized against
+// shadow retrains (it waits for an in-flight one rather than failing).
+func (e *Engine) trainShard(i int, s *shard, sample []workload.Op, parallelism int) error {
+	s.layoutMu.Lock()
+	defer s.layoutMu.Unlock()
+	var err error
+	s.read(func(t *table.Table) { err = t.TrainLayout(sample, parallelism) })
+	return err
+}
+
+// LayoutSummary describes one chunk's physical layout within a shard.
+type LayoutSummary struct {
+	Shard      int
+	Chunk      int
+	Partitions int
+	Sizes      []int
+	Ghosts     []int
+}
+
+// Layouts reports the current physical layout of every shard's partitioned
+// chunks.
+func (e *Engine) Layouts() []LayoutSummary {
+	var out []LayoutSummary
+	for i, s := range e.shards {
+		s.read(func(t *table.Table) {
+			for _, l := range t.Layouts() {
+				out = append(out, LayoutSummary{
+					Shard:      i,
+					Chunk:      l.Chunk,
+					Partitions: l.Partitions,
+					Sizes:      l.Sizes,
+					Ghosts:     l.Ghosts,
+				})
+			}
+		})
+	}
+	return out
+}
+
+// Close stops the background retrainer if one is running.
+func (e *Engine) Close() { e.StopAutoRetrain() }

@@ -19,6 +19,7 @@ package table
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
@@ -199,14 +200,44 @@ func New(keys []int64, cfg Config, gen PayloadGen) (*Table, error) {
 	if len(keys) == 0 {
 		return nil, fmt.Errorf("table: empty key set")
 	}
-	cfg = cfg.withDefaults()
 	if gen == nil {
 		gen = DefaultPayload
 	}
 	sorted := make([]int64, len(keys))
 	copy(sorted, keys)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return build(sorted, cfg, func(ord, col int) int32 { return gen(sorted[ord], col) })
+}
 
+// NewFromRows builds a table over already-sorted keys with explicit payload
+// rows (rows[i] holds the payload columns of sortedKeys[i]). It is the
+// constructor behind shadow-copy rebuilds: Snapshot output feeds straight
+// into it, preserving payloads that no generator could re-derive (rows moved
+// by key updates).
+func NewFromRows(sortedKeys []int64, rows [][]int32, cfg Config) (*Table, error) {
+	if len(sortedKeys) == 0 {
+		return nil, fmt.Errorf("table: empty key set")
+	}
+	if len(rows) != len(sortedKeys) {
+		return nil, fmt.Errorf("table: %d rows for %d keys", len(rows), len(sortedKeys))
+	}
+	for i := 1; i < len(sortedKeys); i++ {
+		if sortedKeys[i] < sortedKeys[i-1] {
+			return nil, fmt.Errorf("table: NewFromRows keys not sorted at %d", i)
+		}
+	}
+	return build(sortedKeys, cfg, func(ord, col int) int32 {
+		if col < len(rows[ord]) {
+			return rows[ord][col]
+		}
+		return DefaultPayload(sortedKeys[ord], col)
+	})
+}
+
+// build chunks sorted keys and loads payloads through rowAt, which maps a
+// global sorted ordinal and column to the payload value.
+func build(sorted []int64, cfg Config, rowAt func(ord, col int) int32) (*Table, error) {
+	cfg = cfg.withDefaults()
 	t := &Table{cfg: cfg}
 	for lo := 0; lo < len(sorted); lo += cfg.ChunkValues {
 		hi := lo + cfg.ChunkValues
@@ -217,7 +248,8 @@ func New(keys []int64, cfg Config, gen PayloadGen) (*Table, error) {
 		for hi < len(sorted) && hi > 0 && sorted[hi] == sorted[hi-1] {
 			hi++
 		}
-		ck, err := newChunk(sorted[lo:hi], cfg, gen)
+		base := lo
+		ck, err := newChunk(sorted[lo:hi], cfg, func(ord, col int) int32 { return rowAt(base+ord, col) })
 		if err != nil {
 			return nil, err
 		}
@@ -231,8 +263,9 @@ func New(keys []int64, cfg Config, gen PayloadGen) (*Table, error) {
 	return t, nil
 }
 
-// newChunk builds one chunk under the table's mode.
-func newChunk(sortedKeys []int64, cfg Config, gen PayloadGen) (*chunk, error) {
+// newChunk builds one chunk under the table's mode; rowAt maps a chunk-local
+// sorted ordinal and column to the payload value.
+func newChunk(sortedKeys []int64, cfg Config, rowAt func(ord, col int) int32) (*chunk, error) {
 	mover := &payloadMover{cols: make([][]int32, cfg.PayloadCols)}
 	ck := &chunk{mover: mover, lowerKey: sortedKeys[0]}
 
@@ -240,7 +273,7 @@ func newChunk(sortedKeys []int64, cfg Config, gen PayloadGen) (*chunk, error) {
 		for ord := range sortedKeys {
 			pos := posOf(ord)
 			for c := 0; c < cfg.PayloadCols; c++ {
-				mover.cols[c][pos] = gen(sortedKeys[ord], c)
+				mover.cols[c][pos] = rowAt(ord, c)
 			}
 		}
 	}
@@ -495,6 +528,74 @@ func (ck *chunk) setPayload(pos int, row []int32) {
 	}
 }
 
+// InsertRow executes Q4 with an explicit payload row instead of the default
+// generator — the insert half of a cross-table key move.
+func (t *Table) InsertRow(key int64, row []int32) {
+	ck := t.chunkFor(key)
+	ck.mu.Lock()
+	pos := ck.store.Insert(key)
+	for c := range ck.mover.cols {
+		if c < len(row) {
+			ck.mover.cols[c][pos] = row[c]
+		} else {
+			ck.mover.cols[c][pos] = DefaultPayload(key, c)
+		}
+	}
+	ck.mu.Unlock()
+}
+
+// TakeRow deletes one row with the given key and returns its payload — the
+// delete half of a cross-table key move.
+func (t *Table) TakeRow(key int64) ([]int32, error) {
+	ck := t.chunkFor(key)
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	pos, ok := ck.store.Locate(key)
+	if !ok {
+		return nil, fmt.Errorf("table: %w: %d", column.ErrNotFound, key)
+	}
+	row := ck.payloadAt(pos)
+	if err := ck.store.Delete(key); err != nil {
+		return nil, err
+	}
+	return row, nil
+}
+
+// Snapshot returns every live row — keys ascending, payload rows aligned —
+// in the form NewFromRows accepts. It takes chunk read locks one at a time,
+// so it observes each chunk atomically but not the table as a whole; callers
+// needing a table-consistent snapshot must serialize writes themselves.
+func (t *Table) Snapshot() ([]int64, [][]int32) {
+	type kv struct {
+		key int64
+		row []int32
+	}
+	var all []kv
+	for _, ck := range t.chunks {
+		ck.mu.RLock()
+		if ck.casperCol != nil {
+			ck.casperCol.PhysicalPositions(func(ord, pos int) {
+				all = append(all, kv{ck.casperCol.Value(pos), ck.payloadAt(pos)})
+			})
+		} else {
+			var buf []int
+			buf = ck.store.RangePositions(math.MinInt64, math.MaxInt64, buf)
+			for _, pos := range buf {
+				all = append(all, kv{ck.store.Value(pos), ck.payloadAt(pos)})
+			}
+		}
+		ck.mu.RUnlock()
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].key < all[j].key })
+	keys := make([]int64, len(all))
+	rows := make([][]int32, len(all))
+	for i, r := range all {
+		keys[i] = r.key
+		rows[i] = r.row
+	}
+	return keys, rows
+}
+
 // Payload returns payload column col at physical position pos of the chunk
 // owning key; test helper.
 func (t *Table) Payload(key int64, col int) (int32, bool) {
@@ -672,7 +773,7 @@ func snapshotSorted(ck *chunk) []int64 {
 	out := make([]int64, 0, n)
 	// Full range covers everything representable.
 	var buf []int
-	buf = ck.store.RangePositions(-1<<62, 1<<62, buf)
+	buf = ck.store.RangePositions(math.MinInt64, math.MaxInt64, buf)
 	for _, pos := range buf {
 		out = append(out, ck.store.Value(pos))
 	}

@@ -285,6 +285,42 @@ func ToFreqOps(ops []Op) []freq.Op {
 	return out
 }
 
+// RouteOp calls visit with the ordinal of every shard serving op, given
+// owner (key → shard) and span (key range → inclusive shard interval; for
+// hash partitioning that is the whole fleet). Range ops touch every spanned
+// shard, updates both endpoints' shards, everything else its key's owner.
+// This is the single routing rule shared by training splits, monitor
+// recording, and batch grouping.
+func RouteOp(op Op, owner func(int64) int, span func(lo, hi int64) (int, int), visit func(int)) {
+	switch op.Kind {
+	case Q2RangeCount, Q3RangeSum:
+		a, b := span(op.Key, op.Key2)
+		for s := a; s <= b; s++ {
+			visit(s)
+		}
+	case Q6Update:
+		a := owner(op.Key)
+		visit(a)
+		if b := owner(op.Key2); b != a {
+			visit(b)
+		}
+	default:
+		visit(owner(op.Key))
+	}
+}
+
+// SplitByShard partitions an operation stream across n shards under RouteOp
+// routing, duplicating multi-shard ops into every shard they touch, so each
+// shard's slice is a faithful sample of the traffic it will actually serve —
+// the per-shard training input.
+func SplitByShard(ops []Op, n int, owner func(int64) int, span func(lo, hi int64) (int, int)) [][]Op {
+	out := make([][]Op, n)
+	for _, op := range ops {
+		RouteOp(op, owner, span, func(s int) { out[s] = append(out[s], op) })
+	}
+	return out
+}
+
 // Counts tallies the operations per kind.
 func Counts(ops []Op) map[Kind]int {
 	m := make(map[Kind]int)
