@@ -38,6 +38,15 @@
 // Writes that land mid-training are journaled and replayed onto the shadow
 // before the swap, so re-layout never loses a mutation and readers never
 // block on the solver.
+//
+// Cross-shard key moves (UpdateKey between shards) commit through an
+// epoch-based protocol: the engine keeps a global epoch counter — shared
+// with the transaction manager, so commits and moves draw from one time
+// domain — and every query reads under a stable epoch. A moving row is
+// staged out of its source shard and published into its destination with a
+// single epoch bump, so a concurrent reader observes it on exactly one
+// shard at all times. View pins move visibility across several queries when
+// an invariant spans more than one call.
 package casper
 
 import (
@@ -193,10 +202,14 @@ func Open(keys []int64, opts Options) (*Engine, error) {
 	if opts.PayloadGen != nil {
 		gen = table.PayloadGen(opts.PayloadGen)
 	}
+	// One oracle serves transaction commit timestamps and cross-shard move
+	// epochs, putting both in a single totally ordered time domain.
+	oracle := txn.NewOracle()
 	sh, err := shard.New(keys, shard.Config{
 		Shards:  opts.Shards,
 		ByRange: opts.ShardByRange,
 		Gen:     gen,
+		Epoch:   oracle,
 		Table: table.Config{
 			Mode:           tableMode(opts.Mode),
 			PayloadCols:    payloadCols,
@@ -211,7 +224,7 @@ func Open(keys []int64, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("casper: %w", err)
 	}
-	return &Engine{sh: sh, params: params, mode: opts.Mode, mgr: txn.NewManager()}, nil
+	return &Engine{sh: sh, params: params, mode: opts.Mode, mgr: txn.NewManagerWithOracle(oracle)}, nil
 }
 
 // Mode returns the engine's layout mode.
@@ -268,11 +281,65 @@ func (e *Engine) Insert(key int64) { e.sh.Insert(key) }
 // Delete removes one row with the given key (Q5).
 func (e *Engine) Delete(key int64) error { return e.sh.Delete(key) }
 
-// UpdateKey changes one row's key, preserving its payload (Q6).
+// UpdateKey changes one row's key, preserving its payload (Q6). When the
+// old and new keys live on different shards the move commits through the
+// engine's epoch-based cross-shard protocol: a concurrent reader observes
+// the row on exactly one shard at all times — never on neither, never on
+// both, and never with a torn payload.
 func (e *Engine) UpdateKey(old, new int64) error { return e.sh.UpdateKey(old, new) }
 
 // Payload returns payload column col of one row with the given key.
 func (e *Engine) Payload(key int64, col int) (int32, bool) { return e.sh.Payload(key, col) }
+
+// Epoch returns the engine's current global epoch: it advances once per
+// published cross-shard move and once per transaction commit.
+func (e *Engine) Epoch() uint64 { return e.sh.Epoch() }
+
+// View is a move-stable multi-query read handle: while the callback of
+// Engine.View runs, no cross-shard move can stage or publish, so invariants
+// that span several queries and depend only on move atomicity hold exactly.
+// It is not a full snapshot: single-shard writes (Insert, Delete, same-shard
+// UpdateKey) do not pass through the move gate and may land between the
+// view's queries.
+type View struct {
+	v *shard.View
+}
+
+// View runs fn over a move-stable read handle pinned at the current epoch.
+// Queries inside fn must go through the View's methods; calling Engine
+// methods from inside fn can deadlock against a queued cross-shard move.
+// Individual engine queries are already epoch-stable on their own — View is
+// only needed when one invariant spans several calls.
+func (e *Engine) View(fn func(*View)) {
+	e.sh.View(func(v *shard.View) { fn(&View{v: v}) })
+}
+
+// Epoch returns the epoch the view is pinned at.
+func (v *View) Epoch() uint64 { return v.v.Epoch() }
+
+// PointQuery is Engine.PointQuery under the view's snapshot.
+func (v *View) PointQuery(key int64) int { return v.v.PointQuery(key) }
+
+// RangeCount is Engine.RangeCount under the view's snapshot.
+func (v *View) RangeCount(lo, hi int64) int { return v.v.RangeCount(lo, hi) }
+
+// RangeSum is Engine.RangeSum under the view's snapshot.
+func (v *View) RangeSum(lo, hi int64) int64 { return v.v.RangeSum(lo, hi) }
+
+// MultiRangeSum is Engine.MultiRangeSum under the view's snapshot.
+func (v *View) MultiRangeSum(lo, hi int64, filters []Filter, sumCol int) int64 {
+	fs := make([]table.PayloadFilter, len(filters))
+	for i, f := range filters {
+		fs[i] = table.PayloadFilter{Col: f.Col, Lo: f.Lo, Hi: f.Hi}
+	}
+	return v.v.MultiRangeSum(lo, hi, fs, sumCol)
+}
+
+// Payload is Engine.Payload under the view's snapshot.
+func (v *View) Payload(key int64, col int) (int32, bool) { return v.v.Payload(key, col) }
+
+// Len is Engine.Len under the view's snapshot.
+func (v *View) Len() int { return v.v.Len() }
 
 // OpKind enumerates workload operations.
 type OpKind int

@@ -387,3 +387,61 @@ func TestAutoRetrainPublic(t *testing.T) {
 		t.Error("auto-retrain on non-Casper mode should error")
 	}
 }
+
+// TestViewAndEpochAcrossShards exercises the public snapshot surface: a
+// cross-shard UpdateKey advances the engine epoch exactly once, a View pins
+// the moved row at exactly one of its two keys, and transaction commits
+// share the same epoch domain.
+func TestViewAndEpochAcrossShards(t *testing.T) {
+	keys := UniformKeys(2_000, 100_000, 4)
+	opts := testOptions(ModeCasper)
+	opts.Shards = 4
+	eng, err := Open(keys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh key pair on different shards.
+	part := eng.sh.Partitioner()
+	old := int64(200_001)
+	new := old + 1
+	for part.Shard(new) == part.Shard(old) {
+		new++
+	}
+	eng.Insert(old)
+
+	before := eng.Epoch()
+	if err := eng.UpdateKey(old, new); err != nil {
+		t.Fatal(err)
+	}
+	if after := eng.Epoch(); after != before+1 {
+		t.Fatalf("cross-shard move bumped epoch %d -> %d, want exactly one bump", before, after)
+	}
+	eng.View(func(v *View) {
+		if got := v.PointQuery(old) + v.PointQuery(new); got != 1 {
+			t.Errorf("view sees the moved row %d times, want 1", got)
+		}
+		if v.Epoch() != eng.sh.Epoch() {
+			t.Errorf("view epoch %d != engine epoch %d", v.Epoch(), eng.sh.Epoch())
+		}
+		if got, want := v.Len(), eng.sh.Len(); got != want {
+			t.Errorf("view Len = %d, want %d", got, want)
+		}
+		filters := []Filter{{Col: 0, Lo: -1 << 30, Hi: 1 << 30}}
+		if got, want := v.MultiRangeSum(0, 100_000, filters, 1), eng.MultiRangeSum(0, 100_000, filters, 1); got != want {
+			t.Errorf("view MultiRangeSum = %d, want %d", got, want)
+		}
+	})
+
+	// Transaction commits draw from the same epoch domain as moves.
+	preCommit := eng.Epoch()
+	tx := eng.Begin()
+	if err := tx.Insert(300_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Epoch(); got <= preCommit {
+		t.Errorf("commit did not advance the shared epoch: %d -> %d", preCommit, got)
+	}
+}

@@ -255,10 +255,15 @@ func TestMeasurementHelpers(t *testing.T) {
 func TestAblationsShape(t *testing.T) {
 	r := Ablations(scale())
 	// Eq. 18 allocation must beat or match even allocation on skewed
-	// inserts.
-	if eq, ev := r.Data["alloc.eq18"][0], r.Data["alloc.even"][0]; eq > ev*1.5 {
-		t.Errorf("Eq.18 allocation (%vus) much worse than even (%vus)", eq, ev)
-	}
+	// inserts. The two sides are measured wall-clock, so the comparison
+	// rides retryTiming like the other timing checks.
+	retryTiming(t, 3, func() string {
+		if eq, ev := r.Data["alloc.eq18"][0], r.Data["alloc.even"][0]; eq > ev*1.5 {
+			r = Ablations(scale()) // remeasure for the next attempt
+			return fmt.Sprintf("Eq.18 allocation (%vus) much worse than even (%vus)", eq, ev)
+		}
+		return ""
+	})
 	// The exact DP lower-bounds both alternatives.
 	dp, lag, equi := r.Data["solver.dp"][0], r.Data["solver.lag"][0], r.Data["solver.equi"][0]
 	if dp > lag+1e-6 || dp > equi+1e-6 {

@@ -1,0 +1,250 @@
+package shard
+
+// White-box suite for the epoch-based cross-shard commit protocol and the
+// row-identity retrain journal: destination-failure rollback, monitor
+// recording discipline, and byte-identical journal replay with duplicate
+// keys carrying different payloads.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"casper/internal/table"
+)
+
+func moveTestConfig() table.Config {
+	return table.Config{
+		Mode:        table.Casper,
+		PayloadCols: 4,
+		ChunkValues: 1_024,
+		GhostFrac:   0.01,
+		Partitions:  8,
+	}
+}
+
+// crossShardPair returns two fresh keys (absent from keys) owned by
+// different shards.
+func crossShardPair(t *testing.T, e *Engine, from int64) (int64, int64) {
+	t.Helper()
+	a := from
+	b := a + 1
+	for e.part.Shard(b) == e.part.Shard(a) {
+		b++
+	}
+	return a, b
+}
+
+func stagedMoves(e *Engine) int {
+	e.moveMu.RLock()
+	defer e.moveMu.RUnlock()
+	return len(e.moves)
+}
+
+// TestCrossShardInsertErrorPropagation regresses the swallowed-insert bug:
+// when the destination shard rejects the publish half of a cross-shard
+// move, UpdateKey must report the error and the row must be rolled back to
+// the source shard — never silently lost.
+func TestCrossShardInsertErrorPropagation(t *testing.T) {
+	keys := make([]int64, 1_000)
+	for i := range keys {
+		keys[i] = int64(i)
+	}
+	e, err := New(keys, Config{Shards: 4, Table: moveTestConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := crossShardPair(t, e, 1_000_000)
+	e.Insert(a)
+
+	injected := errors.New("injected destination failure")
+	e.failDestInsert = func(int, int64) error { return injected }
+	uerr := e.UpdateKey(a, b)
+	if !errors.Is(uerr, injected) {
+		t.Fatalf("UpdateKey error = %v, want wrapped injected error", uerr)
+	}
+	if !strings.Contains(uerr.Error(), "destination insert") {
+		t.Errorf("error %q does not name the failing half", uerr)
+	}
+	if got := e.PointQuery(a); got != 1 {
+		t.Errorf("after failed move: PointQuery(old) = %d, want 1 (rolled back)", got)
+	}
+	if got := e.PointQuery(b); got != 0 {
+		t.Errorf("after failed move: PointQuery(new) = %d, want 0", got)
+	}
+	if v, ok := e.Payload(a, 1); !ok || v != table.DefaultPayload(a, 1) {
+		t.Errorf("after failed move: Payload(old, 1) = (%d,%v), want (%d,true)", v, ok, table.DefaultPayload(a, 1))
+	}
+	if got, want := e.Len(), len(keys)+1; got != want {
+		t.Errorf("after failed move: Len = %d, want %d", got, want)
+	}
+	if got := stagedMoves(e); got != 0 {
+		t.Errorf("after failed move: %d staged moves left in registry, want 0", got)
+	}
+
+	e.failDestInsert = nil
+	if err := e.UpdateKey(a, b); err != nil {
+		t.Fatalf("UpdateKey after clearing fault: %v", err)
+	}
+	if e.PointQuery(a) != 0 || e.PointQuery(b) != 1 {
+		t.Errorf("after successful move: counts (%d,%d), want (0,1)", e.PointQuery(a), e.PointQuery(b))
+	}
+	if got := stagedMoves(e); got != 0 {
+		t.Errorf("after successful move: %d staged moves left in registry, want 0", got)
+	}
+}
+
+// TestMonitorRecordsOnlySuccessfulWrites regresses spurious drift triggers:
+// deletes and updates of absent keys must not feed the per-shard monitors.
+func TestMonitorRecordsOnlySuccessfulWrites(t *testing.T) {
+	keys := make([]int64, 100)
+	for i := range keys {
+		keys[i] = int64(i)
+	}
+	e, err := New(keys, Config{Shards: 2, Table: moveTestConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.monOn.Store(true)
+	defer e.monOn.Store(false)
+
+	recorded := func() int {
+		sum := 0
+		for _, s := range e.shards {
+			since, _ := s.mon.stats()
+			sum += since
+		}
+		return sum
+	}
+
+	base := recorded()
+	if err := e.Delete(1_000_000); err == nil {
+		t.Fatal("delete of absent key should error")
+	}
+	if got := recorded(); got != base {
+		t.Errorf("failed delete recorded: monitor count %d, want %d", got, base)
+	}
+	if err := e.UpdateKey(1_000_001, 1_000_002); err == nil {
+		t.Fatal("update of absent key should error")
+	}
+	a, b := crossShardPair(t, e, 2_000_000)
+	if err := e.UpdateKey(a, b); err == nil {
+		t.Fatal("cross-shard update of absent key should error")
+	}
+	if got := recorded(); got != base {
+		t.Errorf("failed updates recorded: monitor count %d, want %d", got, base)
+	}
+
+	if err := e.Delete(5); err != nil {
+		t.Fatalf("delete of resident key: %v", err)
+	}
+	afterDelete := recorded()
+	if afterDelete <= base {
+		t.Errorf("successful delete not recorded: monitor count %d, want > %d", afterDelete, base)
+	}
+	if err := e.UpdateKey(6, a); err != nil {
+		t.Fatalf("update of resident key: %v", err)
+	}
+	if got := recorded(); got <= afterDelete {
+		t.Errorf("successful update not recorded: monitor count %d, want > %d", got, afterDelete)
+	}
+}
+
+// journalingOn reports whether a shadow retrain is journaling on s.
+func journalingOn(s *shard) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.journaling
+}
+
+// TestJournalRowIdentityReplay regresses the delete-by-key replay bug: with
+// two duplicates of one key carrying different payloads, a delete journaled
+// mid-retrain must remove the same duplicate from the shadow that the live
+// table dropped, leaving the swapped-in table byte-identical. Also checks
+// the journal's epoch stamps are monotone in application order.
+func TestJournalRowIdentityReplay(t *testing.T) {
+	e, err := New([]int64{10, 20}, Config{Shards: 1, Table: moveTestConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two rows with key 10 whose payloads differ: the original (payload of
+	// key 10) and the row moved up from key 20 (payload of key 20).
+	if err := e.UpdateKey(20, 10); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hold a shadow retrain open while the journaled mutations land.
+	s := e.shards[0]
+	gate := make(chan struct{})
+	done := make(chan error, 1)
+	go func() { done <- e.retrainShard(0, func(*table.Table) error { <-gate; return nil }) }()
+	for !journalingOn(s) {
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := e.Delete(10); err != nil {
+		t.Fatal(err)
+	}
+	e.Insert(30)
+
+	s.jmu.Lock()
+	if len(s.journal) != 2 {
+		s.jmu.Unlock()
+		t.Fatalf("journal holds %d ops, want 2", len(s.journal))
+	}
+	del := s.journal[0]
+	if del.kind != jDelete || del.key != 10 {
+		s.jmu.Unlock()
+		t.Fatalf("journal[0] = kind %d key %d, want jDelete of 10", del.kind, del.key)
+	}
+	removed := append([]int32(nil), del.row...)
+	if len(removed) != 4 {
+		s.jmu.Unlock()
+		t.Fatalf("journaled delete carries %d payload cols, want 4", len(removed))
+	}
+	for i := 1; i < len(s.journal); i++ {
+		if s.journal[i].epoch < s.journal[i-1].epoch {
+			s.jmu.Unlock()
+			t.Fatalf("journal epochs regress: %d after %d", s.journal[i].epoch, s.journal[i-1].epoch)
+		}
+	}
+	s.jmu.Unlock()
+
+	// The duplicate that survived on the live table is the one the journal
+	// did not record as removed.
+	want := table.DefaultPayload(10, 0)
+	if removed[0] == want {
+		want = table.DefaultPayload(20, 0) // payload moved up from key 20
+	}
+	liveV, ok := e.Payload(10, 0)
+	if !ok || liveV != want {
+		t.Fatalf("live survivor payload = (%d,%v), want (%d,true)", liveV, ok, want)
+	}
+
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatalf("retrain: %v", err)
+	}
+	if got := e.Retrains(); got != 1 {
+		t.Fatalf("retrains = %d, want 1", got)
+	}
+
+	// After the swap the shadow must agree byte-for-byte with the live
+	// state observed before it: same survivor duplicate, same row set.
+	if got := e.PointQuery(10); got != 1 {
+		t.Fatalf("after swap: PointQuery(10) = %d, want 1", got)
+	}
+	for c := 0; c < 4; c++ {
+		wantC := want + int32(c) // DefaultPayload(k, c) = k + c
+		if v, ok := e.Payload(10, c); !ok || v != wantC {
+			t.Fatalf("after swap: Payload(10,%d) = (%d,%v), want (%d,true)", c, v, ok, wantC)
+		}
+	}
+	if got := e.PointQuery(30); got != 1 {
+		t.Fatalf("after swap: PointQuery(30) = %d, want 1 (journaled insert lost)", got)
+	}
+	if got := e.Len(); got != 2 {
+		t.Fatalf("after swap: Len = %d, want 2", got)
+	}
+}

@@ -241,6 +241,163 @@ func TestJournalOrderWithDependentWrites(t *testing.T) {
 	}
 }
 
+// TestCrossShardMoveAtomicVisibility is the acceptance regression for the
+// epoch-based cross-shard commit protocol: one resident row is moved back
+// and forth between two shards while readers assert — under a pinned View —
+// that it is visible at exactly one of the two keys at all times, with its
+// payload intact, and while shadow retrains of both involved shards are in
+// flight (the epoch-replay path). Before the protocol, the take+insert gap
+// made readers observe the row on neither shard ("0" windows).
+func TestCrossShardMoveAtomicVisibility(t *testing.T) {
+	e, keys := raceEngine(t)
+	part := e.Partitioner()
+
+	// A fresh odd key pair on different shards (initial keys are ≡ 0 mod 4).
+	a := int64(1_000_001)
+	b := a + 2
+	for part.Shard(b) == part.Shard(a) {
+		b += 2
+	}
+	e.Insert(a)
+	wantPayload := int32(a) + 1 // DefaultPayload(a, 1); travels with the row
+
+	sample, err := workload.Preset(workload.HybridSkewed, 256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampleOps, err := workload.Generate(keys, 400_000, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		movers   sync.WaitGroup
+		retrains sync.WaitGroup
+		readers  sync.WaitGroup
+		started  sync.WaitGroup // one Done per reader's first iteration
+		stop     atomic.Bool
+		torn     atomic.Int64
+		views    atomic.Int64
+	)
+
+	// Readers: multi-query invariants under a pinned View, plus a one-call
+	// fan-out probe (RangeCount spans both shards inside a single query).
+	// They run until the bounded writers finish, with at least one
+	// iteration each; the mover waits for every reader's first iteration,
+	// so reads and moves are guaranteed to overlap.
+	lo, hi := a-1, b+1
+	if hi < lo {
+		lo, hi = b-1, a+1
+	}
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		started.Add(1)
+		go func() {
+			defer readers.Done()
+			signaled := false
+			signal := func() {
+				if !signaled {
+					signaled = true
+					started.Done()
+				}
+			}
+			defer signal()
+			// Bounded on both sides: readers exit when the bounded mover
+			// finishes or after a fixed probe budget, whichever is first,
+			// keeping the worst-case runtime flat under CPU contention.
+			for i := 0; i < 1_500; i++ {
+				ok := true
+				e.View(func(v *shard.View) {
+					na, nb := v.PointQuery(a), v.PointQuery(b)
+					if na+nb != 1 {
+						torn.Add(1)
+						ok = false
+						t.Errorf("view: row visible %d times at old + %d at new, want total 1", na, nb)
+						return
+					}
+					at := a
+					if nb == 1 {
+						at = b
+					}
+					if pv, pok := v.Payload(at, 1); !pok || pv != wantPayload {
+						torn.Add(1)
+						ok = false
+						t.Errorf("view: payload at %d = (%d,%v), want (%d,true)", at, pv, pok, wantPayload)
+						return
+					}
+					views.Add(1)
+				})
+				// Fresh odd keys stay unique, so the fan-out range holds
+				// exactly the moving row regardless of which shard owns it.
+				if n := e.RangeCount(lo, hi); n != 1 {
+					torn.Add(1)
+					ok = false
+					t.Errorf("RangeCount(%d,%d) = %d, want 1", lo, hi, n)
+				}
+				signal()
+				if !ok || stop.Load() {
+					return
+				}
+			}
+		}()
+	}
+
+	// Mover: a bounded ping-pong of the row between the two shards; every
+	// pass completes the pair, so the row ends at a.
+	movers.Add(1)
+	go func() {
+		defer movers.Done()
+		started.Wait()
+		for i := 0; i < 150; i++ {
+			if err := e.UpdateKey(a, b); err != nil {
+				t.Errorf("move %d a→b: %v", i, err)
+				return
+			}
+			if err := e.UpdateKey(b, a); err != nil {
+				t.Errorf("move %d b→a: %v", i, err)
+				return
+			}
+		}
+	}()
+
+	// Retrain pressure on both involved shards: the journaled halves of
+	// in-flight moves must replay onto the shadows without breaking the
+	// visibility invariant. Bounded rounds and the start gate keep a
+	// single-CPU scheduler from spinning retrains before the readers and
+	// the mover have even been scheduled.
+	retrains.Add(1)
+	go func() {
+		defer retrains.Done()
+		started.Wait()
+		for r := 0; r < 20 && !stop.Load(); r++ {
+			if err := e.RetrainShard(part.Shard(a), sampleOps, 1); err != nil {
+				t.Errorf("retrain shard of a: %v", err)
+			}
+			if err := e.RetrainShard(part.Shard(b), sampleOps, 1); err != nil {
+				t.Errorf("retrain shard of b: %v", err)
+			}
+		}
+	}()
+
+	movers.Wait()
+	stop.Store(true)
+	readers.Wait()
+	retrains.Wait()
+
+	if torn.Load() != 0 {
+		t.Fatalf("%d atomicity violations", torn.Load())
+	}
+	if views.Load() == 0 {
+		t.Error("readers pinned no views")
+	}
+	if na, nb := e.PointQuery(a), e.PointQuery(b); na != 1 || nb != 0 {
+		t.Errorf("final counts (%d,%d), want (1,0)", na, nb)
+	}
+	if v, ok := e.Payload(a, 1); !ok || v != wantPayload {
+		t.Errorf("final payload = (%d,%v), want (%d,true)", v, ok, wantPayload)
+	}
+}
+
 // TestConcurrentMixedOpsNoRace floods ExecuteParallel with a full hybrid mix
 // while the auto-retrainer runs — a pure race detector target with a final
 // row-count sanity bound.

@@ -214,11 +214,20 @@ func (e *Engine) retrainLoop(p RetrainPolicy, stop <-chan struct{}, done chan<- 
 // and swaps the shadow in. Writes that land during training are journaled
 // against the outgoing table and replayed onto the shadow before the swap,
 // so no mutation is lost; readers keep scanning the outgoing table and never
-// observe an intermediate layout. Row counts and key contents are preserved
-// exactly; for duplicate keys with differing payloads, a replayed delete may
-// keep a different duplicate's payload than the live table did (Delete
-// removes an unspecified row with the key — see run's journaling caveat).
+// observe an intermediate layout. Replay is byte-identical: journaled
+// deletes and updates carry the payload of the row the live table actually
+// touched, so with duplicate keys the shadow drops the same duplicate, and
+// the halves of a cross-shard move journal into their shards with the epoch
+// order the commit protocol established.
 func (e *Engine) RetrainShard(i int, sample []workload.Op, parallelism int) error {
+	return e.retrainShard(i, func(shadow *table.Table) error {
+		return shadow.TrainLayout(sample, parallelism)
+	})
+}
+
+// retrainShard is RetrainShard with the shadow training step injected, so
+// tests can exercise the journal/swap machinery deterministically.
+func (e *Engine) retrainShard(i int, train func(*table.Table) error) error {
 	if i < 0 || i >= len(e.shards) {
 		return fmt.Errorf("shard: retrain of unknown shard %d", i)
 	}
@@ -260,7 +269,7 @@ func (e *Engine) RetrainShard(i int, sample []workload.Op, parallelism int) erro
 		stopJournal()
 		return fmt.Errorf("shard %d: shadow build: %w", i, err)
 	}
-	if err := shadow.TrainLayout(sample, parallelism); err != nil {
+	if err := train(shadow); err != nil {
 		stopJournal()
 		return fmt.Errorf("shard %d: shadow train: %w", i, err)
 	}

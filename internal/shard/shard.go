@@ -11,10 +11,39 @@
 //   - a background worker watches per-shard access-pattern drift and
 //     re-trains drifted shards on a shadow copy, swapping the new layout in
 //     atomically so reads never block on re-layout (the online A' arc of
-//     Fig. 10).
+//     Fig. 10);
+//   - cross-shard key moves commit through an epoch-based protocol (below),
+//     so a concurrent reader observes a moving row on exactly one shard at
+//     all times.
 //
 // A 1-shard engine is behaviorally identical to the bare table, which keeps
 // the public casper API backward compatible.
+//
+// # Epoch-based cross-shard commit protocol
+//
+// The engine carries a global epoch counter (a txn.Oracle, shareable with
+// the transaction manager so commits and moves draw from one time domain)
+// and a registry of staged cross-shard moves, both guarded by an
+// engine-level reader/writer gate (moveMu). Every query — point, range
+// fan-out, payload probe, Len — runs under the gate's read side for its full
+// duration, so the epoch and the registry are stable for the whole
+// operation: the read executes under a single stable epoch.
+//
+// A cross-shard UpdateKey commits in two short exclusive windows:
+//
+//  1. Stage: take the row from the source shard and register the staged
+//     move (key pair + payload) in the registry. From this instant readers
+//     compensate: the staged row still counts at its old key, served from
+//     the registry instead of the source table.
+//  2. Publish: insert the row at the destination shard, retire the registry
+//     entry, and bump the global epoch — a single epoch bump that flips the
+//     row's visible home from the old key to the new one atomically.
+//
+// Because both transitions happen while readers are excluded, and readers
+// hold the gate across their whole fan-out, no reader ever observes the row
+// on zero shards or on two shards — including while a shadow retrain of
+// either shard is in flight (both halves journal like any other write, with
+// the payload pinning row identity and the epoch recording commit order).
 package shard
 
 import (
@@ -24,6 +53,7 @@ import (
 	"sync/atomic"
 
 	"casper/internal/table"
+	"casper/internal/txn"
 	"casper/internal/workload"
 )
 
@@ -38,12 +68,18 @@ const (
 )
 
 // journalOp is one mutation recorded while a shadow retrain is in flight,
-// replayed onto the shadow table before it is swapped in.
+// replayed onto the shadow table before it is swapped in. Deletes and
+// updates carry the payload of the row the live table actually touched, so
+// replay resolves duplicate keys to the same row. Replay order is the
+// append order established under jmu; the epoch stamp does not drive
+// replay — it records which engine epoch each mutation was applied under,
+// for diagnostics and tests.
 type journalOp struct {
-	kind journalKind
-	key  int64
-	key2 int64
-	row  []int32
+	kind  journalKind
+	key   int64
+	key2  int64
+	row   []int32
+	epoch uint64
 }
 
 func (j journalOp) applyTo(t *table.Table) {
@@ -53,9 +89,13 @@ func (j journalOp) applyTo(t *table.Table) {
 	case jInsertRow:
 		t.InsertRow(j.key, j.row)
 	case jDelete:
-		_ = t.Delete(j.key) // mirrored failure: key also absent in shadow
+		// Row-identity replay: drop the duplicate carrying exactly the
+		// journaled payload (mirrored failure: key also absent in shadow).
+		_ = t.DeleteRowExact(j.key, j.row)
 	case jUpdate:
-		_ = t.UpdateKey(j.key, j.key2)
+		if err := t.DeleteRowExact(j.key, j.row); err == nil {
+			t.InsertRow(j.key2, j.row)
+		}
 	}
 }
 
@@ -86,6 +126,7 @@ type shard struct {
 
 	cfg table.Config // table config, for seeding and shadow rebuilds
 	mon *monitor
+	ep  *txn.Oracle // engine epoch oracle, for stamping journal entries
 }
 
 // Config configures New.
@@ -104,6 +145,19 @@ type Config struct {
 	// MonitorCap is the per-shard monitor window in operations
 	// (default 8192); the window feeds background retraining.
 	MonitorCap int
+	// Epoch is the timestamp oracle backing the cross-shard commit
+	// protocol. Passing the oracle of a txn.Manager puts transactional
+	// commits and cross-shard moves in one time domain; nil creates a
+	// private oracle.
+	Epoch *txn.Oracle
+}
+
+// pendingMove is a cross-shard UpdateKey whose take half has executed but
+// whose insert half has not yet published: the row is physically on neither
+// shard, and readers serve it from this registry entry at its old key.
+type pendingMove struct {
+	old, new int64
+	row      []int32
 }
 
 // Engine is a sharded Casper engine.
@@ -111,6 +165,25 @@ type Engine struct {
 	cfg    table.Config
 	part   Partitioner
 	shards []*shard
+
+	// epoch is the global epoch counter of the cross-shard commit
+	// protocol; publishing a cross-shard move advances it exactly once.
+	epoch *txn.Oracle
+	// moveMu is the engine-wide move gate: readers hold it shared for the
+	// full duration of a query (fan-out included), so the epoch and the
+	// staged-move registry are stable for the whole read; the two commit
+	// windows of a cross-shard move (stage, publish) hold it exclusive.
+	// Lock order: moveMu before any shard.mu; shard code never acquires
+	// moveMu, so the order is acyclic.
+	moveMu sync.RWMutex
+	// moves holds staged (taken-but-unpublished) cross-shard moves;
+	// guarded by moveMu. Its length is bounded by the number of in-flight
+	// cross-shard updates, so reader-side compensation scans stay cheap.
+	moves []*pendingMove
+	// failDestInsert, when non-nil, injects a destination-shard rejection
+	// into the publish half of a cross-shard move (test seam for the
+	// rollback path).
+	failDestInsert func(shard int, key int64) error
 
 	// monOn gates per-operation monitor recording; it is only set while a
 	// background retrainer is running, so the unmonitored fast path costs
@@ -143,7 +216,11 @@ func New(keys []int64, cfg Config) (*Engine, error) {
 	if monCap <= 0 {
 		monCap = 8192
 	}
-	e := &Engine{cfg: cfg.Table, part: part, keyLo: keys[0], keyHi: keys[0]}
+	ep := cfg.Epoch
+	if ep == nil {
+		ep = txn.NewOracle()
+	}
+	e := &Engine{cfg: cfg.Table, part: part, epoch: ep, keyLo: keys[0], keyHi: keys[0]}
 	perShard := make([][]int64, part.Shards())
 	for _, k := range keys {
 		perShard[part.Shard(k)] = append(perShard[part.Shard(k)], k)
@@ -155,7 +232,7 @@ func New(keys []int64, cfg Config) (*Engine, error) {
 		}
 	}
 	for i := 0; i < part.Shards(); i++ {
-		s := &shard{cfg: cfg.Table, mon: newMonitor(monCap)}
+		s := &shard{cfg: cfg.Table, mon: newMonitor(monCap), ep: ep}
 		if len(perShard[i]) > 0 {
 			tbl, err := table.New(perShard[i], cfg.Table, cfg.Gen)
 			if err != nil {
@@ -173,6 +250,11 @@ func (e *Engine) Shards() int { return e.part.Shards() }
 
 // Partitioner returns the key router in use.
 func (e *Engine) Partitioner() Partitioner { return e.part }
+
+// Epoch returns the current global epoch. It advances exactly once per
+// published cross-shard move (and, when the oracle is shared with a
+// txn.Manager, once per transaction commit).
+func (e *Engine) Epoch() uint64 { return e.epoch.Now() }
 
 // shardFor routes a key to its shard.
 func (e *Engine) shardFor(key int64) *shard { return e.shards[e.part.Shard(key)] }
@@ -212,6 +294,9 @@ func (e *Engine) record(op workload.Op) {
 
 // run executes a mutation against the shard's current table under the swap
 // read lock, journaling it (on success) when a shadow retrain is in flight.
+// fn receives whether a journal is active; when it is, fn must fill j.row
+// with the payload of the row it touched before returning — the journal
+// entry is appended after fn succeeds, so it carries the row identity.
 // When the shard is still empty, seed builds a one-row table for inserts;
 // deletes and updates report errEmptyShard.
 //
@@ -220,27 +305,25 @@ func (e *Engine) record(op workload.Op) {
 // apply and journal-append happen atomically under jmu: dependent writes
 // (an update another writer's delete relies on) land in the journal in
 // exactly their application order, so the shadow replay preserves the live
-// table's row counts and key contents exactly. One caveat inherits from
-// Delete's own contract ("removes one row with the key, unspecified which"):
-// when duplicate keys carry different payloads, a replayed delete may keep a
-// different duplicate's payload than the live table did — within contract,
-// but not byte-identical (see ROADMAP: row-identity journaling). When no
-// retrain is running, writes skip jmu entirely and only contend on the
-// table's chunk locks.
-func (s *shard) run(j journalOp, fn func(*table.Table) error) error {
+// table's row contents byte-identically — deletes and updates carry the
+// payload of the row the live table actually touched, resolving duplicate
+// keys to the same row. When no retrain is running, writes skip jmu
+// entirely and only contend on the table's chunk locks.
+func (s *shard) run(j *journalOp, fn func(t *table.Table, journaling bool) error) error {
 	for {
 		s.mu.RLock()
 		if t := s.tbl; t != nil {
 			var err error
 			if s.journaling {
 				s.jmu.Lock()
-				err = fn(t)
+				err = fn(t, true)
 				if err == nil {
-					s.journal = append(s.journal, j)
+					j.epoch = s.ep.Now()
+					s.journal = append(s.journal, *j)
 				}
 				s.jmu.Unlock()
 			} else {
-				err = fn(t)
+				err = fn(t, false)
 			}
 			s.mu.RUnlock()
 			return err
@@ -249,7 +332,7 @@ func (s *shard) run(j journalOp, fn func(*table.Table) error) error {
 		if j.kind == jDelete || j.kind == jUpdate {
 			return errEmptyShard
 		}
-		if s.seed(j) {
+		if s.seed(*j) {
 			return nil
 		}
 		// Lost the creation race; retry through the populated path.
@@ -291,8 +374,22 @@ func (e *Engine) PointQuery(key int64) int {
 	if e.monOn.Load() {
 		e.record(workload.Op{Kind: workload.Q1PointQuery, Key: key})
 	}
+	e.moveMu.RLock()
+	defer e.moveMu.RUnlock()
+	return e.pointQueryLocked(key)
+}
+
+// pointQueryLocked serves a point query under the move gate (caller holds
+// moveMu shared): the physical count plus one for every staged move whose
+// row is still visible at its old key.
+func (e *Engine) pointQueryLocked(key int64) int {
 	n := 0
 	e.shardFor(key).read(func(t *table.Table) { n = t.PointQuery(key) })
+	for _, m := range e.moves {
+		if m.old == key {
+			n++
+		}
+	}
 	return n
 }
 
@@ -337,8 +434,20 @@ func (e *Engine) RangeCount(lo, hi int64) int {
 	if e.monOn.Load() {
 		e.record(workload.Op{Kind: workload.Q2RangeCount, Key: lo, Key2: hi})
 	}
+	e.moveMu.RLock()
+	defer e.moveMu.RUnlock()
+	return e.rangeCountLocked(lo, hi)
+}
+
+func (e *Engine) rangeCountLocked(lo, hi int64) int {
 	a, b := e.part.Span(lo, hi)
-	return int(e.fanOut(a, b, func(t *table.Table) int64 { return int64(t.RangeCount(lo, hi)) }))
+	n := int(e.fanOut(a, b, func(t *table.Table) int64 { return int64(t.RangeCount(lo, hi)) }))
+	for _, m := range e.moves {
+		if lo <= m.old && m.old <= hi {
+			n++
+		}
+	}
+	return n
 }
 
 // RangeSum sums the keys of live rows in [lo, hi] (Q3).
@@ -349,8 +458,20 @@ func (e *Engine) RangeSum(lo, hi int64) int64 {
 	if e.monOn.Load() {
 		e.record(workload.Op{Kind: workload.Q3RangeSum, Key: lo, Key2: hi})
 	}
+	e.moveMu.RLock()
+	defer e.moveMu.RUnlock()
+	return e.rangeSumLocked(lo, hi)
+}
+
+func (e *Engine) rangeSumLocked(lo, hi int64) int64 {
 	a, b := e.part.Span(lo, hi)
-	return e.fanOut(a, b, func(t *table.Table) int64 { return t.RangeSum(lo, hi) })
+	sum := e.fanOut(a, b, func(t *table.Table) int64 { return t.RangeSum(lo, hi) })
+	for _, m := range e.moves {
+		if lo <= m.old && m.old <= hi {
+			sum += m.old
+		}
+	}
+	return sum
 }
 
 // MultiRangeSum runs the TPC-H-Q6-shaped query across all spanned shards.
@@ -361,21 +482,62 @@ func (e *Engine) MultiRangeSum(lo, hi int64, filters []table.PayloadFilter, sumC
 	if e.monOn.Load() {
 		e.record(workload.Op{Kind: workload.Q3RangeSum, Key: lo, Key2: hi})
 	}
+	e.moveMu.RLock()
+	defer e.moveMu.RUnlock()
+	return e.multiRangeSumLocked(lo, hi, filters, sumCol)
+}
+
+func (e *Engine) multiRangeSumLocked(lo, hi int64, filters []table.PayloadFilter, sumCol int) int64 {
 	a, b := e.part.Span(lo, hi)
-	return e.fanOut(a, b, func(t *table.Table) int64 { return t.MultiRangeSum(lo, hi, filters, sumCol) })
+	sum := e.fanOut(a, b, func(t *table.Table) int64 { return t.MultiRangeSum(lo, hi, filters, sumCol) })
+	for _, m := range e.moves {
+		if m.old < lo || m.old > hi {
+			continue
+		}
+		pass := true
+		for _, f := range filters {
+			if x := m.row[f.Col]; x < f.Lo || x > f.Hi {
+				pass = false
+				break
+			}
+		}
+		if pass {
+			sum += int64(m.row[sumCol])
+		}
+	}
+	return sum
 }
 
 // Payload returns payload column col of one row with the given key.
 func (e *Engine) Payload(key int64, col int) (int32, bool) {
+	e.moveMu.RLock()
+	defer e.moveMu.RUnlock()
+	return e.payloadLocked(key, col)
+}
+
+func (e *Engine) payloadLocked(key int64, col int) (int32, bool) {
 	var v int32
 	var ok bool
 	e.shardFor(key).read(func(t *table.Table) { v, ok = t.Payload(key, col) })
+	if !ok {
+		for _, m := range e.moves {
+			if m.old == key && col < len(m.row) {
+				return m.row[col], true
+			}
+		}
+	}
 	return v, ok
 }
 
 // Len returns the live row count across all shards.
 func (e *Engine) Len() int {
-	n := 0
+	e.moveMu.RLock()
+	defer e.moveMu.RUnlock()
+	return e.lenLocked()
+}
+
+func (e *Engine) lenLocked() int {
+	n := len(e.moves) // staged rows are live at their old key
 	for _, s := range e.shards {
 		s.read(func(t *table.Table) { n += t.Len() })
 	}
@@ -391,6 +553,66 @@ func (e *Engine) Chunks() int {
 	return n
 }
 
+// View is a move-stable multi-query read handle: while the callback of
+// Engine.View runs, no cross-shard move can stage or publish, so invariants
+// that span several queries and depend only on move atomicity hold exactly
+// (e.g. a row being moved between shards is counted exactly once by
+// PointQuery(old)+PointQuery(new)). It is not a full snapshot: single-shard
+// writes (Insert, Delete, same-shard UpdateKey) do not pass through the
+// move gate and may land between the view's queries.
+type View struct {
+	e     *Engine
+	epoch uint64
+}
+
+// View runs fn over a move-stable read handle pinned at the current epoch.
+// Queries must go through the View's methods; calling Engine methods (or
+// nesting Views) from inside fn can deadlock against a queued move. Writes
+// and single queries do not need View — every individual engine query is
+// already epoch-stable on its own.
+func (e *Engine) View(fn func(*View)) {
+	e.moveMu.RLock()
+	defer e.moveMu.RUnlock()
+	fn(&View{e: e, epoch: e.epoch.Now()})
+}
+
+// Epoch returns the epoch the view is pinned at. No cross-shard move can
+// advance it while the view is live.
+func (v *View) Epoch() uint64 { return v.epoch }
+
+// PointQuery is Engine.PointQuery under the view's snapshot.
+func (v *View) PointQuery(key int64) int { return v.e.pointQueryLocked(key) }
+
+// RangeCount is Engine.RangeCount under the view's snapshot.
+func (v *View) RangeCount(lo, hi int64) int {
+	if hi < lo {
+		return 0
+	}
+	return v.e.rangeCountLocked(lo, hi)
+}
+
+// RangeSum is Engine.RangeSum under the view's snapshot.
+func (v *View) RangeSum(lo, hi int64) int64 {
+	if hi < lo {
+		return 0
+	}
+	return v.e.rangeSumLocked(lo, hi)
+}
+
+// MultiRangeSum is Engine.MultiRangeSum under the view's snapshot.
+func (v *View) MultiRangeSum(lo, hi int64, filters []table.PayloadFilter, sumCol int) int64 {
+	if hi < lo {
+		return 0
+	}
+	return v.e.multiRangeSumLocked(lo, hi, filters, sumCol)
+}
+
+// Payload is Engine.Payload under the view's snapshot.
+func (v *View) Payload(key int64, col int) (int32, bool) { return v.e.payloadLocked(key, col) }
+
+// Len is Engine.Len under the view's snapshot.
+func (v *View) Len() int { return v.e.lenLocked() }
+
 // ---------------------------------------------------------------------------
 // Writes
 // ---------------------------------------------------------------------------
@@ -400,61 +622,139 @@ func (e *Engine) Insert(key int64) {
 	if e.monOn.Load() {
 		e.record(workload.Op{Kind: workload.Q4Insert, Key: key})
 	}
-	_ = e.shardFor(key).run(journalOp{kind: jInsert, key: key},
-		func(t *table.Table) error { t.Insert(key); return nil })
+	_ = e.shardFor(key).run(&journalOp{kind: jInsert, key: key},
+		func(t *table.Table, _ bool) error { t.Insert(key); return nil })
 }
 
-// insertRow adds a row with an explicit payload (cross-shard update half).
-func (e *Engine) insertRow(key int64, row []int32) {
-	_ = e.shardFor(key).run(journalOp{kind: jInsertRow, key: key, row: row},
-		func(t *table.Table) error { t.InsertRow(key, row); return nil })
-}
-
-// Delete removes one row with the given key (Q5).
+// Delete removes one row with the given key (Q5). While a shadow retrain is
+// journaling, the deleted row's payload is captured for the journal, so the
+// replayed delete removes the same duplicate the live table dropped; the
+// unjournaled fast path stays a plain delete with no payload copy. The
+// operation feeds the drift monitor only when it succeeds.
 func (e *Engine) Delete(key int64) error {
-	if e.monOn.Load() {
-		e.record(workload.Op{Kind: workload.Q5Delete, Key: key})
-	}
-	err := e.shardFor(key).run(journalOp{kind: jDelete, key: key},
-		func(t *table.Table) error { return t.Delete(key) })
+	j := &journalOp{kind: jDelete, key: key}
+	err := e.shardFor(key).run(j, func(t *table.Table, journaling bool) error {
+		if !journaling {
+			return t.Delete(key)
+		}
+		row, terr := t.TakeRow(key)
+		j.row = row
+		return terr
+	})
 	if err == errEmptyShard {
 		return fmt.Errorf("shard: delete of absent key %d", key)
+	}
+	if err == nil && e.monOn.Load() {
+		e.record(workload.Op{Kind: workload.Q5Delete, Key: key})
 	}
 	return err
 }
 
 // UpdateKey changes one row's key, preserving its payload (Q6). When the old
-// and new keys live on different shards the move is a take+insert pair; a
-// concurrent reader may briefly observe the row on neither shard, but never
-// on both and never with a torn payload.
+// and new keys live on different shards the move commits through the
+// epoch-based cross-shard protocol (see the package comment): a concurrent
+// reader observes the row on exactly one shard at all times — never on
+// neither, never on both, and never with a torn payload. The operation feeds
+// the drift monitor only when it succeeds.
 func (e *Engine) UpdateKey(old, new int64) error {
-	if e.monOn.Load() {
+	so, sn := e.part.Shard(old), e.part.Shard(new)
+	var err error
+	if so == sn {
+		j := &journalOp{kind: jUpdate, key: old, key2: new}
+		err = e.shards[so].run(j, func(t *table.Table, journaling bool) error {
+			if !journaling {
+				return t.UpdateKey(old, new)
+			}
+			row, terr := t.UpdateKeyRow(old, new)
+			j.row = row
+			return terr
+		})
+		if err == errEmptyShard {
+			err = fmt.Errorf("shard: update of absent key %d", old)
+		}
+	} else {
+		err = e.moveCrossShard(old, new, so, sn)
+	}
+	if err == nil && e.monOn.Load() {
 		e.record(workload.Op{Kind: workload.Q6Update, Key: old, Key2: new})
 	}
-	so, sn := e.part.Shard(old), e.part.Shard(new)
-	if so == sn {
-		err := e.shards[so].run(journalOp{kind: jUpdate, key: old, key2: new},
-			func(t *table.Table) error { return t.UpdateKey(old, new) })
+	return err
+}
+
+// moveCrossShard moves one row between shards under the epoch-based commit
+// protocol. Stage: take the row from the source shard and register it as a
+// staged move, in one exclusive window — readers switch from the physical
+// row to the registry entry atomically, still counting it at old. Publish:
+// insert the row at the destination, retire the registry entry, and advance
+// the global epoch, in a second exclusive window — readers switch from the
+// registry entry to the physical row at new atomically. Both halves journal
+// like ordinary writes, so shadow retrains of either shard replay them
+// exactly. A destination-shard failure rolls the staged row back to the
+// source shard and reports the error — the row is never silently lost.
+//
+// A concurrent Delete(old) or UpdateKey(old, ...) that lands while the row
+// is staged serializes after this move: it fails with "absent key", exactly
+// as it would had it run just after the publish.
+func (e *Engine) moveCrossShard(old, new int64, so, sn int) error {
+	e.moveMu.Lock()
+	j := &journalOp{kind: jDelete, key: old}
+	err := e.shards[so].run(j, func(t *table.Table, _ bool) error {
+		// The payload is needed for the move itself, journaling or not.
+		row, terr := t.TakeRow(old)
+		j.row = row
+		return terr
+	})
+	if err != nil {
+		e.moveMu.Unlock()
 		if err == errEmptyShard {
 			return fmt.Errorf("shard: update of absent key %d", old)
 		}
 		return err
 	}
-	var row []int32
-	err := e.shards[so].run(journalOp{kind: jDelete, key: old},
-		func(t *table.Table) error {
-			var terr error
-			row, terr = t.TakeRow(old)
-			return terr
-		})
-	if err == errEmptyShard {
-		return fmt.Errorf("shard: update of absent key %d", old)
+	m := &pendingMove{old: old, new: new, row: j.row}
+	e.moves = append(e.moves, m)
+	e.moveMu.Unlock()
+
+	// Readers may run here: they serve the staged row from the registry.
+
+	e.moveMu.Lock()
+	defer e.moveMu.Unlock()
+	ierr := error(nil)
+	if e.failDestInsert != nil {
+		ierr = e.failDestInsert(sn, new)
 	}
-	if err != nil {
-		return err
+	if ierr == nil {
+		ierr = e.shards[sn].run(&journalOp{kind: jInsertRow, key: new, row: m.row},
+			func(t *table.Table, _ bool) error { t.InsertRow(new, m.row); return nil })
 	}
-	e.insertRow(new, row)
+	if ierr != nil {
+		// Roll back: the staged row returns to the source shard; only then
+		// is its registry entry retired, so it stays visible throughout. If
+		// the rollback itself fails (not reachable with in-memory tables),
+		// the entry is kept pinned — the row stays readable at old rather
+		// than vanishing — and both errors are reported.
+		rerr := e.shards[so].run(&journalOp{kind: jInsertRow, key: old, row: m.row},
+			func(t *table.Table, _ bool) error { t.InsertRow(old, m.row); return nil })
+		if rerr != nil {
+			return fmt.Errorf("shard: cross-shard update %d→%d: destination insert: %v; rollback failed, row pinned in staged registry: %w", old, new, ierr, rerr)
+		}
+		e.retireMove(m)
+		return fmt.Errorf("shard: cross-shard update %d→%d: destination insert: %w", old, new, ierr)
+	}
+	e.retireMove(m)
+	e.epoch.Advance() // the single epoch bump publishing the move
 	return nil
+}
+
+// retireMove removes m from the staged-move registry; caller holds moveMu
+// exclusive.
+func (e *Engine) retireMove(m *pendingMove) {
+	for i, x := range e.moves {
+		if x == m {
+			e.moves = append(e.moves[:i], e.moves[i+1:]...)
+			return
+		}
+	}
 }
 
 // ---------------------------------------------------------------------------

@@ -339,6 +339,17 @@ func OptimizeChunks(terms []*costmodel.Terms, opts Options, parallelism int) []C
 		parallelism = 1
 	}
 	results := make([]ChunkResult, len(terms))
+	if parallelism == 1 || len(terms) <= 1 {
+		// No parallelism to exploit: solve inline. Spawning workers here
+		// would only add goroutine churn — and on a single-CPU runtime the
+		// spawn/wait ping-pong can monopolize the scheduler's run-next
+		// slot, starving unrelated goroutines.
+		for i, t := range terms {
+			r, err := Optimize(t, opts)
+			results[i] = ChunkResult{Chunk: i, Result: r, Err: err}
+		}
+		return results
+	}
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, parallelism)
 	for i, t := range terms {

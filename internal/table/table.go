@@ -466,6 +466,14 @@ func (t *Table) Delete(key int64) error {
 // its payload. Cross-chunk updates are a delete+insert pair carrying the
 // payload across.
 func (t *Table) UpdateKey(old, new int64) error {
+	_, err := t.UpdateKeyRow(old, new)
+	return err
+}
+
+// UpdateKeyRow is UpdateKey returning a copy of the moved row's payload, so
+// callers can journal the move with row identity (with duplicate keys the
+// payload pins which duplicate moved).
+func (t *Table) UpdateKeyRow(old, new int64) ([]int32, error) {
 	src := t.chunkFor(old)
 	dst := t.chunkFor(new)
 	if src == dst {
@@ -473,15 +481,15 @@ func (t *Table) UpdateKey(old, new int64) error {
 		defer src.mu.Unlock()
 		pos, ok := src.store.Locate(old)
 		if !ok {
-			return fmt.Errorf("table: %w: %d", column.ErrNotFound, old)
+			return nil, fmt.Errorf("table: %w: %d", column.ErrNotFound, old)
 		}
 		saved := src.payloadAt(pos)
 		newPos, err := src.store.Update(old, new)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		src.setPayload(newPos, saved)
-		return nil
+		return saved, nil
 	}
 	// Cross-chunk: lock in address order to avoid deadlock.
 	first, second := src, dst
@@ -494,15 +502,15 @@ func (t *Table) UpdateKey(old, new int64) error {
 	defer second.mu.Unlock()
 	pos, ok := src.store.Locate(old)
 	if !ok {
-		return fmt.Errorf("table: %w: %d", column.ErrNotFound, old)
+		return nil, fmt.Errorf("table: %w: %d", column.ErrNotFound, old)
 	}
 	saved := src.payloadAt(pos)
 	if err := src.store.Delete(old); err != nil {
-		return err
+		return nil, err
 	}
 	newPos := dst.store.Insert(new)
 	dst.setPayload(newPos, saved)
-	return nil
+	return saved, nil
 }
 
 func (t *Table) chunkOrdinal(ck *chunk) int {
@@ -559,6 +567,44 @@ func (t *Table) TakeRow(key int64) ([]int32, error) {
 		return nil, err
 	}
 	return row, nil
+}
+
+// DeleteRowExact removes the live row with the given key whose payload is
+// byte-identical to row, selecting among duplicate keys by payload. It backs
+// row-identity journal replay: a delete journaled during a shadow retrain
+// carries the payload the live table actually dropped, and replaying it
+// through DeleteRowExact drops the same duplicate on the shadow, keeping the
+// two byte-identical. Non-matching duplicates taken while searching are
+// reinserted, preserving the row multiset.
+func (t *Table) DeleteRowExact(key int64, row []int32) error {
+	var stash [][]int32
+	defer func() {
+		for _, r := range stash {
+			t.InsertRow(key, r)
+		}
+	}()
+	for {
+		got, err := t.TakeRow(key)
+		if err != nil {
+			return err
+		}
+		if rowsEqual(got, row) {
+			return nil
+		}
+		stash = append(stash, got)
+	}
+}
+
+func rowsEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Snapshot returns every live row — keys ascending, payload rows aligned —

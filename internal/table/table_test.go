@@ -381,3 +381,76 @@ func TestDuplicateRunsCrossingChunkBoundary(t *testing.T) {
 		t.Fatalf("PointQuery(1) = %d, want 200 (duplicates split across chunks)", got)
 	}
 }
+
+// TestDeleteRowExactSelectsDuplicateByPayload: with duplicate keys carrying
+// different payloads, DeleteRowExact must remove exactly the requested row
+// and leave the other duplicates untouched — the property retrain-journal
+// replay relies on for byte-identical shadows.
+func TestDeleteRowExactSelectsDuplicateByPayload(t *testing.T) {
+	for _, mode := range Modes() {
+		keys := []int64{5, 10, 10, 10, 20}
+		rows := [][]int32{
+			{50, 51, 52, 53},
+			{100, 101, 102, 103},
+			{200, 201, 202, 203},
+			{300, 301, 302, 303},
+			{20, 21, 22, 23},
+		}
+		tb, err := NewFromRows(keys, rows, testConfig(mode))
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if err := tb.DeleteRowExact(10, []int32{200, 201, 202, 203}); err != nil {
+			t.Fatalf("%v: DeleteRowExact: %v", mode, err)
+		}
+		if got := tb.PointQuery(10); got != 2 {
+			t.Fatalf("%v: PointQuery(10) = %d after exact delete, want 2", mode, got)
+		}
+		// The two survivors are the other duplicates, payloads intact.
+		seen := map[int32]bool{}
+		for i := 0; i < 2; i++ {
+			row, err := tb.TakeRow(10)
+			if err != nil {
+				t.Fatalf("%v: TakeRow survivor %d: %v", mode, i, err)
+			}
+			seen[row[0]] = true
+		}
+		if !seen[100] || !seen[300] {
+			t.Fatalf("%v: survivors %v, want payloads 100 and 300", mode, seen)
+		}
+		// A payload that matches no duplicate fails and restores the rows.
+		if err := tb.DeleteRowExact(5, []int32{9, 9, 9, 9}); err == nil {
+			t.Fatalf("%v: DeleteRowExact with unknown payload should error", mode)
+		}
+		if got := tb.PointQuery(5); got != 1 {
+			t.Fatalf("%v: PointQuery(5) = %d after failed exact delete, want 1", mode, got)
+		}
+		if v, ok := tb.Payload(5, 0); !ok || v != 50 {
+			t.Fatalf("%v: Payload(5,0) = (%d,%v) after failed exact delete, want (50,true)", mode, v, ok)
+		}
+	}
+}
+
+// TestUpdateKeyRowReturnsMovedPayload: UpdateKeyRow must report the payload
+// of the duplicate it moved, for both same-chunk and cross-chunk moves.
+func TestUpdateKeyRowReturnsMovedPayload(t *testing.T) {
+	keys := []int64{10, 20}
+	rows := [][]int32{{100, 101, 102, 103}, {200, 201, 202, 203}}
+	tb, err := NewFromRows(keys, rows, testConfig(Casper))
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := tb.UpdateKeyRow(20, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(row) != 4 || row[0] != 200 {
+		t.Fatalf("moved payload %v, want [200 201 202 203]", row)
+	}
+	if v, ok := tb.Payload(15, 0); !ok || v != 200 {
+		t.Fatalf("Payload(15,0) = (%d,%v), want (200,true)", v, ok)
+	}
+	if _, err := tb.UpdateKeyRow(999, 1); err == nil {
+		t.Fatal("UpdateKeyRow of absent key should error")
+	}
+}

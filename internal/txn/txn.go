@@ -14,7 +14,26 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
+
+// Oracle is a monotonic timestamp/epoch source. It is shared between the
+// transaction manager (commit timestamps) and the storage engine (cross-shard
+// move epochs), so transactional commits and cross-shard row moves draw from
+// one totally ordered time domain. All methods are safe for concurrent use.
+type Oracle struct {
+	c atomic.Uint64
+}
+
+// NewOracle returns an oracle starting at timestamp 0.
+func NewOracle() *Oracle { return &Oracle{} }
+
+// Now returns the current timestamp without advancing it.
+func (o *Oracle) Now() uint64 { return o.c.Load() }
+
+// Advance atomically bumps the timestamp and returns the new value. Each
+// Advance is a unique, totally ordered commit point.
+func (o *Oracle) Advance() uint64 { return o.c.Add(1) }
 
 // Errors returned by Commit and transaction operations.
 var (
@@ -60,17 +79,25 @@ type write struct {
 	deleted bool
 }
 
-// Manager is the timestamp oracle plus version store.
+// Manager is the version store plus its timestamp oracle.
 type Manager struct {
 	mu       sync.Mutex
-	clock    uint64
+	oracle   *Oracle
 	versions map[int64][]version // per row, ascending commitTS
 }
 
-// NewManager returns an empty manager.
-func NewManager() *Manager {
-	return &Manager{versions: make(map[int64][]version)}
+// NewManager returns an empty manager with a private oracle.
+func NewManager() *Manager { return NewManagerWithOracle(NewOracle()) }
+
+// NewManagerWithOracle returns an empty manager drawing timestamps from o,
+// letting callers share one time domain between the manager and other
+// components (e.g. a sharded engine's move epochs).
+func NewManagerWithOracle(o *Oracle) *Manager {
+	return &Manager{oracle: o, versions: make(map[int64][]version)}
 }
+
+// Oracle returns the manager's timestamp oracle.
+func (m *Manager) Oracle() *Oracle { return m.oracle }
 
 // Seed installs an initial committed version for key at timestamp 0, used to
 // load existing data without running transactions.
@@ -95,7 +122,7 @@ func (m *Manager) Begin() *Txn {
 	defer m.mu.Unlock()
 	return &Txn{
 		m:      m,
-		readTS: m.clock,
+		readTS: m.oracle.Now(),
 		writes: make(map[int64]write),
 		status: Active,
 	}
@@ -181,8 +208,7 @@ func (t *Txn) Commit() error {
 			return fmt.Errorf("%w on key %d", ErrConflict, key)
 		}
 	}
-	t.m.clock++
-	ts := t.m.clock
+	ts := t.m.oracle.Advance()
 	for key, w := range t.writes {
 		t.m.versions[key] = append(t.m.versions[key], version{
 			commitTS: ts,
@@ -206,7 +232,7 @@ func (t *Txn) Abort() {
 func (m *Manager) ReadCommitted(key int64) (int64, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	v, ok, _ := snapshotRead(m.versions[key], m.clock)
+	v, ok, _ := snapshotRead(m.versions[key], m.oracle.Now())
 	return v, ok
 }
 

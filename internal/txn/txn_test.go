@@ -210,3 +210,59 @@ func TestConcurrentTransfersPreserveInvariant(t *testing.T) {
 		t.Fatalf("invariant broken: %d + %d != 1000", a, b)
 	}
 }
+
+func TestOracleMonotonic(t *testing.T) {
+	o := NewOracle()
+	if o.Now() != 0 {
+		t.Fatalf("fresh oracle at %d, want 0", o.Now())
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1_000; i++ {
+				o.Advance()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := o.Now(); got != 8_000 {
+		t.Fatalf("oracle at %d after 8000 advances, want 8000", got)
+	}
+}
+
+// TestSharedOracleAcrossManagerAndEngine models the engine wiring: the
+// manager's commit timestamps and an external epoch consumer (cross-shard
+// moves) draw from one oracle, and external bumps between Begin and Commit
+// never produce spurious conflicts — conflicts key on row versions, not on
+// timestamp gaps.
+func TestSharedOracleAcrossManagerAndEngine(t *testing.T) {
+	o := NewOracle()
+	m := NewManagerWithOracle(o)
+	if m.Oracle() != o {
+		t.Fatal("Oracle() does not return the shared oracle")
+	}
+	tx := m.Begin()
+	if err := tx.Write(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Cross-shard moves publish epochs while the transaction is open.
+	for i := 0; i < 3; i++ {
+		o.Advance()
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit after external epoch bumps: %v", err)
+	}
+	if v, ok := m.ReadCommitted(1); !ok || v != 5 {
+		t.Fatalf("ReadCommitted = (%d,%v), want (5,true)", v, ok)
+	}
+	// The commit consumed a timestamp strictly above the external bumps.
+	if got := o.Now(); got != 4 {
+		t.Fatalf("oracle at %d after 3 bumps + 1 commit, want 4", got)
+	}
+	// A snapshot begun before the commit still cannot see the write.
+	if tx2 := m.Begin(); tx2.ReadTS() != 4 {
+		t.Fatalf("new snapshot at %d, want 4", tx2.ReadTS())
+	}
+}
