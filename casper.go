@@ -60,6 +60,7 @@ import (
 	"casper/internal/solver"
 	"casper/internal/table"
 	"casper/internal/txn"
+	"casper/internal/wal"
 	"casper/internal/workload"
 )
 
@@ -154,6 +155,42 @@ type Options struct {
 	// range-query fan-out; hash sharding spreads hot key ranges across
 	// the whole fleet.
 	ShardByRange bool
+	// Dir enables durability: every shard keeps an append-only write-ahead
+	// log and chunk checkpoints under this directory, and Open recovers
+	// any state the directory already holds (see Open). Empty keeps the
+	// engine fully in-memory.
+	Dir string
+	// Sync selects the WAL fsync policy for durable engines (default
+	// SyncModeInterval).
+	Sync SyncMode
+	// SyncEvery bounds WAL staleness under SyncModeInterval (default
+	// 100ms).
+	SyncEvery time.Duration
+}
+
+// SyncMode selects when a durable engine fsyncs its write-ahead logs.
+type SyncMode int
+
+const (
+	// SyncModeInterval fsyncs at most once per Options.SyncEvery — bounded
+	// data loss, near-in-memory ingest throughput (the default).
+	SyncModeInterval SyncMode = iota
+	// SyncModeAlways makes every acknowledged write durable; concurrent
+	// writers group-commit behind shared fsyncs.
+	SyncModeAlways
+	// SyncModeNone never fsyncs during operation (only at checkpoints and
+	// Close); a crash loses whatever the OS had not flushed.
+	SyncModeNone
+)
+
+func walPolicy(m SyncMode) wal.SyncPolicy {
+	switch m {
+	case SyncModeAlways:
+		return wal.SyncAlways
+	case SyncModeNone:
+		return wal.SyncNone
+	}
+	return wal.SyncInterval
 }
 
 // Engine is a storage engine instance: a fleet of one or more independently
@@ -169,6 +206,17 @@ type Engine struct {
 }
 
 // Open loads keys (any order) into a fresh engine.
+//
+// With Options.Dir set the engine is durable. If the directory already
+// holds committed state, Open performs crash recovery instead of loading
+// keys (the keys argument is ignored and may be nil): each shard's newest
+// valid checkpoint is loaded — restoring rows, payloads, AND the trained
+// partitioning, so no solver run is needed — and the WAL tail is replayed
+// in epoch order, tolerating a torn final record. The epoch oracle resumes
+// past the highest recovered epoch. An empty (or fresh) directory is
+// bootstrapped from keys and the initial state persisted. Pass the same
+// layout-affecting Options (Mode, PayloadCols, ChunkValues, …) across runs:
+// the directory persists data and shard topology, not engine configuration.
 func Open(keys []int64, opts Options) (*Engine, error) {
 	params := iomodel.EngineDefaults(opts.BlockBytes)
 	if opts.Calibrate {
@@ -206,10 +254,13 @@ func Open(keys []int64, opts Options) (*Engine, error) {
 	// epochs, putting both in a single totally ordered time domain.
 	oracle := txn.NewOracle()
 	sh, err := shard.New(keys, shard.Config{
-		Shards:  opts.Shards,
-		ByRange: opts.ShardByRange,
-		Gen:     gen,
-		Epoch:   oracle,
+		Shards:    opts.Shards,
+		ByRange:   opts.ShardByRange,
+		Gen:       gen,
+		Epoch:     oracle,
+		Dir:       opts.Dir,
+		Sync:      walPolicy(opts.Sync),
+		SyncEvery: opts.SyncEvery,
 		Table: table.Config{
 			Mode:           tableMode(opts.Mode),
 			PayloadCols:    payloadCols,
@@ -275,7 +326,9 @@ func (e *Engine) MultiRangeSum(lo, hi int64, filters []Filter, sumCol int) int64
 	return e.sh.MultiRangeSum(lo, hi, fs, sumCol)
 }
 
-// Insert adds a row with the given key (Q4).
+// Insert adds a row with the given key (Q4). On a durable engine a WAL
+// failure cannot be reported here (no error return); it is sticky and
+// surfaces on the next erroring write, SyncWAL, Checkpoint, or Close.
 func (e *Engine) Insert(key int64) { e.sh.Insert(key) }
 
 // Delete removes one row with the given key (Q5).
@@ -294,6 +347,27 @@ func (e *Engine) Payload(key int64, col int) (int32, bool) { return e.sh.Payload
 // Epoch returns the engine's current global epoch: it advances once per
 // published cross-shard move and once per transaction commit.
 func (e *Engine) Epoch() uint64 { return e.sh.Epoch() }
+
+// Checkpoint persists every shard's current rows and trained layout and
+// truncates the write-ahead logs at the checkpoint boundaries. Checkpoints
+// also happen automatically after Train and after every background retrain
+// swap. No-op on in-memory engines.
+func (e *Engine) Checkpoint() error { return e.sh.Checkpoint() }
+
+// SyncWAL forces all write-ahead logs to stable storage — a durability
+// barrier for engines running Sync modes weaker than SyncModeAlways. No-op
+// on in-memory engines.
+func (e *Engine) SyncWAL() error { return e.sh.SyncWAL() }
+
+// PendingMove describes one in-flight cross-shard key move: the row has
+// left its source shard but is not yet published at its destination, and
+// readers serve it at Old from the engine's staged-move registry.
+type PendingMove = shard.PendingMove
+
+// PendingMoves returns the cross-shard moves currently staged. Durable
+// checkpoints fold these rows back in at their old key, so a checkpoint cut
+// mid-move never persists a row on zero or two shards.
+func (e *Engine) PendingMoves() []PendingMove { return e.sh.PendingMoves() }
 
 // View is a move-stable multi-query read handle: while the callback of
 // Engine.View runs, no cross-shard move can stage or publish, so invariants
@@ -799,5 +873,11 @@ func (e *Engine) StopAutoRetrain() { e.sh.StopAutoRetrain() }
 // Retrains returns the number of completed background shard retrains.
 func (e *Engine) Retrains() uint64 { return e.sh.Retrains() }
 
-// Close stops background workers. The engine remains usable for queries.
-func (e *Engine) Close() { e.sh.Close() }
+// Close stops background workers and, on a durable engine, fsyncs and
+// closes the write-ahead logs, returning the first failure — under Sync
+// modes weaker than SyncModeAlways this final fsync is what makes the
+// latest writes durable. The engine remains usable for queries; writes
+// after Close lose durability (reported where the write API returns an
+// error; Insert surfaces WAL failures on the next SyncWAL/Checkpoint/Close
+// instead).
+func (e *Engine) Close() error { return e.sh.Close() }

@@ -445,3 +445,72 @@ func TestViewAndEpochAcrossShards(t *testing.T) {
 		t.Errorf("commit did not advance the shared epoch: %d -> %d", preCommit, got)
 	}
 }
+
+// TestDurableOpenRecoversThroughPublicAPI drives durability end to end
+// through the exported surface: bootstrap a durable engine, mutate it,
+// reopen the directory, and observe identical query results — including
+// after transactions and cross-shard updates that exercise the shared
+// epoch oracle.
+func TestDurableOpenRecoversThroughPublicAPI(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOptions(ModeCasper)
+	opts.Shards = 4
+	opts.Dir = dir
+	opts.Sync = SyncModeAlways
+
+	keys := UniformKeys(2000, 20000, 9)
+	e, err := Open(keys, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	e.Insert(555_555)
+	e.Insert(555_555)
+	if err := e.Delete(keys[0]); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if err := e.UpdateKey(keys[1], 777_777); err != nil {
+		t.Fatalf("UpdateKey: %v", err)
+	}
+	tx := e.Begin()
+	if err := tx.Insert(888_888); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	wantLen := e.Len()
+	wantSum := e.RangeSum(0, 1_000_000)
+	wantEpoch := e.Epoch()
+	e.Close()
+
+	// Recovery ignores the key argument when the directory has state.
+	re, err := Open(nil, opts)
+	if err != nil {
+		t.Fatalf("recovery Open: %v", err)
+	}
+	defer re.Close()
+	if got := re.Len(); got != wantLen {
+		t.Fatalf("recovered Len = %d, want %d", got, wantLen)
+	}
+	if got := re.RangeSum(0, 1_000_000); got != wantSum {
+		t.Fatalf("recovered RangeSum = %d, want %d", got, wantSum)
+	}
+	if got := re.PointQuery(555_555); got != 2 {
+		t.Fatalf("recovered PointQuery(555555) = %d, want 2", got)
+	}
+	if got := re.PointQuery(777_777); got != 1 {
+		t.Fatalf("recovered PointQuery(777777) = %d, want 1", got)
+	}
+	if got := re.PointQuery(888_888); got != 1 {
+		t.Fatalf("recovered txn insert invisible")
+	}
+	if re.Epoch() < wantEpoch {
+		t.Fatalf("recovered epoch %d regressed below %d", re.Epoch(), wantEpoch)
+	}
+	if err := re.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint after recovery: %v", err)
+	}
+	if pend := re.PendingMoves(); len(pend) != 0 {
+		t.Fatalf("idle engine reports pending moves: %+v", pend)
+	}
+}

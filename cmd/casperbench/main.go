@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	casperbench [-fig N | -table N | -all | -throughput] [-rows N] [-ops N] [-workers N]
+//	casperbench [-fig N | -table N | -all | -throughput | -durable] [-rows N] [-ops N] [-workers N]
 //
 // Examples:
 //
@@ -13,17 +13,20 @@
 //	casperbench -fig 9 -rows 1000000      # model verification on a 1M chunk
 //	casperbench -table 1                  # the design-space table
 //	casperbench -throughput -shards 1,2,4,8 -workers 8
+//	casperbench -durable -rows 200000     # WAL overhead per fsync policy + recovery time
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
+	"casper"
 	"casper/internal/experiments"
 )
 
@@ -36,6 +39,7 @@ func main() {
 		comp    = flag.Bool("compression", false, "run the compression synergy report (§6.2)")
 		gran    = flag.Bool("granularity", false, "run the histogram granularity sweep (§4.3)")
 		thr     = flag.Bool("throughput", false, "measure sharded-engine throughput across shard counts")
+		durable = flag.Bool("durable", false, "measure durable ingest throughput per WAL sync policy and recovery time")
 		shards  = flag.String("shards", "1,2,4,8", "shard counts for -throughput (comma separated)")
 		rows    = flag.Int("rows", 0, "initial table rows (default 200k)")
 		ops     = flag.Int("ops", 0, "measured operations per run (default 4k)")
@@ -58,6 +62,11 @@ func main() {
 	switch {
 	case *thr:
 		if err := runThroughput(*shards, sc.Rows, *ops, *workers, sc.Seed); err != nil {
+			fmt.Fprintf(os.Stderr, "casperbench: %v\n", err)
+			os.Exit(1)
+		}
+	case *durable:
+		if err := runDurable(sc.Rows, *ops, sc.Seed); err != nil {
 			fmt.Fprintf(os.Stderr, "casperbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -103,6 +112,77 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runDurable measures the WAL's write-path overhead: insert-only ingest
+// through an in-memory baseline and through durable engines under each
+// fsync policy, plus the time to recover the durable state with a fresh
+// casper.Open. Data directories live under a temp root and are removed.
+func runDurable(rows, measuredOps int, seed int64) error {
+	if rows <= 0 {
+		rows = 200_000
+	}
+	if measuredOps <= 0 {
+		measuredOps = 50_000
+	}
+	root, err := os.MkdirTemp("", "casperbench-durable-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+
+	keys := casper.UniformKeys(rows, int64(rows)*10, seed)
+	batch := make([]casper.Op, measuredOps)
+	for i := range batch {
+		batch[i] = casper.Op{Kind: casper.Insert, Key: int64(seed*1e9) + int64(i)}
+	}
+
+	fmt.Printf("durable ingest: %d initial rows, %d inserts per run\n\n", rows, measuredOps)
+	configs := []struct {
+		name string
+		opts func(casper.Options) casper.Options
+	}{
+		{"memory", func(o casper.Options) casper.Options { return o }},
+		{"sync=none", func(o casper.Options) casper.Options {
+			o.Dir, o.Sync = filepath.Join(root, "none"), casper.SyncModeNone
+			return o
+		}},
+		{"sync=interval", func(o casper.Options) casper.Options {
+			o.Dir, o.Sync = filepath.Join(root, "interval"), casper.SyncModeInterval
+			return o
+		}},
+		{"sync=always", func(o casper.Options) casper.Options {
+			o.Dir, o.Sync = filepath.Join(root, "always"), casper.SyncModeAlways
+			return o
+		}},
+	}
+	var base float64
+	for _, c := range configs {
+		opts := c.opts(casper.Options{Mode: casper.ModeCasper, Shards: 4})
+		eng, err := casper.Open(keys, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", c.name, err)
+		}
+		start := time.Now()
+		eng.ApplyBatch(batch)
+		opsPerSec := float64(len(batch)) / time.Since(start).Seconds()
+		eng.Close()
+		if base == 0 {
+			base = opsPerSec
+		}
+		line := fmt.Sprintf("%-14s %12.0f ops/s   %5.2fx of memory", c.name, opsPerSec, opsPerSec/base)
+		if opts.Dir != "" {
+			start = time.Now()
+			rec, err := casper.Open(nil, opts)
+			if err != nil {
+				return fmt.Errorf("%s recovery: %w", c.name, err)
+			}
+			line += fmt.Sprintf("   recovery %8.1fms (%d rows)", time.Since(start).Seconds()*1e3, rec.Len())
+			rec.Close()
+		}
+		fmt.Println(line)
+	}
+	return nil
 }
 
 // runThroughput drives the sharded engine with `workers` concurrent clients

@@ -1,0 +1,483 @@
+package shard
+
+// Durability: per-shard write-ahead logging, chunk checkpoints, and crash
+// recovery (the internal/wal subsystem wired into the engine).
+//
+// Layout of a durable engine directory:
+//
+//	dir/
+//	  MANIFEST.json          shard topology; its presence commits bootstrap
+//	  shard-000/
+//	    ckpt-00000001.ckpt   newest-valid checkpoint wins at recovery
+//	    wal-00000002.log     segments >= the checkpoint's WALSeq are its tail
+//	  shard-001/ ...
+//
+// Writes log with row identity under each shard's jmu (see shard.run), so a
+// shard's WAL is a persistent twin of its retrain journal: replaying the
+// tail onto the checkpoint reproduces the live table byte-identically.
+// Cross-shard moves log one MoveOut/MoveIn record pair inside the publish
+// window; recovery reconciles pairs whose halves straddle the crash so a row
+// is never restored on zero or two shards.
+//
+// Checkpoints cut one shard at a single point: under the engine move gate
+// (moveMu shared — no move can stage or publish) plus the shard's exclusive
+// swap lock (no writer, no WAL append), the WAL is rotated and the table
+// snapshot taken, satisfying table.Snapshot's serialize-writers contract.
+// Rows staged OUT of the shard by an in-flight move are folded back in at
+// their old key, exactly mirroring reader-side registry compensation. The
+// checkpoint also records the move-ID horizon: every move with a smaller ID
+// fully published before the cut, which recovery uses to tell a crashed move
+// half from one whose record was legitimately pruned by a checkpoint.
+//
+// Recovery loads each shard's newest valid checkpoint, restores the trained
+// layouts without re-running the solver, merges every shard's WAL tail in
+// epoch order (stable, so per-shard append order is preserved), replays with
+// row identity, reconciles move pairs, and restores the epoch oracle to the
+// highest epoch observed.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"casper/internal/table"
+	"casper/internal/txn"
+	"casper/internal/wal"
+)
+
+// shardDir returns shard i's subdirectory under the engine directory.
+func shardDir(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d", i))
+}
+
+// walOptions maps engine config to WAL options.
+func walOptions(cfg Config) wal.Options {
+	return wal.Options{Policy: cfg.Sync, Interval: cfg.SyncEvery}
+}
+
+// openDurable opens a durable engine: recovery when dir holds a committed
+// manifest, bootstrap from keys otherwise.
+func openDurable(keys []int64, cfg Config) (*Engine, error) {
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("shard: creating %s: %w", cfg.Dir, err)
+	}
+	m, err := wal.LoadManifest(cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	if m != nil {
+		return recoverDurable(cfg, m)
+	}
+	return bootstrapDurable(keys, cfg)
+}
+
+// bootstrapDurable loads keys in memory, then persists the initial state:
+// per-shard initial checkpoint + empty WAL segment, manifest last. The
+// manifest write is the commit point — a crash before it leaves a directory
+// that bootstraps again from scratch, never partial state.
+func bootstrapDurable(keys []int64, cfg Config) (*Engine, error) {
+	e, err := newInMemory(keys, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.durable = true
+	e.dir = cfg.Dir
+	e.wopts = walOptions(cfg)
+	for i, s := range e.shards {
+		s.sdir = shardDir(cfg.Dir, i)
+		if err := os.MkdirAll(s.sdir, 0o755); err != nil {
+			return nil, fmt.Errorf("shard: creating %s: %w", s.sdir, err)
+		}
+		s.log, err = wal.OpenLog(s.sdir, 1, e.wopts)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		s.nextCkpt = 1
+	}
+	// Checkpoint only once every log exists: a checkpoint flushes all WALs
+	// (see checkpointShard), so the fleet must be fully wired first.
+	for i := range e.shards {
+		if err := e.checkpointShard(i); err != nil {
+			return nil, fmt.Errorf("shard %d: initial checkpoint: %w", i, err)
+		}
+	}
+	man := &wal.Manifest{Shards: e.part.Shards(), KeyLo: e.keyLo, KeyHi: e.keyHi}
+	if rp, ok := e.part.(*RangePartitioner); ok {
+		man.ByRange = true
+		man.Bounds = rp.Bounds()
+	}
+	if err := wal.WriteManifest(cfg.Dir, man); err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	return e, nil
+}
+
+// shardRecord is one WAL record tagged with its owning shard, for the
+// epoch-ordered global replay merge.
+type shardRecord struct {
+	shard int
+	rec   wal.Record
+}
+
+// moveTrace accumulates the observed halves of one cross-shard move during
+// replay, keyed by MoveID.
+type moveTrace struct {
+	out, in  bool
+	old, new int64
+	row      []int32
+}
+
+// recoverDurable rebuilds the engine from dir: newest valid checkpoint per
+// shard, WAL tail replayed in epoch order (torn final records tolerated and
+// trimmed), move pairs reconciled, epoch oracle restored.
+func recoverDurable(cfg Config, man *wal.Manifest) (*Engine, error) {
+	var part Partitioner
+	if man.ByRange {
+		part = RangePartitionerFromBounds(man.Bounds)
+	} else {
+		part = NewHashPartitioner(man.Shards)
+	}
+	monCap := cfg.MonitorCap
+	if monCap <= 0 {
+		monCap = 8192
+	}
+	ep := cfg.Epoch
+	if ep == nil {
+		ep = txn.NewOracle()
+	}
+	e := &Engine{
+		cfg: cfg.Table, part: part, epoch: ep,
+		keyLo: man.KeyLo, keyHi: man.KeyHi,
+		durable: true, dir: cfg.Dir, wopts: walOptions(cfg),
+	}
+
+	var all []shardRecord
+	var maxEpoch, maxMove uint64
+	horizons := make([]uint64, part.Shards()) // per-shard checkpoint move horizon
+	newSeqs := make([]uint64, part.Shards())  // fresh WAL segment per shard
+	for i := 0; i < part.Shards(); i++ {
+		s := &shard{cfg: cfg.Table, mon: newMonitor(monCap), ep: ep, sdir: shardDir(cfg.Dir, i)}
+		if err := os.MkdirAll(s.sdir, 0o755); err != nil {
+			return nil, fmt.Errorf("shard: creating %s: %w", s.sdir, err)
+		}
+		cp, cseq, err := wal.LoadNewestCheckpoint(s.sdir)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		if cp == nil {
+			// Bootstrap writes a checkpoint for every shard before the
+			// manifest commits, so a manifest without one means corruption
+			// or deletion; recovering the shard as empty would silently
+			// drop its pre-checkpoint rows (they were never in the WAL).
+			return nil, fmt.Errorf("shard %d: no valid checkpoint in %s", i, s.sdir)
+		}
+		fromSeq := cp.WALSeq
+		horizons[i] = cp.MoveHorizon
+		if cp.Epoch > maxEpoch {
+			maxEpoch = cp.Epoch
+		}
+		if cp.MoveHorizon > maxMove {
+			maxMove = cp.MoveHorizon
+		}
+		if len(cp.Keys) > 0 {
+			tbl, err := table.NewFromRows(cp.Keys, cp.Rows, cfg.Table)
+			if err != nil {
+				return nil, fmt.Errorf("shard %d: checkpoint load: %w", i, err)
+			}
+			if err := tbl.RestoreLayouts(toTableLayouts(cp.Layouts)); err != nil {
+				return nil, fmt.Errorf("shard %d: %w", i, err)
+			}
+			s.tbl = tbl
+		}
+		recs, lastSeq, err := wal.ReplaySegments(s.sdir, fromSeq)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		for _, r := range recs {
+			all = append(all, shardRecord{shard: i, rec: r})
+			if r.Epoch > maxEpoch {
+				maxEpoch = r.Epoch
+			}
+			if r.MoveID > maxMove {
+				maxMove = r.MoveID
+			}
+		}
+		newSeqs[i] = lastSeq + 1
+		if newSeqs[i] < fromSeq {
+			newSeqs[i] = fromSeq
+		}
+		s.nextCkpt = cseq + 1
+		e.shards = append(e.shards, s)
+	}
+
+	// Epoch stamps are non-decreasing within one shard's WAL (appends and
+	// stamps share jmu), so a stable sort preserves per-shard append order
+	// while merging the tails into one epoch-ordered global replay.
+	sort.SliceStable(all, func(a, b int) bool { return all[a].rec.Epoch < all[b].rec.Epoch })
+	moves := make(map[uint64]*moveTrace)
+	for _, sr := range all {
+		e.applyRecovered(sr.shard, sr.rec, moves)
+	}
+	e.reconcileMoves(moves, horizons)
+
+	ep.AdvanceTo(maxEpoch)
+	e.moveSeq.Store(maxMove)
+	for i, s := range e.shards {
+		log, err := wal.OpenLog(s.sdir, newSeqs[i], e.wopts)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		s.log = log
+	}
+	return e, nil
+}
+
+// toTableLayouts converts persisted chunk layouts to the table form.
+func toTableLayouts(in []wal.ChunkLayout) []table.ChunkLayout {
+	out := make([]table.ChunkLayout, len(in))
+	for i, cl := range in {
+		out[i] = table.ChunkLayout{Trained: cl.Trained, Blocks: cl.Blocks, Ghosts: cl.Ghosts}
+	}
+	return out
+}
+
+// applyRecovered replays one WAL record onto shard si during recovery
+// (single-threaded; no locks). Deletes and updates resolve duplicate keys by
+// payload (row identity), so replay order across non-conflicting writers is
+// immaterial. Failed row-identity deletes are skipped exactly as a journal
+// replay skips them: the corresponding runtime op targeted a row this replay
+// timeline never produced.
+func (e *Engine) applyRecovered(si int, r wal.Record, moves map[uint64]*moveTrace) {
+	s := e.shards[si]
+	insert := func(key int64, row []int32) {
+		switch {
+		case s.tbl == nil:
+			s.seedRecovered(key, row)
+		case row == nil:
+			s.tbl.Insert(key)
+		default:
+			s.tbl.InsertRow(key, row)
+		}
+	}
+	switch r.Kind {
+	case wal.RecInsert:
+		insert(r.Key, nil)
+	case wal.RecInsertRow:
+		insert(r.Key, r.Row)
+	case wal.RecDelete:
+		if s.tbl != nil {
+			_ = s.tbl.DeleteRowExact(r.Key, r.Row)
+		}
+	case wal.RecUpdate:
+		if s.tbl != nil && s.tbl.DeleteRowExact(r.Key, r.Row) == nil {
+			s.tbl.InsertRow(r.Key2, r.Row)
+		}
+	case wal.RecMoveOut:
+		mv := traceFor(moves, r)
+		mv.out = true
+		if s.tbl != nil {
+			_ = s.tbl.DeleteRowExact(r.Key, r.Row)
+		}
+	case wal.RecMoveIn:
+		mv := traceFor(moves, r)
+		mv.in = true
+		insert(r.Key2, r.Row)
+	}
+}
+
+// seedRecovered builds the shard's table from the first recovered row; the
+// recovery-time counterpart of shard.seed (single-threaded, no locks, no
+// WAL — the row came from the WAL).
+func (s *shard) seedRecovered(key int64, row []int32) {
+	tbl, err := table.NewFromRows([]int64{key}, [][]int32{row}, s.cfg)
+	if err != nil {
+		panic(fmt.Sprintf("shard: recovery seeding one-row table: %v", err))
+	}
+	s.tbl = tbl
+}
+
+func traceFor(moves map[uint64]*moveTrace, r wal.Record) *moveTrace {
+	mv := moves[r.MoveID]
+	if mv == nil {
+		mv = &moveTrace{old: r.Key, new: r.Key2, row: r.Row}
+		moves[r.MoveID] = mv
+	}
+	return mv
+}
+
+// reconcileMoves repairs cross-shard moves whose record pair did not survive
+// the crash intact, so every moved row lands on exactly one shard:
+//
+//   - MoveOut without MoveIn: if the destination shard checkpointed past
+//     this move ID, the insert is inside its checkpoint and the MoveIn was
+//     pruned — nothing to do. Otherwise the crash lost the destination half:
+//     the move never became durable, so the row returns to its old key.
+//   - MoveIn without MoveOut: if the source shard checkpointed past this
+//     move ID, its checkpoint already excludes the row — nothing to do.
+//     Otherwise the crash lost the source half: the move IS durable (the
+//     destination insert survived), so the stale copy at the old key is
+//     removed.
+//
+// The horizon test is sound because move IDs are allocated inside the
+// publish window, which holds the move gate exclusively: a checkpoint (gate
+// shared) with horizon >= id can only be cut after move id fully published.
+func (e *Engine) reconcileMoves(moves map[uint64]*moveTrace, horizons []uint64) {
+	for id, mv := range moves {
+		if mv.out == mv.in {
+			continue // intact pair (or impossible empty trace)
+		}
+		src := e.part.Shard(mv.old)
+		dst := e.part.Shard(mv.new)
+		if mv.out && id > horizons[dst] {
+			// Destination half lost in the crash: undo the move.
+			if s := e.shards[src]; s.tbl == nil {
+				s.seedRecovered(mv.old, mv.row)
+			} else {
+				s.tbl.InsertRow(mv.old, mv.row)
+			}
+		}
+		if mv.in && id > horizons[src] {
+			// Source half lost in the crash: finish the move.
+			if s := e.shards[src]; s.tbl != nil {
+				_ = s.tbl.DeleteRowExact(mv.old, mv.row)
+			}
+		}
+	}
+}
+
+// PendingMove describes one staged cross-shard move: the row has been taken
+// from its source shard but not yet published at its destination; readers
+// serve it from the registry at Old.
+type PendingMove struct {
+	Old, New int64
+}
+
+// PendingMoves returns the staged cross-shard moves currently in flight.
+// Checkpoints fold these rows back into their source shard at Old, so a
+// checkpoint cut while a move is staged never persists the row on zero or
+// two shards.
+func (e *Engine) PendingMoves() []PendingMove {
+	e.moveMu.RLock()
+	defer e.moveMu.RUnlock()
+	out := make([]PendingMove, len(e.moves))
+	for i, m := range e.moves {
+		out[i] = PendingMove{Old: m.old, New: m.new}
+	}
+	return out
+}
+
+// Checkpoint persists every shard's current state and truncates the WAL at
+// the checkpoint boundaries. No-op on in-memory engines.
+func (e *Engine) Checkpoint() error {
+	if !e.durable {
+		return nil
+	}
+	for i := range e.shards {
+		if err := e.checkpointShard(i); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// checkpointShard cuts shard i at a single point and persists it: under the
+// move gate (shared) and the shard's exclusive swap lock, the WAL rotates to
+// a fresh segment and the snapshot is taken — no writer, no WAL append, no
+// move stage/publish can interleave, so checkpoint + tail replay is exact.
+// Rows staged out of this shard by in-flight moves are folded back in at
+// their old key (registry compensation), and the recorded move horizon lets
+// recovery distinguish crashed move halves from checkpoint-pruned ones. The
+// checkpoint file is written and old segments pruned after the locks drop —
+// the snapshot is already immutable.
+func (e *Engine) checkpointShard(i int) error {
+	s := e.shards[i]
+	if s.log == nil {
+		return fmt.Errorf("shard: checkpoint of non-durable shard %d", i)
+	}
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+
+	e.moveMu.RLock()
+	s.mu.Lock()
+	newSeq, err := s.log.Rotate()
+	if err != nil {
+		s.mu.Unlock()
+		e.moveMu.RUnlock()
+		return err
+	}
+	cp := &wal.Checkpoint{
+		Epoch:       e.epoch.Now(),
+		WALSeq:      newSeq,
+		MoveHorizon: e.moveSeq.Load(),
+	}
+	if s.tbl != nil {
+		cp.Keys, cp.Rows = s.tbl.Snapshot()
+		cp.Layouts = fromTableLayouts(s.tbl.ChunkLayouts())
+	}
+	for _, m := range e.moves {
+		if e.part.Shard(m.old) == i {
+			cp.Keys, cp.Rows = insertSorted(cp.Keys, cp.Rows, m.old, m.row)
+		}
+	}
+	s.mu.Unlock()
+	e.moveMu.RUnlock()
+
+	// The checkpoint's move horizon asserts that every move with id <=
+	// MoveHorizon is durable; its pruning destroys this shard's halves of
+	// those moves' record pairs. Both are only sound once the OTHER shards'
+	// halves are on stable storage — under Sync=none/interval they may
+	// still be sitting in the page cache — so flush every WAL before the
+	// checkpoint itself becomes durable. (Moves with larger ids publish
+	// after the cut and are covered by reconciliation, not the horizon.)
+	if err := e.SyncWAL(); err != nil {
+		return err
+	}
+
+	seq := s.nextCkpt
+	if err := wal.WriteCheckpoint(s.sdir, seq, cp); err != nil {
+		return err
+	}
+	s.nextCkpt = seq + 1
+	wal.Prune(s.sdir, seq, newSeq)
+	return nil
+}
+
+// fromTableLayouts converts table chunk layouts to the persisted form.
+func fromTableLayouts(in []table.ChunkLayout) []wal.ChunkLayout {
+	out := make([]wal.ChunkLayout, len(in))
+	for i, cl := range in {
+		out[i] = wal.ChunkLayout{Trained: cl.Trained, Blocks: cl.Blocks, Ghosts: cl.Ghosts}
+	}
+	return out
+}
+
+// insertSorted splices (key, row) into keys-ascending parallel slices.
+func insertSorted(keys []int64, rows [][]int32, key int64, row []int32) ([]int64, [][]int32) {
+	i := sort.Search(len(keys), func(i int) bool { return keys[i] > key })
+	keys = append(keys, 0)
+	copy(keys[i+1:], keys[i:])
+	keys[i] = key
+	rows = append(rows, nil)
+	copy(rows[i+1:], rows[i:])
+	rows[i] = row
+	return keys, rows
+}
+
+// SyncWAL forces every shard's WAL to stable storage regardless of the sync
+// policy — a durability barrier for callers running with SyncNone or
+// SyncInterval.
+func (e *Engine) SyncWAL() error {
+	if !e.durable {
+		return nil
+	}
+	for i, s := range e.shards {
+		if s.log == nil {
+			continue
+		}
+		if err := s.log.Sync(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}

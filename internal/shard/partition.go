@@ -83,6 +83,19 @@ func NewRangePartitioner(keys []int64, n int) *RangePartitioner {
 	return &RangePartitioner{bounds: bounds}
 }
 
+// RangePartitionerFromBounds rebuilds a range partitioner from boundaries
+// previously captured with Bounds — the recovery path, where the boundaries
+// come from the durable manifest rather than from the initial key set.
+func RangePartitionerFromBounds(bounds []int64) *RangePartitioner {
+	return &RangePartitioner{bounds: append([]int64(nil), bounds...)}
+}
+
+// Bounds returns the partitioner's shard boundaries (bounds[i] is the
+// smallest key owned by shard i+1), for persistence in a durable manifest.
+func (p *RangePartitioner) Bounds() []int64 {
+	return append([]int64(nil), p.bounds...)
+}
+
 // Shard implements Partitioner: the number of boundaries ≤ key.
 func (p *RangePartitioner) Shard(key int64) int {
 	return sort.Search(len(p.bounds), func(i int) bool { return p.bounds[i] > key })

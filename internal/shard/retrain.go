@@ -286,5 +286,15 @@ func (e *Engine) retrainShard(i int, train func(*table.Table) error) error {
 	s.tbl = shadow
 	s.mu.Unlock()
 	e.retrains.Add(1)
+	if e.durable {
+		// Persist the freshly trained layout and truncate the WAL at the
+		// swap: recovery then restores the new layout from the checkpoint
+		// instead of re-running the solver. The swap itself is already
+		// durable (journaled writes were WAL-logged as they happened), so
+		// a checkpoint failure only delays truncation.
+		if err := e.checkpointShard(i); err != nil {
+			return fmt.Errorf("shard %d: post-retrain checkpoint: %w", i, err)
+		}
+	}
 	return nil
 }

@@ -51,9 +51,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"casper/internal/table"
 	"casper/internal/txn"
+	"casper/internal/wal"
 	"casper/internal/workload"
 )
 
@@ -80,6 +82,28 @@ type journalOp struct {
 	key2  int64
 	row   []int32
 	epoch uint64
+	// skipWAL suppresses the WAL record for this mutation. The halves of a
+	// cross-shard move set it: they journal normally (shadow retrains must
+	// replay them) but durability logs the move as a MoveOut/MoveIn record
+	// pair at publish instead, so recovery can reconcile a move whose
+	// halves straddle the crash.
+	skipWAL bool
+}
+
+// record converts a journal entry to its WAL form.
+func (j journalOp) record() wal.Record {
+	var k wal.Kind
+	switch j.kind {
+	case jInsert:
+		k = wal.RecInsert
+	case jInsertRow:
+		k = wal.RecInsertRow
+	case jDelete:
+		k = wal.RecDelete
+	case jUpdate:
+		k = wal.RecUpdate
+	}
+	return wal.Record{Kind: k, Epoch: j.epoch, Key: j.key, Key2: j.key2, Row: j.row}
 }
 
 func (j journalOp) applyTo(t *table.Table) {
@@ -127,6 +151,16 @@ type shard struct {
 	cfg table.Config // table config, for seeding and shadow rebuilds
 	mon *monitor
 	ep  *txn.Oracle // engine epoch oracle, for stamping journal entries
+
+	// Durability state (nil/zero on in-memory engines). log is the shard's
+	// WAL handle; appends happen under mu.RLock + jmu exactly like journal
+	// entries, so WAL order matches application order for dependent writes.
+	// sdir is the shard's directory; ckptMu serializes checkpoints of this
+	// shard; nextCkpt is the next checkpoint sequence number.
+	log      *wal.Log
+	sdir     string
+	ckptMu   sync.Mutex
+	nextCkpt uint64
 }
 
 // Config configures New.
@@ -150,6 +184,18 @@ type Config struct {
 	// commits and cross-shard moves in one time domain; nil creates a
 	// private oracle.
 	Epoch *txn.Oracle
+	// Dir enables durability: each shard keeps an append-only WAL and
+	// chunk checkpoints under this directory. When the directory already
+	// holds a committed manifest, New recovers the persisted engine (keys
+	// is ignored); otherwise it bootstraps from keys and persists the
+	// initial state. Empty disables durability (fully in-memory).
+	Dir string
+	// Sync is the WAL fsync policy for durable engines (default
+	// wal.SyncInterval).
+	Sync wal.SyncPolicy
+	// SyncEvery is the fsync interval under wal.SyncInterval (default
+	// 100ms).
+	SyncEvery time.Duration
 }
 
 // pendingMove is a cross-shard UpdateKey whose take half has executed but
@@ -185,6 +231,20 @@ type Engine struct {
 	// rollback path).
 	failDestInsert func(shard int, key int64) error
 
+	// Durability state (zero on in-memory engines): dir is the engine
+	// directory, wopts the WAL options shared by every shard's log, and
+	// moveSeq the cross-shard move ID counter pairing MoveOut/MoveIn WAL
+	// records (allocated inside the publish window, so checkpoints cut
+	// under the move gate see a stable horizon).
+	durable bool
+	dir     string
+	wopts   wal.Options
+	moveSeq atomic.Uint64
+	// betweenMoveWindows, when non-nil, runs between the stage and publish
+	// windows of a cross-shard move with no locks held (test seam for
+	// checkpoint-during-move coverage).
+	betweenMoveWindows func()
+
 	// monOn gates per-operation monitor recording; it is only set while a
 	// background retrainer is running, so the unmonitored fast path costs
 	// one atomic load.
@@ -197,8 +257,19 @@ type Engine struct {
 	retrains  atomic.Uint64
 }
 
-// New loads keys (any order) into a sharded engine.
+// New loads keys (any order) into a sharded engine. With Config.Dir set the
+// engine is durable: if the directory already holds committed state New
+// recovers it (keys is ignored), otherwise the keys are loaded and the
+// initial state persisted; see durable.go for the recovery protocol.
 func New(keys []int64, cfg Config) (*Engine, error) {
+	if cfg.Dir != "" {
+		return openDurable(keys, cfg)
+	}
+	return newInMemory(keys, cfg)
+}
+
+// newInMemory is the original fully in-memory constructor.
+func newInMemory(keys []int64, cfg Config) (*Engine, error) {
 	if len(keys) == 0 {
 		return nil, fmt.Errorf("shard: empty key set")
 	}
@@ -293,66 +364,95 @@ func (e *Engine) record(op workload.Op) {
 // ---------------------------------------------------------------------------
 
 // run executes a mutation against the shard's current table under the swap
-// read lock, journaling it (on success) when a shadow retrain is in flight.
-// fn receives whether a journal is active; when it is, fn must fill j.row
-// with the payload of the row it touched before returning — the journal
-// entry is appended after fn succeeds, so it carries the row identity.
-// When the shard is still empty, seed builds a one-row table for inserts;
-// deletes and updates report errEmptyShard.
+// read lock, journaling it (on success) when a shadow retrain is in flight
+// and WAL-logging it when the engine is durable. fn receives whether it must
+// capture row identity; when it must, fn fills j.row with the payload of the
+// row it touched before returning — the journal entry and WAL record are
+// appended after fn succeeds, so they carry the row identity. When the shard
+// is still empty, seed builds a one-row table for inserts; deletes and
+// updates report errEmptyShard.
 //
 // The journaling flag only transitions under the exclusive swap lock, so it
-// is stable for the whole RLock window here. While a retrain is in flight,
-// apply and journal-append happen atomically under jmu: dependent writes
-// (an update another writer's delete relies on) land in the journal in
-// exactly their application order, so the shadow replay preserves the live
-// table's row contents byte-identically — deletes and updates carry the
-// payload of the row the live table actually touched, resolving duplicate
-// keys to the same row. When no retrain is running, writes skip jmu
-// entirely and only contend on the table's chunk locks.
-func (s *shard) run(j *journalOp, fn func(t *table.Table, journaling bool) error) error {
+// is stable for the whole RLock window here. While a retrain is in flight or
+// a WAL is attached, apply and append happen atomically under jmu: dependent
+// writes (an update another writer's delete relies on) land in the journal
+// and the WAL in exactly their application order, so both shadow replay and
+// crash replay preserve the live table's row contents byte-identically —
+// deletes and updates carry the payload of the row the live table actually
+// touched, resolving duplicate keys to the same row. When neither is active,
+// writes skip jmu entirely and only contend on the table's chunk locks.
+//
+// The WAL fsync (group commit, per the log's policy) happens after the locks
+// are released, so concurrent committers share fsyncs instead of serializing
+// on one.
+func (s *shard) run(j *journalOp, fn func(t *table.Table, capture bool) error) error {
 	for {
 		s.mu.RLock()
 		if t := s.tbl; t != nil {
 			var err error
-			if s.journaling {
+			var lsn uint64
+			logging := s.log != nil && !j.skipWAL
+			if s.journaling || logging {
 				s.jmu.Lock()
 				err = fn(t, true)
 				if err == nil {
 					j.epoch = s.ep.Now()
-					s.journal = append(s.journal, *j)
+					if s.journaling {
+						s.journal = append(s.journal, *j)
+					}
+					if logging {
+						lsn, _ = s.log.Append(j.record()) // sticky error surfaces in Commit
+					}
 				}
 				s.jmu.Unlock()
 			} else {
 				err = fn(t, false)
 			}
 			s.mu.RUnlock()
+			if err == nil && logging {
+				if werr := s.log.Commit(lsn); werr != nil {
+					return werr
+				}
+			}
 			return err
 		}
 		s.mu.RUnlock()
 		if j.kind == jDelete || j.kind == jUpdate {
 			return errEmptyShard
 		}
-		if s.seed(*j) {
+		if ok, lsn, logged := s.seed(*j); ok {
+			if logged {
+				if werr := s.log.Commit(lsn); werr != nil {
+					return werr
+				}
+			}
 			return nil
 		}
 		// Lost the creation race; retry through the populated path.
 	}
 }
 
-// seed creates the shard's table holding exactly j's row. Returns false if
-// another writer created the table first.
-func (s *shard) seed(j journalOp) bool {
+// seed creates the shard's table holding exactly j's row, WAL-logging the
+// insert under the same exclusive window so no later record can precede it.
+// Returns ok=false if another writer created the table first; logged
+// reports whether a WAL record was appended (commit it after seeing ok).
+func (s *shard) seed(j journalOp) (ok bool, lsn uint64, logged bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.tbl != nil {
-		return false
+		return false, 0, false
 	}
 	tbl, err := table.NewFromRows([]int64{j.key}, [][]int32{j.row}, s.cfg)
 	if err != nil {
 		panic(fmt.Sprintf("shard: seeding one-row table: %v", err))
 	}
 	s.tbl = tbl
-	return true
+	if s.log != nil && !j.skipWAL {
+		j.epoch = s.ep.Now()
+		lsn, _ = s.log.Append(j.record())
+		return true, lsn, true
+	}
+	return true, 0, false
 }
 
 // read runs fn against the current table under the swap read lock; fn is
@@ -617,7 +717,11 @@ func (v *View) Len() int { return v.e.lenLocked() }
 // Writes
 // ---------------------------------------------------------------------------
 
-// Insert adds a row with the given key (Q4).
+// Insert adds a row with the given key (Q4). The signature has no error to
+// return, so on a durable engine a failed WAL append/fsync is held as the
+// log's sticky error and surfaces on the next Delete/UpdateKey, SyncWAL,
+// Checkpoint, or Close — callers needing per-insert durability confirmation
+// should follow the batch with SyncWAL.
 func (e *Engine) Insert(key int64) {
 	if e.monOn.Load() {
 		e.record(workload.Op{Kind: workload.Q4Insert, Key: key})
@@ -627,14 +731,15 @@ func (e *Engine) Insert(key int64) {
 }
 
 // Delete removes one row with the given key (Q5). While a shadow retrain is
-// journaling, the deleted row's payload is captured for the journal, so the
-// replayed delete removes the same duplicate the live table dropped; the
-// unjournaled fast path stays a plain delete with no payload copy. The
-// operation feeds the drift monitor only when it succeeds.
+// journaling (or a WAL is attached), the deleted row's payload is captured
+// for the journal/WAL record, so the replayed delete removes the same
+// duplicate the live table dropped; the uncaptured fast path stays a plain
+// delete with no payload copy. The operation feeds the drift monitor only
+// when it succeeds.
 func (e *Engine) Delete(key int64) error {
 	j := &journalOp{kind: jDelete, key: key}
-	err := e.shardFor(key).run(j, func(t *table.Table, journaling bool) error {
-		if !journaling {
+	err := e.shardFor(key).run(j, func(t *table.Table, capture bool) error {
+		if !capture {
 			return t.Delete(key)
 		}
 		row, terr := t.TakeRow(key)
@@ -661,8 +766,8 @@ func (e *Engine) UpdateKey(old, new int64) error {
 	var err error
 	if so == sn {
 		j := &journalOp{kind: jUpdate, key: old, key2: new}
-		err = e.shards[so].run(j, func(t *table.Table, journaling bool) error {
-			if !journaling {
+		err = e.shards[so].run(j, func(t *table.Table, capture bool) error {
+			if !capture {
 				return t.UpdateKey(old, new)
 			}
 			row, terr := t.UpdateKeyRow(old, new)
@@ -696,8 +801,13 @@ func (e *Engine) UpdateKey(old, new int64) error {
 // is staged serializes after this move: it fails with "absent key", exactly
 // as it would had it run just after the publish.
 func (e *Engine) moveCrossShard(old, new int64, so, sn int) error {
+	// The take, insert, and rollback halves all set skipWAL: durability
+	// logs the move as one MoveOut/MoveIn record pair at publish (below),
+	// so a crash between the windows recovers the row at its old key and a
+	// rolled-back move leaves no WAL trace. The halves still journal for
+	// shadow retrains.
 	e.moveMu.Lock()
-	j := &journalOp{kind: jDelete, key: old}
+	j := &journalOp{kind: jDelete, key: old, skipWAL: true}
 	err := e.shards[so].run(j, func(t *table.Table, _ bool) error {
 		// The payload is needed for the move itself, journaling or not.
 		row, terr := t.TakeRow(old)
@@ -716,6 +826,9 @@ func (e *Engine) moveCrossShard(old, new int64, so, sn int) error {
 	e.moveMu.Unlock()
 
 	// Readers may run here: they serve the staged row from the registry.
+	if e.betweenMoveWindows != nil {
+		e.betweenMoveWindows()
+	}
 
 	e.moveMu.Lock()
 	defer e.moveMu.Unlock()
@@ -724,7 +837,7 @@ func (e *Engine) moveCrossShard(old, new int64, so, sn int) error {
 		ierr = e.failDestInsert(sn, new)
 	}
 	if ierr == nil {
-		ierr = e.shards[sn].run(&journalOp{kind: jInsertRow, key: new, row: m.row},
+		ierr = e.shards[sn].run(&journalOp{kind: jInsertRow, key: new, row: m.row, skipWAL: true},
 			func(t *table.Table, _ bool) error { t.InsertRow(new, m.row); return nil })
 	}
 	if ierr != nil {
@@ -733,7 +846,7 @@ func (e *Engine) moveCrossShard(old, new int64, so, sn int) error {
 		// the rollback itself fails (not reachable with in-memory tables),
 		// the entry is kept pinned — the row stays readable at old rather
 		// than vanishing — and both errors are reported.
-		rerr := e.shards[so].run(&journalOp{kind: jInsertRow, key: old, row: m.row},
+		rerr := e.shards[so].run(&journalOp{kind: jInsertRow, key: old, row: m.row, skipWAL: true},
 			func(t *table.Table, _ bool) error { t.InsertRow(old, m.row); return nil })
 		if rerr != nil {
 			return fmt.Errorf("shard: cross-shard update %d→%d: destination insert: %v; rollback failed, row pinned in staged registry: %w", old, new, ierr, rerr)
@@ -741,9 +854,42 @@ func (e *Engine) moveCrossShard(old, new int64, so, sn int) error {
 		e.retireMove(m)
 		return fmt.Errorf("shard: cross-shard update %d→%d: destination insert: %w", old, new, ierr)
 	}
+	pub := e.epoch.Advance() // the single epoch bump publishing the move
+	var werr error
+	if e.durable {
+		werr = e.logMove(so, sn, old, new, m.row, pub)
+	}
 	e.retireMove(m)
-	e.epoch.Advance() // the single epoch bump publishing the move
-	return nil
+	// A WAL error reports lost durability, not a lost move: the move is
+	// committed in memory either way, matching the state a recovery from
+	// the last durable record would reconcile to.
+	return werr
+}
+
+// logMove appends the MoveOut/MoveIn record pair of a published cross-shard
+// move, both stamped with the publish epoch (so recovery restores the epoch
+// oracle past the bump even when the move is the last durable event), and
+// commits both per the fsync policy. Caller holds moveMu exclusive (publish
+// window), so the pair is atomic with respect to checkpoints and the
+// move-ID horizon they record. Each append takes its shard's jmu so the
+// epoch stamps stay monotonic within that shard's WAL (epoch-order replay
+// relies on stable per-shard order).
+func (e *Engine) logMove(so, sn int, old, new int64, row []int32, pub uint64) error {
+	id := e.moveSeq.Add(1)
+	src, dst := e.shards[so], e.shards[sn]
+	rec := wal.Record{Epoch: pub, MoveID: id, Key: old, Key2: new, Row: row}
+	src.jmu.Lock()
+	rec.Kind = wal.RecMoveOut
+	lsnOut, _ := src.log.Append(rec)
+	src.jmu.Unlock()
+	dst.jmu.Lock()
+	rec.Kind = wal.RecMoveIn
+	lsnIn, _ := dst.log.Append(rec)
+	dst.jmu.Unlock()
+	if err := src.log.Commit(lsnOut); err != nil {
+		return err
+	}
+	return dst.log.Commit(lsnIn)
 }
 
 // retireMove removes m from the staged-move registry; caller holds moveMu
@@ -949,7 +1095,10 @@ func (e *Engine) Train(sample []workload.Op, parallelism int) error {
 			return fmt.Errorf("shard %d: %w", i, err)
 		}
 	}
-	return nil
+	// In-place training changes no logical rows, so nothing reaches the
+	// WAL; checkpointing persists the learned layouts so recovery restores
+	// them without re-running the solver.
+	return e.Checkpoint()
 }
 
 // trainShard runs an in-place TrainLayout on one shard, serialized against
@@ -991,5 +1140,23 @@ func (e *Engine) Layouts() []LayoutSummary {
 	return out
 }
 
-// Close stops the background retrainer if one is running.
-func (e *Engine) Close() { e.StopAutoRetrain() }
+// Close stops the background retrainer if one is running and, on a durable
+// engine, fsyncs and closes every shard's WAL, returning the first failure —
+// under SyncNone/SyncInterval this final fsync is what makes the latest
+// writes durable, so the error must not be swallowed. A closed durable
+// engine keeps serving reads; further writes fail their durability commit.
+func (e *Engine) Close() error {
+	e.StopAutoRetrain()
+	var first error
+	if e.durable {
+		for i, s := range e.shards {
+			if s.log == nil {
+				continue
+			}
+			if err := s.log.Close(); err != nil && first == nil {
+				first = fmt.Errorf("shard %d: %w", i, err)
+			}
+		}
+	}
+	return first
+}

@@ -176,6 +176,13 @@ type chunk struct {
 	// Casper modes); used for layout introspection and rebuilds.
 	casperCol *column.Column
 	lowerKey  int64 // smallest key routed to this chunk
+	// trainedBlocks/trainedGhosts record the layout TrainLayout last
+	// applied to this chunk (partition widths in blocks and the ghost
+	// allocation), so checkpoints can persist the learned layout and
+	// recovery can restore it without re-running the solver. Nil until
+	// the chunk has been trained.
+	trainedBlocks []int
+	trainedGhosts []int
 }
 
 // Table is a keyed relation under one layout mode.
@@ -608,9 +615,18 @@ func rowsEqual(a, b []int32) bool {
 }
 
 // Snapshot returns every live row — keys ascending, payload rows aligned —
-// in the form NewFromRows accepts. It takes chunk read locks one at a time,
-// so it observes each chunk atomically but not the table as a whole; callers
-// needing a table-consistent snapshot must serialize writes themselves.
+// in the form NewFromRows accepts.
+//
+// Consistency contract: Snapshot takes chunk read locks one at a time, so it
+// observes each chunk atomically — a row is never torn, and a single-chunk
+// write is either fully present or fully absent — but NOT the table as a
+// whole: a writer landing between two chunk visits makes the result a state
+// the table never passed through (e.g. a cross-chunk UpdateKey can appear in
+// neither or both chunks). Callers needing a table-consistent cut must
+// serialize writers themselves for the duration of the call: the sharded
+// engine does this by holding the shard's exclusive swap lock (and, for
+// recovery checkpoints, cutting under the engine move gate so the snapshot
+// sits at a single epoch with no cross-shard move half-applied).
 func (t *Table) Snapshot() ([]int64, [][]int32) {
 	type kv struct {
 		key int64
@@ -883,6 +899,62 @@ func (t *Table) rebuildChunk(i int, sortedKeys []int64, layout costmodel.Layout,
 	ck.store = col
 	ck.casperCol = col
 	ck.mover = mover
+	ck.trainedBlocks = append([]int(nil), layout.Sizes...)
+	ck.trainedGhosts = append([]int(nil), ghosts...)
+	return nil
+}
+
+// ChunkLayout captures one chunk's applied trained layout for persistence:
+// partition widths in blocks plus the ghost allocation, exactly as last
+// handed to rebuildChunk. Trained is false for chunks still on their
+// construction-time layout.
+type ChunkLayout struct {
+	Trained bool
+	Blocks  []int
+	Ghosts  []int
+}
+
+// ChunkLayouts returns each chunk's applied trained layout (Trained=false
+// entries for untrained chunks), in chunk order. Feed the result back into
+// RestoreLayouts after rebuilding the table from a Snapshot to restore the
+// learned partitioning without re-running the solver.
+func (t *Table) ChunkLayouts() []ChunkLayout {
+	out := make([]ChunkLayout, len(t.chunks))
+	for i, ck := range t.chunks {
+		ck.mu.RLock()
+		if ck.trainedBlocks != nil {
+			out[i] = ChunkLayout{
+				Trained: true,
+				Blocks:  append([]int(nil), ck.trainedBlocks...),
+				Ghosts:  append([]int(nil), ck.trainedGhosts...),
+			}
+		}
+		ck.mu.RUnlock()
+	}
+	return out
+}
+
+// RestoreLayouts re-applies previously captured trained layouts to a table
+// rebuilt from the same snapshot the layouts were captured with, chunk by
+// chunk — the recovery-side counterpart of ChunkLayouts. Entries beyond the
+// current chunk count and untrained entries are skipped. Only meaningful in
+// Casper mode; other modes ignore the call.
+func (t *Table) RestoreLayouts(specs []ChunkLayout) error {
+	if t.cfg.Mode != Casper {
+		return nil
+	}
+	for i, spec := range specs {
+		if !spec.Trained || i >= len(t.chunks) {
+			continue
+		}
+		keys := snapshotSorted(t.chunks[i])
+		if len(keys) == 0 {
+			continue
+		}
+		if err := t.rebuildChunk(i, keys, costmodel.Layout{Sizes: spec.Blocks}, spec.Ghosts); err != nil {
+			return fmt.Errorf("table: restoring chunk %d layout: %w", i, err)
+		}
+	}
 	return nil
 }
 

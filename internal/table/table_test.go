@@ -2,6 +2,7 @@ package table
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"casper/internal/workload"
@@ -452,5 +453,93 @@ func TestUpdateKeyRowReturnsMovedPayload(t *testing.T) {
 	}
 	if _, err := tb.UpdateKeyRow(999, 1); err == nil {
 		t.Fatal("UpdateKeyRow of absent key should error")
+	}
+}
+
+// TestSnapshotConsistencyContract pins Snapshot's documented contract:
+// (a) each chunk is observed atomically — no torn row ever appears, even
+// under concurrent writers — and (b) with writers serialized externally the
+// snapshot is an exact, key-sorted image of the table.
+func TestSnapshotConsistencyContract(t *testing.T) {
+	keys := make([]int64, 600)
+	for i := range keys {
+		keys[i] = int64(i * 3)
+	}
+	tb, err := New(keys, testConfig(Casper), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// (a) Concurrent inserts: every row in every snapshot must carry the
+	// DefaultPayload of its key — a torn row (key from one row, payload
+	// from another) would violate payload[c] == key+c.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 400; i++ {
+			tb.Insert(int64(i*5 + 1))
+		}
+	}()
+	for {
+		gotKeys, gotRows := tb.Snapshot()
+		if len(gotRows) != len(gotKeys) {
+			t.Fatalf("snapshot shape: %d rows for %d keys", len(gotRows), len(gotKeys))
+		}
+		for i, k := range gotKeys {
+			if i > 0 && k < gotKeys[i-1] {
+				t.Fatalf("snapshot keys not sorted at %d", i)
+			}
+			for c, v := range gotRows[i] {
+				if v != DefaultPayload(k, c) {
+					t.Fatalf("torn row: key %d col %d = %d, want %d", k, c, v, DefaultPayload(k, c))
+				}
+			}
+		}
+		select {
+		case <-done:
+			// (b) Writers quiesced: the snapshot is exact.
+			gotKeys, _ := tb.Snapshot()
+			if len(gotKeys) != len(keys)+400 {
+				t.Fatalf("quiesced snapshot has %d rows, want %d", len(gotKeys), len(keys)+400)
+			}
+			return
+		default:
+		}
+	}
+}
+
+// TestChunkLayoutsRoundTrip: RestoreLayouts on a table rebuilt from a
+// snapshot reproduces the trained physical layout exactly.
+func TestChunkLayoutsRoundTrip(t *testing.T) {
+	tb := buildTable(t, Casper, 1500)
+	sample := make([]workload.Op, 0, 300)
+	for i := 0; i < 300; i++ {
+		sample = append(sample, workload.Op{Kind: workload.Q1PointQuery, Key: int64(i % 200)})
+	}
+	if err := tb.TrainLayout(sample, 1); err != nil {
+		t.Fatalf("TrainLayout: %v", err)
+	}
+	specs := tb.ChunkLayouts()
+	trained := 0
+	for _, s := range specs {
+		if s.Trained {
+			trained++
+		}
+	}
+	if trained == 0 {
+		t.Fatal("no chunk reports a trained layout after TrainLayout")
+	}
+
+	snapKeys, snapRows := tb.Snapshot()
+	rebuilt, err := NewFromRows(snapKeys, snapRows, testConfig(Casper))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rebuilt.RestoreLayouts(specs); err != nil {
+		t.Fatalf("RestoreLayouts: %v", err)
+	}
+	got, want := rebuilt.Layouts(), tb.Layouts()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored layouts diverged:\ngot  %+v\nwant %+v", got, want)
 	}
 }

@@ -35,6 +35,19 @@ func (o *Oracle) Now() uint64 { return o.c.Load() }
 // Advance is a unique, totally ordered commit point.
 func (o *Oracle) Advance() uint64 { return o.c.Add(1) }
 
+// AdvanceTo raises the timestamp to at least ts; a no-op when the oracle is
+// already past it. Crash recovery uses it to restore the epoch domain to the
+// highest epoch observed in checkpoints and WAL records, so post-recovery
+// commits and moves continue the pre-crash total order.
+func (o *Oracle) AdvanceTo(ts uint64) {
+	for {
+		cur := o.c.Load()
+		if cur >= ts || o.c.CompareAndSwap(cur, ts) {
+			return
+		}
+	}
+}
+
 // Errors returned by Commit and transaction operations.
 var (
 	// ErrConflict reports a write-write conflict: another transaction

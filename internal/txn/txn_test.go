@@ -232,6 +232,35 @@ func TestOracleMonotonic(t *testing.T) {
 	}
 }
 
+// TestOracleAdvanceTo covers the crash-recovery epoch restore: AdvanceTo
+// raises the clock, never lowers it, and races cleanly with Advance.
+func TestOracleAdvanceTo(t *testing.T) {
+	o := NewOracle()
+	o.AdvanceTo(42)
+	if got := o.Now(); got != 42 {
+		t.Fatalf("AdvanceTo(42) left oracle at %d", got)
+	}
+	o.AdvanceTo(7) // never moves backwards
+	if got := o.Now(); got != 42 {
+		t.Fatalf("AdvanceTo(7) moved oracle backwards to %d", got)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				o.Advance()
+				o.AdvanceTo(uint64(100 * g))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := o.Now(); got < 42+4*500 {
+		t.Fatalf("oracle at %d, want >= %d (AdvanceTo swallowed Advances)", got, 42+4*500)
+	}
+}
+
 // TestSharedOracleAcrossManagerAndEngine models the engine wiring: the
 // manager's commit timestamps and an external epoch consumer (cross-shard
 // moves) draw from one oracle, and external bumps between Begin and Commit

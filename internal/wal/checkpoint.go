@@ -1,0 +1,328 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// ChunkLayout captures one chunk's trained partitioning so recovery can
+// restore the learned layout without re-running the solver. Blocks are the
+// partition widths in blocks (costmodel.Layout.Sizes) and Ghosts the per-
+// partition ghost-slot allocation, both as applied at training time.
+// Untrained chunks persist Trained=false and rebuild under the table's
+// default construction layout.
+type ChunkLayout struct {
+	Trained bool
+	Blocks  []int
+	Ghosts  []int
+}
+
+// Checkpoint is one shard's durable state cut at a single point: every live
+// row (keys ascending, payload rows aligned — exactly table.Snapshot's
+// shape, including registry compensation for rows staged out of the shard by
+// an in-flight cross-shard move), the trained layout of each chunk, the
+// engine epoch at the cut, the first WAL segment whose records postdate the
+// cut, and the move-ID horizon (every cross-shard move with MoveID <=
+// MoveHorizon had fully published before the cut, so its effect on this
+// shard — if any — is already inside Keys/Rows).
+type Checkpoint struct {
+	Epoch       uint64
+	WALSeq      uint64
+	MoveHorizon uint64
+	Keys        []int64
+	Rows        [][]int32
+	Layouts     []ChunkLayout
+}
+
+const ckptMagic = uint64(0x43535052434b5031) // "CSPRCKP1"
+
+// checkpointName formats a checkpoint file name for seq.
+func checkpointName(seq uint64) string { return fmt.Sprintf("ckpt-%08d.ckpt", seq) }
+
+// parseCkptSeq extracts the sequence number from a ckpt-XXXXXXXX.ckpt name.
+func parseCkptSeq(name string) (uint64, bool) {
+	var seq uint64
+	if _, err := fmt.Sscanf(name, "ckpt-%08d.ckpt", &seq); err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// WriteCheckpoint atomically persists cp as checkpoint seq in dir: the
+// serialized form (magic, header, rows, layouts, trailing CRC over
+// everything) is written to a temp file, fsynced, and renamed into place;
+// the directory is fsynced so the rename survives a crash.
+func WriteCheckpoint(dir string, seq uint64, cp *Checkpoint) error {
+	if len(cp.Rows) != len(cp.Keys) {
+		return fmt.Errorf("wal: checkpoint has %d rows for %d keys", len(cp.Rows), len(cp.Keys))
+	}
+	var b bytes.Buffer
+	w := func(v any) { _ = binary.Write(&b, binary.LittleEndian, v) }
+	w(ckptMagic)
+	w(cp.Epoch)
+	w(cp.WALSeq)
+	w(cp.MoveHorizon)
+	w(uint64(len(cp.Keys)))
+	ncols := 0
+	if len(cp.Rows) > 0 {
+		ncols = len(cp.Rows[0])
+	}
+	w(uint32(ncols))
+	for _, k := range cp.Keys {
+		w(k)
+	}
+	for _, row := range cp.Rows {
+		if len(row) != ncols {
+			return fmt.Errorf("wal: checkpoint row width %d != %d", len(row), ncols)
+		}
+		for _, v := range row {
+			w(v)
+		}
+	}
+	w(uint32(len(cp.Layouts)))
+	for _, cl := range cp.Layouts {
+		trained := uint8(0)
+		if cl.Trained {
+			trained = 1
+		}
+		w(trained)
+		w(uint32(len(cl.Blocks)))
+		for _, v := range cl.Blocks {
+			w(int64(v))
+		}
+		w(uint32(len(cl.Ghosts)))
+		for _, v := range cl.Ghosts {
+			w(int64(v))
+		}
+	}
+	w(crc32.ChecksumIEEE(b.Bytes()))
+
+	tmp, err := os.CreateTemp(dir, "ckpt-*.tmp")
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint temp: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(b.Bytes()); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: checkpoint write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: checkpoint fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("wal: checkpoint close: %w", err)
+	}
+	final := filepath.Join(dir, checkpointName(seq))
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return fmt.Errorf("wal: checkpoint rename: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// LoadNewestCheckpoint scans dir for checkpoint files in descending sequence
+// order and returns the first that validates (magic + CRC), with its
+// sequence number. A half-written or corrupt newer checkpoint is skipped so
+// recovery falls back to the previous one. Returns (nil, 0, nil) when no
+// valid checkpoint exists.
+func LoadNewestCheckpoint(dir string) (*Checkpoint, uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wal: reading %s: %w", dir, err)
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if seq, ok := parseCkptSeq(e.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+	for _, seq := range seqs {
+		cp, err := readCheckpoint(filepath.Join(dir, checkpointName(seq)))
+		if err != nil {
+			continue // corrupt or torn: fall back to an older checkpoint
+		}
+		return cp, seq, nil
+	}
+	return nil, 0, nil
+}
+
+// readCheckpoint parses and validates one checkpoint file.
+func readCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 4 {
+		return nil, fmt.Errorf("wal: checkpoint too short")
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("wal: checkpoint CRC mismatch")
+	}
+	r := bytes.NewReader(body)
+	rd := func(v any) error { return binary.Read(r, binary.LittleEndian, v) }
+	var magic uint64
+	if err := rd(&magic); err != nil || magic != ckptMagic {
+		return nil, fmt.Errorf("wal: bad checkpoint magic")
+	}
+	cp := &Checkpoint{}
+	var nrows uint64
+	var ncols, nchunks uint32
+	if err := rd(&cp.Epoch); err != nil {
+		return nil, err
+	}
+	if err := rd(&cp.WALSeq); err != nil {
+		return nil, err
+	}
+	if err := rd(&cp.MoveHorizon); err != nil {
+		return nil, err
+	}
+	if err := rd(&nrows); err != nil {
+		return nil, err
+	}
+	if err := rd(&ncols); err != nil {
+		return nil, err
+	}
+	if nrows > uint64(len(body)) { // cheap sanity bound; CRC already passed
+		return nil, fmt.Errorf("wal: absurd checkpoint row count %d", nrows)
+	}
+	cp.Keys = make([]int64, nrows)
+	for i := range cp.Keys {
+		if err := rd(&cp.Keys[i]); err != nil {
+			return nil, err
+		}
+	}
+	cp.Rows = make([][]int32, nrows)
+	for i := range cp.Rows {
+		row := make([]int32, ncols)
+		for c := range row {
+			if err := rd(&row[c]); err != nil {
+				return nil, err
+			}
+		}
+		cp.Rows[i] = row
+	}
+	if err := rd(&nchunks); err != nil {
+		return nil, err
+	}
+	cp.Layouts = make([]ChunkLayout, nchunks)
+	for i := range cp.Layouts {
+		var trained uint8
+		if err := rd(&trained); err != nil {
+			return nil, err
+		}
+		cp.Layouts[i].Trained = trained != 0
+		for _, dst := range []*[]int{&cp.Layouts[i].Blocks, &cp.Layouts[i].Ghosts} {
+			var n uint32
+			if err := rd(&n); err != nil {
+				return nil, err
+			}
+			vals := make([]int, n)
+			for j := range vals {
+				var v int64
+				if err := rd(&v); err != nil {
+					return nil, err
+				}
+				vals[j] = int(v)
+			}
+			*dst = vals
+		}
+	}
+	return cp, nil
+}
+
+// Prune deletes checkpoints older than keepCkptSeq and WAL segments older
+// than keepWALSeq; called after a new checkpoint lands so the directory
+// holds one checkpoint plus the WAL tail it references. Best-effort: removal
+// errors are ignored (stale files are harmless, recovery skips them).
+func Prune(dir string, keepCkptSeq, keepWALSeq uint64) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if seq, ok := parseCkptSeq(e.Name()); ok && seq < keepCkptSeq {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+		if seq, ok := parseSeq(e.Name()); ok && seq < keepWALSeq {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Manifest is the engine-level durable topology, written once at bootstrap.
+// It pins the shard count and key routing so recovery rebuilds the exact
+// partitioner the WAL records were routed under. Writing it is the atomic
+// commit point of bootstrap: a directory without a manifest is (re)loaded
+// from scratch, so a crash mid-bootstrap never recovers partial state.
+type Manifest struct {
+	Shards  int     `json:"shards"`
+	ByRange bool    `json:"by_range"`
+	Bounds  []int64 `json:"bounds,omitempty"` // range-partitioner boundaries
+	KeyLo   int64   `json:"key_lo"`           // initial key extremes, for
+	KeyHi   int64   `json:"key_hi"`           // drift-histogram bucketing
+}
+
+const manifestName = "MANIFEST.json"
+
+// WriteManifest atomically persists m in dir.
+func WriteManifest(dir string, m *Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, "manifest-*.tmp")
+	if err != nil {
+		return fmt.Errorf("wal: manifest temp: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: manifest write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: manifest fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, manifestName)); err != nil {
+		return fmt.Errorf("wal: manifest rename: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// LoadManifest reads dir's manifest. Returns (nil, nil) when none exists —
+// the directory has no committed durable state.
+func LoadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: reading manifest: %w", err)
+	}
+	m := &Manifest{}
+	if err := json.Unmarshal(data, m); err != nil {
+		return nil, fmt.Errorf("wal: parsing manifest: %w", err)
+	}
+	return m, nil
+}

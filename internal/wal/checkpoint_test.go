@@ -1,0 +1,132 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func testCheckpoint() *Checkpoint {
+	return &Checkpoint{
+		Epoch:       17,
+		WALSeq:      3,
+		MoveHorizon: 5,
+		Keys:        []int64{1, 2, 2, 9},
+		Rows:        [][]int32{{1, 2}, {3, 4}, {5, 6}, {7, 8}},
+		Layouts: []ChunkLayout{
+			{Trained: true, Blocks: []int{4, 2, 2}, Ghosts: []int{1, 0, 3}},
+			{},
+		},
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := testCheckpoint()
+	if err := WriteCheckpoint(dir, 7, want); err != nil {
+		t.Fatalf("WriteCheckpoint: %v", err)
+	}
+	got, seq, err := LoadNewestCheckpoint(dir)
+	if err != nil {
+		t.Fatalf("LoadNewestCheckpoint: %v", err)
+	}
+	if seq != 7 {
+		t.Fatalf("seq = %d, want 7", seq)
+	}
+	// An untrained layout round-trips with empty (not nil) slices.
+	want.Layouts[1].Blocks, want.Layouts[1].Ghosts = []int{}, []int{}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestCheckpointEmptyShard(t *testing.T) {
+	dir := t.TempDir()
+	want := &Checkpoint{Epoch: 1, WALSeq: 2}
+	if err := WriteCheckpoint(dir, 1, want); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := LoadNewestCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Keys) != 0 || got.WALSeq != 2 {
+		t.Fatalf("empty checkpoint mismatch: %+v", got)
+	}
+}
+
+// TestCorruptNewestFallsBack verifies recovery skips a torn/corrupt newest
+// checkpoint and loads the previous valid one.
+func TestCorruptNewestFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	older := testCheckpoint()
+	if err := WriteCheckpoint(dir, 1, older); err != nil {
+		t.Fatal(err)
+	}
+	newer := testCheckpoint()
+	newer.Epoch = 99
+	if err := WriteCheckpoint(dir, 2, newer); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the newest in place (flip a payload byte).
+	path := filepath.Join(dir, checkpointName(2))
+	data, _ := os.ReadFile(path)
+	data[len(data)/2] ^= 0xff
+	os.WriteFile(path, data, 0o644)
+
+	got, seq, err := LoadNewestCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 1 || got.Epoch != older.Epoch {
+		t.Fatalf("fallback failed: seq=%d epoch=%d", seq, got.Epoch)
+	}
+}
+
+func TestPrune(t *testing.T) {
+	dir := t.TempDir()
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := WriteCheckpoint(dir, seq, &Checkpoint{WALSeq: seq}); err != nil {
+			t.Fatal(err)
+		}
+		l, err := OpenLog(dir, seq, Options{Policy: SyncNone})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.Close()
+	}
+	Prune(dir, 3, 3)
+	entries, _ := os.ReadDir(dir)
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	if len(names) != 2 {
+		t.Fatalf("prune left %v, want newest checkpoint + newest segment", names)
+	}
+	if _, seq, _ := LoadNewestCheckpoint(dir); seq != 3 {
+		t.Fatalf("newest checkpoint after prune: %d", seq)
+	}
+	if _, lastSeq, _ := ReplaySegments(dir, 1); lastSeq != 3 {
+		t.Fatalf("newest segment after prune: %d", lastSeq)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if m, err := LoadManifest(dir); err != nil || m != nil {
+		t.Fatalf("empty dir: m=%v err=%v", m, err)
+	}
+	want := &Manifest{Shards: 4, ByRange: true, Bounds: []int64{10, 20, 30}, KeyLo: -5, KeyHi: 99}
+	if err := WriteManifest(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("manifest mismatch: %+v vs %+v", got, want)
+	}
+}

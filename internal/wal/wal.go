@@ -1,0 +1,519 @@
+// Package wal is the durability substrate of the sharded Casper engine: a
+// per-shard append-only write-ahead log plus a chunk-level checkpoint format
+// (checkpoint.go). Together they open the crash-recovery scenario: an engine
+// directory holds one manifest (the shard topology) and one subdirectory per
+// shard containing numbered WAL segments and checkpoints; recovery loads the
+// newest valid checkpoint and replays the WAL tail.
+//
+// # Record format
+//
+// A segment is a sequence of CRC-framed records:
+//
+//	frame   := len(u32) | crc32(u32) | payload       (little endian)
+//	payload := kind(u8) | epoch(u64) | moveID(u64) |
+//	           key(i64) | key2(i64) | nrow(u16) | nrow × row[i](i32)
+//
+// The CRC is IEEE crc32 over the payload. Records mirror the engine's
+// retrain-journal entries: deletes and updates carry the payload of the row
+// the live table actually touched, so replay through DeleteRowExact resolves
+// duplicate keys to the same row and is therefore order-independent across
+// non-conflicting writers. The epoch stamp records the engine epoch the
+// mutation was applied under; replay merges all shards' tails in epoch
+// order. MoveOut/MoveIn pairs (one per side of a cross-shard move) share a
+// moveID so recovery can reconcile a move whose halves straddle the crash.
+//
+// # Torn tails
+//
+// A crash can leave the final frame of the newest segment incomplete or
+// corrupt. ReplaySegments stops at the first bad frame of the final segment
+// and truncates the file back to its last valid frame, so the discarded tail
+// can never resurface as mid-file corruption after further appends. A bad
+// frame in a non-final segment is reported as corruption.
+//
+// # Fsync policy and group commit
+//
+// Append only writes the frame; Commit applies the log's sync policy:
+//
+//	SyncInterval  fsync at most once per Interval (default 100ms): commits
+//	              piggyback a flush once the interval has elapsed, and a
+//	              background flusher covers idle logs, so staleness is
+//	              bounded by ~Interval even when writes stop.
+//	SyncAlways    every Commit waits until its record is fsynced. Commits
+//	              group: one leader fsyncs everything appended so far and
+//	              every waiter whose record that covers returns without
+//	              issuing its own fsync.
+//	SyncNone      never fsync except on Rotate/Sync/Close.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SyncPolicy selects when appended records are fsynced (see package comment).
+type SyncPolicy int
+
+const (
+	// SyncInterval fsyncs at most once per Options.Interval (the default).
+	SyncInterval SyncPolicy = iota
+	// SyncAlways fsyncs (group-committed) before every Commit returns.
+	SyncAlways
+	// SyncNone never fsyncs except on Rotate, Sync, and Close.
+	SyncNone
+)
+
+// String implements fmt.Stringer.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncInterval:
+		return "interval"
+	case SyncAlways:
+		return "always"
+	case SyncNone:
+		return "none"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// Options configures a Log.
+type Options struct {
+	Policy SyncPolicy
+	// Interval is the maximum staleness under SyncInterval (default 100ms).
+	Interval time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = 100 * time.Millisecond
+	}
+	return o
+}
+
+// Kind enumerates WAL record kinds.
+type Kind uint8
+
+const (
+	// RecInsert is an Insert(key) with the default-generated payload.
+	RecInsert Kind = iota
+	// RecInsertRow is an InsertRow(key, row) with an explicit payload.
+	RecInsertRow
+	// RecDelete removes the row with the given key whose payload matches
+	// Row exactly (row-identity replay).
+	RecDelete
+	// RecUpdate is a same-shard key change Key→Key2 of the row carrying
+	// payload Row.
+	RecUpdate
+	// RecMoveOut is the source half of a cross-shard move: the row with
+	// payload Row leaves this shard at Key (its destination is Key2).
+	RecMoveOut
+	// RecMoveIn is the destination half of a cross-shard move: the row
+	// with payload Row arrives on this shard at Key2 (it left Key).
+	RecMoveIn
+)
+
+// Record is one WAL entry.
+type Record struct {
+	Kind   Kind
+	Epoch  uint64 // engine epoch the mutation was applied under
+	MoveID uint64 // pairs RecMoveOut/RecMoveIn; 0 otherwise
+	Key    int64
+	Key2   int64
+	Row    []int32
+}
+
+const (
+	frameHeader = 8       // len u32 + crc u32
+	maxPayload  = 1 << 26 // sanity bound when reading frames
+)
+
+// encodePayload serializes r's payload (everything under the CRC).
+func encodePayload(buf []byte, r Record) []byte {
+	buf = append(buf, byte(r.Kind))
+	buf = binary.LittleEndian.AppendUint64(buf, r.Epoch)
+	buf = binary.LittleEndian.AppendUint64(buf, r.MoveID)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Key))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Key2))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(r.Row)))
+	for _, v := range r.Row {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+	}
+	return buf
+}
+
+// decodePayload parses one record payload.
+func decodePayload(p []byte) (Record, error) {
+	const fixed = 1 + 8 + 8 + 8 + 8 + 2
+	if len(p) < fixed {
+		return Record{}, fmt.Errorf("wal: short payload (%d bytes)", len(p))
+	}
+	r := Record{
+		Kind:   Kind(p[0]),
+		Epoch:  binary.LittleEndian.Uint64(p[1:]),
+		MoveID: binary.LittleEndian.Uint64(p[9:]),
+		Key:    int64(binary.LittleEndian.Uint64(p[17:])),
+		Key2:   int64(binary.LittleEndian.Uint64(p[25:])),
+	}
+	n := int(binary.LittleEndian.Uint16(p[33:]))
+	if len(p) != fixed+4*n {
+		return Record{}, fmt.Errorf("wal: payload length %d does not match %d row values", len(p), n)
+	}
+	if n > 0 {
+		r.Row = make([]int32, n)
+		for i := 0; i < n; i++ {
+			r.Row[i] = int32(binary.LittleEndian.Uint32(p[fixed+4*i:]))
+		}
+	}
+	return r, nil
+}
+
+// segmentName formats a segment file name for seq.
+func segmentName(seq uint64) string { return fmt.Sprintf("wal-%08d.log", seq) }
+
+// parseSeq extracts the sequence number from a wal-XXXXXXXX.log name.
+func parseSeq(name string) (uint64, bool) {
+	var seq uint64
+	if _, err := fmt.Sscanf(name, "wal-%08d.log", &seq); err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// Log is one shard's write-ahead log handle, appending to the current
+// segment. Safe for concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	f         *os.File
+	seq       uint64
+	appendLSN uint64 // count of appended records, monotonic across rotations
+	syncLSN   uint64 // highest LSN known durable
+	syncing   bool
+	lastSync  time.Time
+	buf       []byte
+	err       error // sticky I/O error; surfaced by Append/Commit/Sync
+	closed    bool
+
+	// wBytes/syncedBytes track the current segment's written and known-
+	// durable byte counts; syncedBytes is what a power loss provably keeps
+	// (tests use DurableOffset to simulate exactly that).
+	wBytes      int64
+	syncedBytes int64
+
+	// stopFlush/flushDone bracket the SyncInterval background flusher.
+	stopFlush chan struct{}
+	flushDone chan struct{}
+}
+
+// OpenLog creates (or truncates) segment seq in dir and returns an appending
+// handle. Existing segments are left untouched — recovery reads them with
+// ReplaySegments before opening a fresh segment past the highest one.
+func OpenLog(dir string, seq uint64, opts Options) (*Log, error) {
+	if seq < 1 {
+		seq = 1
+	}
+	f, err := os.Create(filepath.Join(dir, segmentName(seq)))
+	if err != nil {
+		return nil, fmt.Errorf("wal: opening segment: %w", err)
+	}
+	l := &Log{dir: dir, opts: opts.withDefaults(), f: f, seq: seq, lastSync: time.Now()}
+	l.cond = sync.NewCond(&l.mu)
+	if l.opts.Policy == SyncInterval {
+		l.stopFlush = make(chan struct{})
+		l.flushDone = make(chan struct{})
+		go l.flushLoop()
+	}
+	return l, nil
+}
+
+// flushLoop bounds SyncInterval staleness on idle logs: commits only
+// piggyback flushes, so without this a burst followed by silence would sit
+// in the page cache forever. One timer goroutine per log; it only fsyncs
+// when there is unsynced data.
+func (l *Log) flushLoop() {
+	defer close(l.flushDone)
+	tick := time.NewTicker(l.opts.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-l.stopFlush:
+			return
+		case <-tick.C:
+			l.mu.Lock()
+			dirty := l.err == nil && !l.closed && l.appendLSN > l.syncLSN
+			l.mu.Unlock()
+			if dirty {
+				_ = l.Sync() // error is sticky; surfaced on the write path
+			}
+		}
+	}
+}
+
+// Seq returns the current segment sequence number.
+func (l *Log) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Err returns the sticky I/O error, if any.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Append frames and writes one record, returning its LSN for Commit. The
+// record is in the OS page cache but not necessarily durable until a Commit
+// or Sync covers the LSN.
+func (l *Log) Append(r Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.appendLSN, l.err
+	}
+	if l.closed {
+		l.err = fmt.Errorf("wal: append to closed log")
+		return l.appendLSN, l.err
+	}
+	l.buf = l.buf[:0]
+	l.buf = append(l.buf, 0, 0, 0, 0, 0, 0, 0, 0)
+	l.buf = encodePayload(l.buf, r)
+	payload := l.buf[frameHeader:]
+	binary.LittleEndian.PutUint32(l.buf[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(l.buf[4:], crc32.ChecksumIEEE(payload))
+	if _, err := l.f.Write(l.buf); err != nil {
+		l.err = fmt.Errorf("wal: append: %w", err)
+		return l.appendLSN, l.err
+	}
+	l.wBytes += int64(len(l.buf))
+	l.appendLSN++
+	return l.appendLSN, nil
+}
+
+// DurableOffset returns the byte length of the current segment's provably
+// durable prefix (everything covered by a completed fsync). Crash tests
+// truncate the segment here to simulate a power loss that drops the page
+// cache.
+func (l *Log) DurableOffset() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncedBytes
+}
+
+// Commit makes the record at lsn durable per the log's sync policy. Under
+// SyncAlways concurrent commits group behind a single fsync.
+func (l *Log) Commit(lsn uint64) error {
+	switch l.opts.Policy {
+	case SyncNone:
+		return l.Err()
+	case SyncAlways:
+		return l.syncTo(lsn)
+	default: // SyncInterval
+		l.mu.Lock()
+		due := time.Since(l.lastSync) >= l.opts.Interval
+		err := l.err
+		l.mu.Unlock()
+		if err != nil || !due {
+			return err
+		}
+		return l.Sync()
+	}
+}
+
+// Sync fsyncs everything appended so far.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	lsn := l.appendLSN
+	l.mu.Unlock()
+	return l.syncTo(lsn)
+}
+
+// syncTo blocks until the record at lsn is durable, group-committing: the
+// first waiter becomes the leader and fsyncs the segment once for everything
+// appended so far; waiters covered by that fsync return without their own.
+func (l *Log) syncTo(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if l.err != nil {
+			return l.err
+		}
+		if l.syncLSN >= lsn {
+			return nil
+		}
+		if l.syncing {
+			l.cond.Wait()
+			continue
+		}
+		l.syncing = true
+		target := l.appendLSN
+		targetBytes := l.wBytes
+		f := l.f
+		l.mu.Unlock()
+		err := f.Sync()
+		l.mu.Lock()
+		l.syncing = false
+		if err != nil {
+			l.err = fmt.Errorf("wal: fsync: %w", err)
+		} else {
+			if target > l.syncLSN {
+				l.syncLSN = target
+			}
+			if targetBytes > l.syncedBytes {
+				l.syncedBytes = targetBytes
+			}
+			l.lastSync = time.Now()
+		}
+		l.cond.Broadcast()
+	}
+}
+
+// Rotate fsyncs and closes the current segment and starts a fresh one,
+// returning the new segment's sequence number. Records appended after Rotate
+// land in the new segment; a checkpoint cut at the rotation point therefore
+// needs only segments >= the returned seq for its WAL tail.
+func (l *Log) Rotate() (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.syncing {
+		l.cond.Wait()
+	}
+	if l.err != nil {
+		return l.seq, l.err
+	}
+	if err := l.f.Sync(); err != nil {
+		l.err = fmt.Errorf("wal: rotate fsync: %w", err)
+		return l.seq, l.err
+	}
+	if err := l.f.Close(); err != nil {
+		l.err = fmt.Errorf("wal: rotate close: %w", err)
+		return l.seq, l.err
+	}
+	l.syncLSN = l.appendLSN
+	l.lastSync = time.Now()
+	next := l.seq + 1
+	f, err := os.Create(filepath.Join(l.dir, segmentName(next)))
+	if err != nil {
+		l.err = fmt.Errorf("wal: rotate open: %w", err)
+		return l.seq, l.err
+	}
+	l.f = f
+	l.seq = next
+	l.wBytes, l.syncedBytes = 0, 0 // byte tracking is per segment
+	return next, nil
+}
+
+// Close stops the background flusher, fsyncs, and closes the current
+// segment. Idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
+	l.closed = true // appends fail and the flusher goes quiet from here on
+	l.mu.Unlock()
+	if l.stopFlush != nil {
+		close(l.stopFlush) // join outside mu: the flusher's Sync needs it
+		<-l.flushDone
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.syncing {
+		l.cond.Wait()
+	}
+	if serr := l.f.Sync(); serr != nil {
+		if l.err == nil {
+			l.err = serr
+		}
+	} else {
+		l.syncLSN = l.appendLSN
+		l.syncedBytes = l.wBytes
+	}
+	if cerr := l.f.Close(); cerr != nil && l.err == nil {
+		l.err = cerr
+	}
+	return l.err
+}
+
+// ReplaySegments reads every record of the segments in dir with seq >=
+// fromSeq, in segment order, and returns them together with the highest
+// segment sequence present (0 when none exist). The final segment is torn-
+// tail tolerant: reading stops at the first incomplete or CRC-corrupt frame
+// and the file is truncated back to its last valid frame, so the discarded
+// bytes cannot masquerade as mid-file corruption after later appends. A bad
+// frame in a non-final segment is reported as corruption.
+func ReplaySegments(dir string, fromSeq uint64) ([]Record, uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wal: reading %s: %w", dir, err)
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if seq, ok := parseSeq(e.Name()); ok && seq >= fromSeq {
+			seqs = append(seqs, seq)
+		}
+	}
+	if len(seqs) == 0 {
+		return nil, 0, nil
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	var recs []Record
+	for i, seq := range seqs {
+		path := filepath.Join(dir, segmentName(seq))
+		segRecs, valid, torn, err := readSegment(path)
+		if err != nil {
+			return nil, 0, err
+		}
+		recs = append(recs, segRecs...)
+		if torn {
+			if i != len(seqs)-1 {
+				return nil, 0, fmt.Errorf("wal: corrupt frame in non-final segment %s", path)
+			}
+			if err := os.Truncate(path, valid); err != nil {
+				return nil, 0, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
+			}
+		}
+	}
+	return recs, seqs[len(seqs)-1], nil
+}
+
+// readSegment parses one segment file, returning its records, the byte
+// length of the valid prefix, and whether a torn/corrupt tail follows it.
+func readSegment(path string) ([]Record, int64, bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("wal: reading segment: %w", err)
+	}
+	var recs []Record
+	off := int64(0)
+	for int(off)+frameHeader <= len(data) {
+		plen := binary.LittleEndian.Uint32(data[off:])
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		end := int(off) + frameHeader + int(plen)
+		if plen > maxPayload || end > len(data) {
+			return recs, off, true, nil
+		}
+		payload := data[int(off)+frameHeader : end]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return recs, off, true, nil
+		}
+		rec, derr := decodePayload(payload)
+		if derr != nil {
+			return recs, off, true, nil
+		}
+		recs = append(recs, rec)
+		off = int64(end)
+	}
+	return recs, off, int(off) != len(data), nil
+}
