@@ -39,6 +39,14 @@
 // before the swap, so re-layout never loses a mutation and readers never
 // block on the solver.
 //
+// On range-partitioned engines (Options.ShardByRange) the same loop extends
+// across the shard boundary: when the key distribution drifts so far that
+// one shard holds a disproportionate share of the rows, Rebalance (or the
+// StartAutoRebalance worker) re-splits the shard boundaries on the current
+// quantiles and migrates rows between shards through the staged-move
+// protocol — concurrent readers observe every row on exactly one shard
+// throughout, and on durable engines the boundary change survives crashes.
+//
 // Cross-shard key moves (UpdateKey between shards) commit through an
 // epoch-based protocol: the engine keeps a global epoch counter — shared
 // with the transaction manager, so commits and moves draw from one time
@@ -872,6 +880,83 @@ func (e *Engine) StopAutoRetrain() { e.sh.StopAutoRetrain() }
 
 // Retrains returns the number of completed background shard retrains.
 func (e *Engine) Retrains() uint64 { return e.sh.Retrains() }
+
+// ---------------------------------------------------------------------------
+// Shard rebalancing (range-partitioned engines)
+// ---------------------------------------------------------------------------
+
+// RebalanceResult reports one shard-boundary re-split: rows moved, boundary
+// sets before and after, max/mean row-count skew around the rebalance, and
+// the duration of the exclusive install window.
+type RebalanceResult = shard.RebalanceResult
+
+// Rebalance re-splits the shard boundaries of a range-partitioned engine
+// (Options.ShardByRange) on the current key distribution and migrates rows
+// so every shard owns its new range. Rows migrate through the engine's
+// staged-move protocol: concurrent readers observe every row on exactly one
+// shard throughout, and reads keep flowing except during bounded exclusive
+// windows (the last one reported as Pause). Writes keep flowing with one
+// caveat shared with cross-shard moves: a Delete or UpdateKey targeting a
+// row currently in flight fails with "absent key" until the rebalance
+// publishes — retry afterwards. On a durable engine the boundary change and
+// bulk moves are WAL-logged and checkpointed, so a crash at any point
+// recovers to one consistent boundary set.
+func (e *Engine) Rebalance() (RebalanceResult, error) { return e.sh.Rebalance() }
+
+// RebalanceTo migrates rows onto an explicit boundary set (strictly
+// increasing, exactly Shards()-1 entries) — manual resharding for operators
+// who know the target distribution better than the quantile proposal.
+// Otherwise identical to Rebalance.
+func (e *Engine) RebalanceTo(bounds []int64) (RebalanceResult, error) {
+	return e.sh.RebalanceTo(bounds)
+}
+
+// ShardRowCounts returns the live-row count of every shard — the skew
+// detector's input, useful for observing drift before rebalancing.
+func (e *Engine) ShardRowCounts() []int { return e.sh.RowCounts() }
+
+// ShardSkew returns the current max/mean shard row-count ratio (1 means
+// perfectly balanced).
+func (e *Engine) ShardSkew() float64 { return e.sh.Skew() }
+
+// RebalancePolicy tunes the background auto-rebalancer (see
+// StartAutoRebalance). Zero fields select defaults.
+type RebalancePolicy struct {
+	// CheckEvery is the skew check cadence (default 200ms).
+	CheckEvery time.Duration
+	// MaxSkew triggers a rebalance when the max/mean shard row-count ratio
+	// reaches this value (default 1.5).
+	MaxSkew float64
+	// MinRows is the minimum total row count before rebalancing is
+	// considered (default 1024).
+	MinRows int
+	// MinOps is the minimum number of monitored operations between
+	// rebalances (default 256), so an idle engine never rebalances on
+	// stale skew.
+	MinOps int
+}
+
+// StartAutoRebalance launches the background rebalancing worker: when the
+// key distribution drifts so far that one shard holds MaxSkew times the mean
+// row count (and the engine is absorbing writes), the shard boundaries are
+// re-split automatically — the sharded analogue of the auto-retrainer's
+// in-shard re-layout. Requires Options.ShardByRange.
+func (e *Engine) StartAutoRebalance(p RebalancePolicy) error {
+	return e.sh.StartAutoRebalance(shard.RebalancePolicy{
+		CheckEvery: p.CheckEvery,
+		MaxSkew:    p.MaxSkew,
+		MinRows:    p.MinRows,
+		MinOps:     p.MinOps,
+	})
+}
+
+// StopAutoRebalance stops the background rebalancer, waiting for any
+// in-flight rebalance to finish. Safe to call when none is running.
+func (e *Engine) StopAutoRebalance() { e.sh.StopAutoRebalance() }
+
+// Rebalances returns the number of completed shard rebalances (manual and
+// automatic).
+func (e *Engine) Rebalances() uint64 { return e.sh.Rebalances() }
 
 // Close stops background workers and, on a durable engine, fsyncs and
 // closes the write-ahead logs, returning the first failure — under Sync

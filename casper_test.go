@@ -3,6 +3,7 @@ package casper
 import (
 	"errors"
 	"testing"
+	"time"
 )
 
 func testOptions(mode Mode) Options {
@@ -512,5 +513,88 @@ func TestDurableOpenRecoversThroughPublicAPI(t *testing.T) {
 	}
 	if pend := re.PendingMoves(); len(pend) != 0 {
 		t.Fatalf("idle engine reports pending moves: %+v", pend)
+	}
+}
+
+// TestRebalancePublicAPI drives drift-triggered shard rebalancing through
+// the public surface: a range-sharded engine whose write distribution drifts
+// to one end of the key range must report growing skew, rebalance below the
+// 1.5x acceptance threshold (manually and via the auto worker), and keep
+// every row queryable with its payload intact.
+func TestRebalancePublicAPI(t *testing.T) {
+	opts := testOptions(ModeCasper)
+	opts.Shards = 4
+	opts.ShardByRange = true
+	keys := UniformKeys(4_000, 40_000, 7)
+	e, err := Open(keys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	// Hash-partitioned engines refuse to rebalance.
+	h, err := Open(keys, func() Options { o := testOptions(ModeCasper); o.Shards = 4; return o }())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Rebalance(); err == nil {
+		t.Error("Rebalance on a hash-sharded engine should error")
+	}
+
+	// Drift: pile writes past the top of the loaded range.
+	for i := 0; i < 3_000; i++ {
+		e.Insert(40_001 + int64(i))
+	}
+	if got := e.ShardSkew(); got < 1.5 {
+		t.Fatalf("drift produced skew %.2f, want >= 1.5", got)
+	}
+	if counts := e.ShardRowCounts(); len(counts) != 4 {
+		t.Fatalf("ShardRowCounts returned %d shards", len(counts))
+	}
+	wantLen := e.Len()
+	wantSum := e.RangeSum(0, 100_000)
+
+	res, err := e.Rebalance()
+	if err != nil {
+		t.Fatalf("Rebalance: %v", err)
+	}
+	if res.Moved == 0 || res.SkewAfter >= 1.5 {
+		t.Fatalf("rebalance moved %d rows, skew %.2f -> %.2f; want movement and < 1.5",
+			res.Moved, res.SkewBefore, res.SkewAfter)
+	}
+	if got := e.Len(); got != wantLen {
+		t.Fatalf("Len changed across rebalance: %d -> %d", wantLen, got)
+	}
+	if got := e.RangeSum(0, 100_000); got != wantSum {
+		t.Fatalf("RangeSum changed across rebalance: %d -> %d", wantSum, got)
+	}
+	for i := 0; i < 3_000; i += 211 {
+		k := 40_001 + int64(i)
+		if got := e.PointQuery(k); got != 1 {
+			t.Fatalf("PointQuery(%d) = %d after rebalance", k, got)
+		}
+	}
+	if got := e.Rebalances(); got != 1 {
+		t.Fatalf("Rebalances = %d, want 1", got)
+	}
+
+	// Auto mode: a second drift burst under the background worker.
+	if err := e.StartAutoRebalance(RebalancePolicy{CheckEvery: 5 * time.Millisecond, MinRows: 100, MinOps: 8}); err != nil {
+		t.Fatal(err)
+	}
+	defer e.StopAutoRebalance()
+	for i := 0; i < 4_000; i++ {
+		e.Insert(50_001 + int64(i))
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for e.Rebalances() < 2 && time.Now().Before(deadline) {
+		e.Insert(50_001 + int64(time.Now().UnixNano()%4_000))
+		time.Sleep(time.Millisecond)
+	}
+	if e.Rebalances() < 2 {
+		t.Fatalf("auto-rebalance never triggered (skew %.2f)", e.ShardSkew())
+	}
+	if got := e.ShardSkew(); got >= 1.5 {
+		t.Fatalf("skew %.2f after auto-rebalance, want < 1.5", got)
 	}
 }

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	casperbench [-fig N | -table N | -all | -throughput | -durable] [-rows N] [-ops N] [-workers N]
+//	casperbench [-fig N | -table N | -all | -throughput | -durable | -rebalance] [-rows N] [-ops N] [-workers N]
 //
 // Examples:
 //
@@ -14,6 +14,7 @@
 //	casperbench -table 1                  # the design-space table
 //	casperbench -throughput -shards 1,2,4,8 -workers 8
 //	casperbench -durable -rows 200000     # WAL overhead per fsync policy + recovery time
+//	casperbench -rebalance -rows 200000   # skewed-drift scenario: shard skew, rows moved, pause
 package main
 
 import (
@@ -40,6 +41,7 @@ func main() {
 		gran    = flag.Bool("granularity", false, "run the histogram granularity sweep (§4.3)")
 		thr     = flag.Bool("throughput", false, "measure sharded-engine throughput across shard counts")
 		durable = flag.Bool("durable", false, "measure durable ingest throughput per WAL sync policy and recovery time")
+		rebal   = flag.Bool("rebalance", false, "run the skewed-drift shard rebalancing scenario")
 		shards  = flag.String("shards", "1,2,4,8", "shard counts for -throughput (comma separated)")
 		rows    = flag.Int("rows", 0, "initial table rows (default 200k)")
 		ops     = flag.Int("ops", 0, "measured operations per run (default 4k)")
@@ -67,6 +69,11 @@ func main() {
 		}
 	case *durable:
 		if err := runDurable(sc.Rows, *ops, sc.Seed); err != nil {
+			fmt.Fprintf(os.Stderr, "casperbench: %v\n", err)
+			os.Exit(1)
+		}
+	case *rebal:
+		if err := runRebalance(sc.Rows, *ops, sc.Seed); err != nil {
 			fmt.Fprintf(os.Stderr, "casperbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -182,6 +189,76 @@ func runDurable(rows, measuredOps int, seed int64) error {
 		}
 		fmt.Println(line)
 	}
+	return nil
+}
+
+// runRebalance drives the skewed-drift scenario end to end: a range-sharded
+// engine is loaded uniformly, the write distribution then drifts entirely
+// past one end of the key range (piling the new rows onto the last shard),
+// and a manual Rebalance re-splits the boundaries — reporting per-shard row
+// counts, max/mean skew before/after, rows moved, and the exclusive-window
+// pause. A second drift burst then exercises the StartAutoRebalance worker.
+func runRebalance(rows, measuredOps int, seed int64) error {
+	if rows <= 0 {
+		rows = 200_000
+	}
+	if measuredOps <= 0 {
+		measuredOps = 50_000
+	}
+	const shards = 8
+	domain := int64(rows) * 10
+	keys := casper.UniformKeys(rows, domain, seed)
+	eng, err := casper.Open(keys, casper.Options{Mode: casper.ModeCasper, Shards: shards, ShardByRange: true})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("shard rebalancing: %d initial rows over [0, %d], %d shards (range), %d drift inserts\n\n",
+		rows, domain, shards, measuredOps)
+
+	counts := func(label string) {
+		fmt.Printf("%-22s skew %.2fx  rows/shard %v\n", label, eng.ShardSkew(), eng.ShardRowCounts())
+	}
+	counts("after uniform load:")
+
+	// Drift: every insert lands past the top of the loaded range.
+	batch := make([]casper.Op, measuredOps)
+	for i := range batch {
+		batch[i] = casper.Op{Kind: casper.Insert, Key: domain + 1 + int64(i)}
+	}
+	eng.ApplyBatch(batch)
+	counts("after skewed drift:")
+
+	res, err := eng.Rebalance()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nmanual rebalance:      moved %d rows, pause %.2fms, skew %.2fx -> %.2fx\n\n",
+		res.Moved, res.Pause.Seconds()*1e3, res.SkewBefore, res.SkewAfter)
+	counts("after rebalance:")
+
+	// Auto mode: a second drift burst under the background worker.
+	if err := eng.StartAutoRebalance(casper.RebalancePolicy{
+		CheckEvery: 20 * time.Millisecond,
+		MaxSkew:    1.5,
+		MinOps:     64,
+	}); err != nil {
+		return err
+	}
+	defer eng.StopAutoRebalance()
+	for i := range batch {
+		batch[i] = casper.Op{Kind: casper.Insert, Key: domain + int64(measuredOps) + 1 + int64(i)}
+	}
+	eng.ApplyBatch(batch)
+	deadline := time.Now().Add(10 * time.Second)
+	for eng.Rebalances() < 2 && time.Now().Before(deadline) {
+		eng.Insert(domain + int64(2*measuredOps) + time.Now().UnixNano()%1_000)
+		time.Sleep(5 * time.Millisecond)
+	}
+	if eng.Rebalances() < 2 {
+		return fmt.Errorf("auto-rebalance did not trigger within 10s (skew %.2fx)", eng.ShardSkew())
+	}
+	fmt.Printf("\nauto rebalance:        triggered (total rebalances %d)\n", eng.Rebalances())
+	counts("after auto drift:")
 	return nil
 }
 

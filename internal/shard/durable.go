@@ -102,13 +102,8 @@ func bootstrapDurable(keys []int64, cfg Config) (*Engine, error) {
 			return nil, fmt.Errorf("shard %d: initial checkpoint: %w", i, err)
 		}
 	}
-	man := &wal.Manifest{Shards: e.part.Shards(), KeyLo: e.keyLo, KeyHi: e.keyHi}
-	if rp, ok := e.part.(*RangePartitioner); ok {
-		man.ByRange = true
-		man.Bounds = rp.Bounds()
-	}
-	if err := wal.WriteManifest(cfg.Dir, man); err != nil {
-		return nil, fmt.Errorf("shard: %w", err)
+	if err := e.rewriteManifest(); err != nil {
+		return nil, err
 	}
 	return e, nil
 }
@@ -131,13 +126,17 @@ type moveTrace struct {
 // recoverDurable rebuilds the engine from dir: newest valid checkpoint per
 // shard, WAL tail replayed in epoch order (torn final records tolerated and
 // trimmed), move pairs reconciled, epoch oracle restored.
+//
+// Boundary resolution: a rebalance changes the range-partitioner bounds at
+// runtime and persists them in three places — the manifest (rewritten after
+// the WAL commits), every checkpoint (schema v2), and a RecRebalance record
+// in every shard's WAL tail. A crash can strand these sources at different
+// ages, so recovery installs the boundary set carried by the highest epoch
+// across all of them (the manifest counts as epoch 0 baseline) and then
+// re-homes any row that ended up on a shard that no longer owns its key —
+// whatever interleaving the crash cut, the engine lands on exactly one
+// consistent boundary set with every row on exactly one, correct shard.
 func recoverDurable(cfg Config, man *wal.Manifest) (*Engine, error) {
-	var part Partitioner
-	if man.ByRange {
-		part = RangePartitionerFromBounds(man.Bounds)
-	} else {
-		part = NewHashPartitioner(man.Shards)
-	}
 	monCap := cfg.MonitorCap
 	if monCap <= 0 {
 		monCap = 8192
@@ -147,17 +146,19 @@ func recoverDurable(cfg Config, man *wal.Manifest) (*Engine, error) {
 		ep = txn.NewOracle()
 	}
 	e := &Engine{
-		cfg: cfg.Table, part: part, epoch: ep,
+		cfg: cfg.Table, epoch: ep,
 		keyLo: man.KeyLo, keyHi: man.KeyHi,
 		durable: true, dir: cfg.Dir, wopts: walOptions(cfg),
 	}
+	bounds := man.Bounds // boundary set carried by the highest epoch so far
+	var boundsEpoch uint64
 
 	var all []shardRecord
 	var maxEpoch, maxMove uint64
-	horizons := make([]uint64, part.Shards()) // per-shard checkpoint move horizon
-	newSeqs := make([]uint64, part.Shards())  // fresh WAL segment per shard
-	for i := 0; i < part.Shards(); i++ {
-		s := &shard{cfg: cfg.Table, mon: newMonitor(monCap), ep: ep, sdir: shardDir(cfg.Dir, i)}
+	horizons := make([]uint64, man.Shards) // per-shard checkpoint move horizon
+	newSeqs := make([]uint64, man.Shards)  // fresh WAL segment per shard
+	for i := 0; i < man.Shards; i++ {
+		s := &shard{idx: i, eng: e, cfg: cfg.Table, mon: newMonitor(monCap), ep: ep, sdir: shardDir(cfg.Dir, i)}
 		if err := os.MkdirAll(s.sdir, 0o755); err != nil {
 			return nil, fmt.Errorf("shard: creating %s: %w", s.sdir, err)
 		}
@@ -179,6 +180,9 @@ func recoverDurable(cfg Config, man *wal.Manifest) (*Engine, error) {
 		}
 		if cp.MoveHorizon > maxMove {
 			maxMove = cp.MoveHorizon
+		}
+		if man.ByRange && len(cp.Bounds) > 0 && cp.Epoch >= boundsEpoch {
+			bounds, boundsEpoch = cp.Bounds, cp.Epoch
 		}
 		if len(cp.Keys) > 0 {
 			tbl, err := table.NewFromRows(cp.Keys, cp.Rows, cfg.Table)
@@ -202,6 +206,9 @@ func recoverDurable(cfg Config, man *wal.Manifest) (*Engine, error) {
 			if r.MoveID > maxMove {
 				maxMove = r.MoveID
 			}
+			if r.Kind == wal.RecRebalance && man.ByRange && len(r.Bounds) > 0 && r.Epoch >= boundsEpoch {
+				bounds, boundsEpoch = r.Bounds, r.Epoch
+			}
 		}
 		newSeqs[i] = lastSeq + 1
 		if newSeqs[i] < fromSeq {
@@ -210,6 +217,21 @@ func recoverDurable(cfg Config, man *wal.Manifest) (*Engine, error) {
 		s.nextCkpt = cseq + 1
 		e.shards = append(e.shards, s)
 	}
+
+	// Install the resolved partitioner before replay: replay itself applies
+	// records by the WAL file they came from (placement history, not
+	// routing), but move reconciliation and the re-homing sweep below route
+	// by it.
+	var part Partitioner
+	if man.ByRange {
+		part = RangePartitionerFromBounds(bounds)
+	} else {
+		part = NewHashPartitioner(man.Shards)
+	}
+	if part.Shards() != man.Shards {
+		return nil, fmt.Errorf("shard: recovered bounds yield %d shards, manifest declares %d", part.Shards(), man.Shards)
+	}
+	e.part.Store(part)
 
 	// Epoch stamps are non-decreasing within one shard's WAL (appends and
 	// stamps share jmu), so a stable sort preserves per-shard append order
@@ -220,6 +242,7 @@ func recoverDurable(cfg Config, man *wal.Manifest) (*Engine, error) {
 		e.applyRecovered(sr.shard, sr.rec, moves)
 	}
 	e.reconcileMoves(moves, horizons)
+	e.rehomeRecovered()
 
 	ep.AdvanceTo(maxEpoch)
 	e.moveSeq.Store(maxMove)
@@ -322,13 +345,21 @@ func traceFor(moves map[uint64]*moveTrace, r wal.Record) *moveTrace {
 // The horizon test is sound because move IDs are allocated inside the
 // publish window, which holds the move gate exclusively: a checkpoint (gate
 // shared) with horizon >= id can only be cut after move id fully published.
+//
+// Rebalance bulk moves (Key == Key2) reconcile through the same table: their
+// src and dst collapse onto the key's owner under the recovered bounds, so a
+// half-pair repair may touch the "wrong" physical shard — row-identity
+// deletes remove at most the one stale copy, and the re-homing sweep that
+// follows moves whichever copy survived onto its owner, so every row still
+// lands on exactly one shard.
 func (e *Engine) reconcileMoves(moves map[uint64]*moveTrace, horizons []uint64) {
+	p := e.loadPart()
 	for id, mv := range moves {
 		if mv.out == mv.in {
 			continue // intact pair (or impossible empty trace)
 		}
-		src := e.part.Shard(mv.old)
-		dst := e.part.Shard(mv.new)
+		src := p.Shard(mv.old)
+		dst := p.Shard(mv.new)
 		if mv.out && id > horizons[dst] {
 			// Destination half lost in the crash: undo the move.
 			if s := e.shards[src]; s.tbl == nil {
@@ -344,6 +375,57 @@ func (e *Engine) reconcileMoves(moves map[uint64]*moveTrace, horizons []uint64) 
 			}
 		}
 	}
+}
+
+// rehomeRecovered moves every recovered row onto the shard that owns its key
+// under the resolved partitioner — the universal repair for crashes that
+// split a rebalance's bulk moves from its boundary record. Whichever side of
+// the rebalance the resolved bounds landed on, the sweep makes row placement
+// agree with them; it is a no-op on hash-partitioned engines and on any
+// crash image whose moves and bounds survived together. Single-threaded
+// recovery context: no locks.
+func (e *Engine) rehomeRecovered() {
+	if _, ok := e.loadPart().(*RangePartitioner); !ok {
+		return
+	}
+	p := e.loadPart()
+	for i, s := range e.shards {
+		if s.tbl == nil {
+			continue
+		}
+		var misplaced []int64
+		for _, k := range s.tbl.Keys() {
+			if p.Shard(k) != i {
+				misplaced = append(misplaced, k)
+			}
+		}
+		for _, k := range misplaced {
+			row, err := s.tbl.TakeRow(k)
+			if err != nil {
+				continue
+			}
+			if d := e.shards[p.Shard(k)]; d.tbl == nil {
+				d.seedRecovered(k, row)
+			} else {
+				d.tbl.InsertRow(k, row)
+			}
+		}
+	}
+}
+
+// rewriteManifest atomically re-persists the engine topology; called after a
+// rebalance commits its WAL records so the manifest carries the new boundary
+// set for the next bootstrap-free recovery.
+func (e *Engine) rewriteManifest() error {
+	man := &wal.Manifest{Shards: len(e.shards), KeyLo: e.keyLo, KeyHi: e.keyHi}
+	if rp, ok := e.loadPart().(*RangePartitioner); ok {
+		man.ByRange = true
+		man.Bounds = rp.Bounds()
+	}
+	if err := wal.WriteManifest(e.dir, man); err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	return nil
 }
 
 // PendingMove describes one staged cross-shard move: the row has been taken
@@ -411,12 +493,19 @@ func (e *Engine) checkpointShard(i int) error {
 		WALSeq:      newSeq,
 		MoveHorizon: e.moveSeq.Load(),
 	}
+	// The partitioner is stable under the held move gate (a rebalance
+	// installs a new one only while holding it exclusively), so the bounds
+	// and the staged-move attribution below are consistent with the cut.
+	p := e.loadPart()
+	if rp, ok := p.(*RangePartitioner); ok {
+		cp.Bounds = rp.Bounds()
+	}
 	if s.tbl != nil {
 		cp.Keys, cp.Rows = s.tbl.Snapshot()
 		cp.Layouts = fromTableLayouts(s.tbl.ChunkLayouts())
 	}
 	for _, m := range e.moves {
-		if e.part.Shard(m.old) == i {
+		if p.Shard(m.old) == i {
 			cp.Keys, cp.Rows = insertSorted(cp.Keys, cp.Rows, m.old, m.row)
 		}
 	}

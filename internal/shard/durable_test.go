@@ -7,6 +7,7 @@ package shard
 // simulated crashes.
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"os"
@@ -340,6 +341,156 @@ func TestKillReplayRandomOffsets(t *testing.T) {
 	}
 }
 
+// TestKillReplayDuringRebalance extends the kill/replay property suite with
+// crashes at random byte offsets inside a rebalance's durability footprint —
+// including between the WAL boundary record and the bulk-move records, and
+// between the WAL commit and the manifest rewrite. Every crash image must
+// recover rows byte-identical to the in-memory shadow twin, land on exactly
+// one consistent boundary set (old or new, never a blend), and place every
+// row on the shard that owns it under the recovered set.
+func TestKillReplayDuringRebalance(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(13))
+	keys := durableKeys(300, rng)
+	cfg := durableConfig(dir)
+	cfg.ByRange = true
+	e, err := New(keys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	twin, err := New(keys, Config{Shards: cfg.Shards, ByRange: true, Table: cfg.Table})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nShards := e.Shards()
+
+	// A scripted mixed prefix, then a drift burst onto the top of the
+	// domain, applied identically to both engines.
+	for _, op := range genOps(rng, keys, 80) {
+		op.apply(e)
+		op.apply(twin)
+	}
+	for i := 0; i < 250; i++ {
+		k := 900 + rng.Int63n(100)
+		e.Insert(k)
+		twin.Insert(k)
+	}
+	want := engineState(twin)
+	if !statesEqual(engineState(e), want) {
+		t.Fatal("durable engine diverged from twin before the rebalance")
+	}
+	if e.Skew() < 1.2 {
+		t.Fatalf("drift burst produced skew %.2f; rebalance would be a no-op", e.Skew())
+	}
+	oldBounds := e.Partitioner().(*RangePartitioner).Bounds()
+
+	// Flush so the pre-rebalance WAL prefix is the durable baseline, then
+	// record each shard's segment size: the rebalance's records land after
+	// these offsets.
+	if err := e.SyncWAL(); err != nil {
+		t.Fatal(err)
+	}
+	preSizes := make([]int64, nShards)
+	for i := 0; i < nShards; i++ {
+		preSizes[i] = fileSize(t, segPath(t, dir, i))
+	}
+
+	// Crash image A: mid-staging (rows parked in the in-memory registry,
+	// nothing of the rebalance in the WAL).
+	stagedImg := t.TempDir()
+	stagedCopied := false
+	e.betweenRebalanceWindows = func() {
+		if !stagedCopied {
+			stagedCopied = true
+			copyDir(t, dir, stagedImg)
+		}
+	}
+	// Crash image B: after the WAL records commit, before the manifest
+	// rewrite and checkpoint — the window where only the WAL tails know the
+	// new bounds.
+	preManifest := t.TempDir()
+	e.afterRebalanceWAL = func() {
+		if err := e.SyncWAL(); err != nil { // SyncNone: make the tail real
+			t.Errorf("seam sync: %v", err)
+		}
+		copyDir(t, dir, preManifest)
+	}
+
+	res, err := e.Rebalance()
+	if err != nil {
+		t.Fatalf("Rebalance: %v", err)
+	}
+	if res.Moved == 0 || !stagedCopied {
+		t.Fatalf("rebalance moved %d rows (staging seam ran: %v)", res.Moved, stagedCopied)
+	}
+	newBounds := res.NewBounds
+
+	// Recovery mutates a directory (fresh WAL segment, torn-tail repair), so
+	// every recovery below runs against a throwaway copy of its image.
+	assertRecovered := func(img string, label string) *Engine {
+		t.Helper()
+		work := t.TempDir()
+		copyDir(t, img, work)
+		rcfg := cfg
+		rcfg.Dir = work
+		re, err := New(nil, rcfg)
+		if err != nil {
+			t.Fatalf("%s: recovery: %v", label, err)
+		}
+		re.Close()
+		if got := engineState(re); !statesEqual(got, want) {
+			t.Fatalf("%s: recovered %d rows, twin has %d (or payloads diverged)", label, len(got), len(want))
+		}
+		got := re.Partitioner().(*RangePartitioner).Bounds()
+		if !boundsEqual(got, oldBounds) && !boundsEqual(got, newBounds) {
+			t.Fatalf("%s: recovered bounds %v are neither old %v nor new %v", label, got, oldBounds, newBounds)
+		}
+		assertPlacement(t, re)
+		return re
+	}
+
+	// Image A recovers the pre-rebalance timeline; image B must resolve the
+	// new bounds from the WAL tails despite the stale manifest.
+	assertRecovered(stagedImg, "mid-staging image")
+	reB := assertRecovered(preManifest, "pre-manifest image")
+	if got := reB.Partitioner().(*RangePartitioner).Bounds(); !boundsEqual(got, newBounds) {
+		t.Fatalf("pre-manifest image: bounds %v, want the WAL-carried new bounds %v", got, newBounds)
+	}
+
+	// Random-offset kills inside the rebalance's WAL span: each shard's tail
+	// is cut independently somewhere in [pre-rebalance size, full size],
+	// slicing every interleaving of bulk moves and the boundary record
+	// (torn final frames included).
+	postSizes := make([]int64, nShards)
+	for i := 0; i < nShards; i++ {
+		postSizes[i] = fileSize(t, segPath(t, preManifest, i))
+		if postSizes[i] < preSizes[i] {
+			t.Fatalf("shard %d: WAL shrank across the rebalance (%d -> %d)", i, preSizes[i], postSizes[i])
+		}
+	}
+	for trial := 0; trial < 12; trial++ {
+		crash := t.TempDir()
+		copyDir(t, preManifest, crash)
+		for i := 0; i < nShards; i++ {
+			cut := preSizes[i] + rng.Int63n(postSizes[i]-preSizes[i]+1)
+			if err := os.Truncate(segPath(t, crash, i), cut); err != nil {
+				t.Fatal(err)
+			}
+		}
+		assertRecovered(crash, fmt.Sprintf("random-offset trial %d", trial))
+	}
+
+	// The completed live directory (manifest + checkpoint in place).
+	reF := assertRecovered(dir, "completed rebalance")
+	if got := reF.Partitioner().(*RangePartitioner).Bounds(); !boundsEqual(got, newBounds) {
+		t.Fatalf("completed image: bounds %v, want %v", got, newBounds)
+	}
+	if reF.Skew() >= 1.5 && e.Skew() < 1.5 {
+		t.Fatalf("recovered skew %.2f lost the rebalance's balance", reF.Skew())
+	}
+}
+
 // TestCheckpointDuringStagedMove cuts a checkpoint while a cross-shard move
 // is staged (taken from its source shard, not yet published). The
 // checkpoint must count the row exactly once — at its old key — and a
@@ -362,7 +513,7 @@ func TestCheckpointDuringStagedMove(t *testing.T) {
 		if e.PointQuery(k) == 0 {
 			if old == 0 {
 				old = k
-			} else if e.part.Shard(k) != e.part.Shard(old) {
+			} else if e.Partitioner().Shard(k) != e.Partitioner().Shard(old) {
 				new = k
 				break
 			}
@@ -497,7 +648,7 @@ func TestCheckpointDoesNotOrphanMovePair(t *testing.T) {
 		if e.PointQuery(k) == 0 {
 			if old == 0 {
 				old = k
-			} else if e.part.Shard(k) != e.part.Shard(old) {
+			} else if e.Partitioner().Shard(k) != e.Partitioner().Shard(old) {
 				new = k
 				break
 			}
@@ -510,7 +661,7 @@ func TestCheckpointDoesNotOrphanMovePair(t *testing.T) {
 
 	// Checkpoint ONLY the source shard: it prunes the MoveOut and records a
 	// move horizon covering the move.
-	if err := e.checkpointShard(e.part.Shard(old)); err != nil {
+	if err := e.checkpointShard(e.Partitioner().Shard(old)); err != nil {
 		t.Fatalf("checkpoint: %v", err)
 	}
 

@@ -30,7 +30,7 @@ func crossShardPair(t *testing.T, e *Engine, from int64) (int64, int64) {
 	t.Helper()
 	a := from
 	b := a + 1
-	for e.part.Shard(b) == e.part.Shard(a) {
+	for e.Partitioner().Shard(b) == e.Partitioner().Shard(a) {
 		b++
 	}
 	return a, b
@@ -106,8 +106,8 @@ func TestMonitorRecordsOnlySuccessfulWrites(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e.monOn.Store(true)
-	defer e.monOn.Store(false)
+	e.monOn.Add(1)
+	defer e.monOn.Add(-1)
 
 	recorded := func() int {
 		sum := 0

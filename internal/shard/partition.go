@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"math"
 	"sort"
 )
 
@@ -85,9 +86,23 @@ func NewRangePartitioner(keys []int64, n int) *RangePartitioner {
 
 // RangePartitionerFromBounds rebuilds a range partitioner from boundaries
 // previously captured with Bounds — the recovery path, where the boundaries
-// come from the durable manifest rather than from the initial key set.
+// come from the durable manifest (or a checkpoint / WAL boundary record)
+// rather than from the initial key set. The input is sanitized defensively:
+// Shard's binary search requires strictly increasing boundaries, and a
+// corrupted or adversarial bounds set that is unsorted or holds duplicates
+// would otherwise misroute keys silently. Sanitizing may shrink the set;
+// callers that require an exact shard count must validate the length of
+// Bounds() after the round trip.
 func RangePartitionerFromBounds(bounds []int64) *RangePartitioner {
-	return &RangePartitioner{bounds: append([]int64(nil), bounds...)}
+	b := append([]int64(nil), bounds...)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	out := b[:0]
+	for _, v := range b {
+		if len(out) == 0 || v > out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return &RangePartitioner{bounds: out}
 }
 
 // Bounds returns the partitioner's shard boundaries (bounds[i] is the
@@ -111,3 +126,67 @@ func (p *RangePartitioner) Span(lo, hi int64) (int, int) {
 
 // Shards implements Partitioner.
 func (p *RangePartitioner) Shards() int { return len(p.bounds) + 1 }
+
+// proposeBounds returns exactly n-1 strictly increasing boundaries whose
+// quantile split balances keys (any order) across n shards — the rebalance
+// proposal. Unlike NewRangePartitioner, which collapses ties and may return
+// a partitioner with fewer shards, a rebalance must preserve the engine's
+// shard count, so when keys has too few distinct values the quantile bounds
+// are padded with synthetic boundaries (the extra shards own empty ranges).
+func proposeBounds(keys []int64, n int) []int64 {
+	if n < 1 {
+		n = 1
+	}
+	sorted := make([]int64, len(keys))
+	copy(sorted, keys)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var bounds []int64
+	for i := 1; i < n && len(sorted) > 0; i++ {
+		idx := i * len(sorted) / n
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		b := sorted[idx]
+		if len(bounds) > 0 && b <= bounds[len(bounds)-1] {
+			continue
+		}
+		bounds = append(bounds, b)
+	}
+	return padBounds(bounds, n)
+}
+
+// padBounds extends a strictly increasing boundary set to exactly n-1
+// entries, preferring successors past the current maximum, then predecessors
+// below the current minimum, then interior gaps — total for every input the
+// int64 domain can accommodate (n-1 distinct values always fit).
+func padBounds(bounds []int64, n int) []int64 {
+	need := n - 1
+	for len(bounds) < need {
+		if len(bounds) == 0 {
+			bounds = append(bounds, 0)
+			continue
+		}
+		if last := bounds[len(bounds)-1]; last < math.MaxInt64 {
+			bounds = append(bounds, last+1)
+			continue
+		}
+		if first := bounds[0]; first > math.MinInt64 {
+			bounds = append([]int64{first - 1}, bounds...)
+			continue
+		}
+		// Both extremes taken: split the first interior gap. bounds[i]+1
+		// cannot overflow because bounds[i] < bounds[i+1].
+		inserted := false
+		for i := 0; i+1 < len(bounds); i++ {
+			if bounds[i+1] > bounds[i]+1 {
+				bounds = append(bounds[:i+1], append([]int64{bounds[i] + 1}, bounds[i+1:]...)...)
+				inserted = true
+				break
+			}
+		}
+		if !inserted {
+			break // the whole int64 domain is a boundary; nothing left to add
+		}
+	}
+	return bounds
+}

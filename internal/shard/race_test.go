@@ -398,6 +398,216 @@ func TestCrossShardMoveAtomicVisibility(t *testing.T) {
 	}
 }
 
+// TestRebalanceAtomicVisibility is the acceptance regression for the
+// rebalance protocol's visibility guarantee: while boundary sets flip back
+// and forth (forcing bulk row migrations and partitioner installs), a
+// resident row ping-pongs between two keys, View-pinned readers assert it is
+// visible at exactly one key with its payload intact, fan-out probes count
+// it exactly once, and writers hammer private keys through the re-route path
+// with a deterministic final state. Bounded on every side (no goroutine
+// ping-pong loops), so it stays flat on a single-CPU runtime.
+func TestRebalanceAtomicVisibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	keys := make([]int64, raceInitialRows)
+	for i := range keys {
+		keys[i] = 4 * rng.Int63n(100_000) // ≡ 0 (mod 4)
+	}
+	cfg := oracleConfig()
+	cfg.ChunkValues = 1_024
+	e, err := shard.New(keys, shard.Config{Shards: 8, ByRange: true, Table: cfg, MonitorCap: 4_096})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	boundsA := e.Partitioner().(*shard.RangePartitioner).Bounds()
+	if len(boundsA) != e.Shards()-1 {
+		t.Fatalf("initial bounds %d for %d shards", len(boundsA), e.Shards())
+	}
+	boundsB := make([]int64, len(boundsA))
+	for i, b := range boundsA {
+		boundsB[i] = b + 401 // shifts a slice of rows across every boundary
+	}
+
+	// The moving row: a fresh odd key pair several boundaries apart, so the
+	// ping-pong is cross-shard (move-gated) under BOTH boundary sets — a
+	// same-shard update would bypass the gate and void the View invariant.
+	// Either key may itself sit within a boundary flip's migration window,
+	// so the resident row also rides rebalances.
+	a := int64(100_001)
+	b := int64(300_001)
+	if pa, pb := e.Partitioner().Shard(a), e.Partitioner().Shard(b); pa == pb {
+		t.Fatalf("setup: keys %d and %d share shard %d", a, b, pa)
+	}
+	e.Insert(a)
+	wantPayload := int32(a) + 1 // DefaultPayload(a, 1); travels with the row
+
+	// Fan-out probe constant: [a-1, b+1] spans several shards and holds the
+	// resident row (at a or b) plus a fixed population of initial keys the
+	// writers never touch.
+	wantRange := e.RangeCount(a-1, b+1)
+	if wantRange < 2 {
+		t.Fatalf("setup: fan-out range holds only %d rows", wantRange)
+	}
+
+	var (
+		writers sync.WaitGroup
+		readers sync.WaitGroup
+		started sync.WaitGroup
+		stop    atomic.Bool
+		torn    atomic.Int64
+		views   atomic.Int64
+	)
+
+	// Readers: the one-key-exactly invariant under a pinned View plus a
+	// single-call fan-out probe and phantom checks.
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		started.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			signaled := false
+			signal := func() {
+				if !signaled {
+					signaled = true
+					started.Done()
+				}
+			}
+			defer signal()
+			prng := rand.New(rand.NewSource(int64(300 + r)))
+			for i := 0; i < 1_200; i++ {
+				ok := true
+				e.View(func(v *shard.View) {
+					na, nb := v.PointQuery(a), v.PointQuery(b)
+					if na+nb != 1 {
+						torn.Add(1)
+						ok = false
+						t.Errorf("view: moving row visible %d+%d times, want 1", na, nb)
+						return
+					}
+					at := a
+					if nb == 1 {
+						at = b
+					}
+					if pv, pok := v.Payload(at, 1); !pok || pv != wantPayload {
+						torn.Add(1)
+						ok = false
+						t.Errorf("view: payload at %d = (%d,%v), want (%d,true)", at, pv, pok, wantPayload)
+						return
+					}
+					views.Add(1)
+				})
+				if n := e.RangeCount(a-1, b+1); n != wantRange {
+					torn.Add(1)
+					ok = false
+					t.Errorf("RangeCount(%d,%d) = %d, want %d", a-1, b+1, n, wantRange)
+				}
+				if odd := 2*prng.Int63n(400_000) + 1; odd != a && odd != b && e.PointQuery(odd) != 0 {
+					torn.Add(1)
+					ok = false
+					t.Errorf("phantom key %d observed", odd)
+				}
+				signal()
+				if !ok || stop.Load() {
+					return
+				}
+			}
+		}(r)
+	}
+
+	// Writers: private even keys through Insert/Delete — these exercise the
+	// route-revalidation path when an install lands mid-write.
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for j := 0; j < 600; j++ {
+				k := writerKey(w, j)
+				e.Insert(k)
+				if j%3 == 0 {
+					if err := e.Delete(k); err != nil {
+						t.Errorf("writer %d: delete(%d): %v", w, k, err)
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Mover: ping-pongs the resident row. A move can transiently fail with
+	// "absent key" while a rebalance has the row staged; bounded sleepy
+	// retries avoid spinning a single-CPU scheduler.
+	moveOnce := func(from, to int64) bool {
+		for try := 0; try < 20_000; try++ {
+			if err := e.UpdateKey(from, to); err == nil {
+				return true
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+		return false
+	}
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		started.Wait()
+		for i := 0; i < 80; i++ {
+			if !moveOnce(a, b) || !moveOnce(b, a) {
+				t.Error("mover starved: UpdateKey kept failing")
+				return
+			}
+		}
+	}()
+
+	// Rebalancer: flips between the two boundary sets, each flip migrating
+	// rows both ways and installing a new partitioner under live traffic.
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		started.Wait()
+		for round := 0; round < 12; round++ {
+			bounds := boundsA
+			if round%2 == 0 {
+				bounds = boundsB
+			}
+			if _, err := e.RebalanceTo(bounds); err != nil {
+				t.Errorf("rebalance round %d: %v", round, err)
+				return
+			}
+		}
+	}()
+
+	writers.Wait()
+	stop.Store(true)
+	readers.Wait()
+
+	if torn.Load() != 0 {
+		t.Fatalf("%d atomicity violations", torn.Load())
+	}
+	if views.Load() == 0 {
+		t.Error("readers pinned no views")
+	}
+	if got := e.Rebalances(); got < 12 {
+		t.Errorf("rebalances = %d, want >= 12", got)
+	}
+	if na, nb := e.PointQuery(a), e.PointQuery(b); na != 1 || nb != 0 {
+		t.Errorf("final counts (%d,%d), want (1,0)", na, nb)
+	}
+	// Writer keys: j%3 == 0 deleted, the rest survive exactly once — across
+	// however many boundary installs the writes raced.
+	for w := 0; w < 2; w++ {
+		for j := 0; j < 600; j += 7 {
+			want := 1
+			if j%3 == 0 {
+				want = 0
+			}
+			if got := e.PointQuery(writerKey(w, j)); got != want {
+				t.Fatalf("writer %d key %d: count %d, want %d", w, j, got, want)
+			}
+		}
+	}
+	if skew := e.Skew(); skew >= 3 {
+		t.Errorf("final skew %.2f suspiciously high after rebalances", skew)
+	}
+}
+
 // TestConcurrentMixedOpsNoRace floods ExecuteParallel with a full hybrid mix
 // while the auto-retrainer runs — a pure race detector target with a final
 // row-count sanity bound.

@@ -1,0 +1,538 @@
+package shard
+
+// Drift-triggered shard rebalancing: the sharded analogue of re-partitioning
+// inside a shard (see the package comment's rebalance section for the
+// stage → publish → install-partitioner protocol and ROADMAP "Shard
+// rebalancing"). A detector watches per-shard row-count skew and the write
+// rate observed by the retrain monitors; when the key distribution has
+// drifted onto one end of the range, fresh quantile boundaries are proposed
+// and rows migrate between shards without ever being visible on zero or two
+// shards.
+//
+// Durability: migrated rows are WAL-logged as MoveOut/MoveIn pairs (Key ==
+// Key2) and the boundary change as one RecRebalance record per shard, all
+// stamped with the publish epoch; the manifest is rewritten and a checkpoint
+// cut afterwards, so recovery resolves the newest boundary set from
+// whichever source survived (manifest, checkpoint, or WAL tail) and a
+// re-homing sweep lands every row on its owner under that set — a crash at
+// any byte offset mid-rebalance recovers to exactly one consistent boundary
+// set (durable.go).
+
+import (
+	"fmt"
+	"time"
+
+	"casper/internal/table"
+	"casper/internal/wal"
+)
+
+// stageBatch is the number of rows parked in the staged-move registry per
+// exclusive move-gate window while a rebalance stages; readers run (with
+// registry compensation) between batches, bounding the per-window pause.
+const stageBatch = 1024
+
+// RebalancePolicy tunes the background auto-rebalancer (StartAutoRebalance).
+// Zero fields select defaults.
+type RebalancePolicy struct {
+	// CheckEvery is the skew check cadence (default 200ms).
+	CheckEvery time.Duration
+	// MaxSkew triggers a rebalance when the max/mean shard row-count ratio
+	// reaches this value (default 1.5). 1 means perfectly balanced.
+	MaxSkew float64
+	// MinRows is the minimum total row count before rebalancing is
+	// considered (default 1024): tiny fleets are always "skewed".
+	MinRows int
+	// MinOps is the minimum number of operations the shard monitors must
+	// observe between rebalances (default 256), so an idle engine is never
+	// rebalanced on stale skew.
+	MinOps int
+}
+
+func (p RebalancePolicy) withDefaults() RebalancePolicy {
+	if p.CheckEvery <= 0 {
+		p.CheckEvery = 200 * time.Millisecond
+	}
+	if p.MaxSkew <= 0 {
+		p.MaxSkew = 1.5
+	}
+	if p.MinRows <= 0 {
+		p.MinRows = 1024
+	}
+	if p.MinOps <= 0 {
+		p.MinOps = 256
+	}
+	return p
+}
+
+// RebalanceResult reports one boundary re-split.
+type RebalanceResult struct {
+	// Moved is the number of rows migrated between shards.
+	Moved int
+	// OldBounds and NewBounds are the boundary sets before and after.
+	OldBounds, NewBounds []int64
+	// SkewBefore and SkewAfter are the max/mean shard row-count ratios
+	// around the rebalance.
+	SkewBefore, SkewAfter float64
+	// Pause is the duration of the exclusive publish+install window, during
+	// which readers and writers were blocked.
+	Pause time.Duration
+}
+
+// RowCounts returns the physical live-row count of every shard (rows staged
+// in the move registry are not attributed); the input of the skew detector.
+func (e *Engine) RowCounts() []int {
+	e.moveMu.RLock()
+	defer e.moveMu.RUnlock()
+	counts := make([]int, len(e.shards))
+	for i, s := range e.shards {
+		s.read(func(t *table.Table) { counts[i] = t.Len() })
+	}
+	return counts
+}
+
+// Skew returns the current max/mean shard row-count ratio (1 = perfectly
+// balanced; an empty engine reports 1).
+func (e *Engine) Skew() float64 { return skewOf(e.RowCounts()) }
+
+// skewOf is the max/mean row-count ratio over the shard fleet.
+func skewOf(counts []int) float64 {
+	total, max := 0, 0
+	for _, c := range counts {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if total == 0 || len(counts) == 0 {
+		return 1
+	}
+	return float64(max) * float64(len(counts)) / float64(total)
+}
+
+// liveKeys snapshots every live key across the fleet, staged moves included
+// (at their old key), for boundary proposals. Keys land in no particular
+// order; staleness against concurrent writers only shifts the proposed
+// quantiles, never correctness.
+func (e *Engine) liveKeys() []int64 {
+	e.moveMu.RLock()
+	defer e.moveMu.RUnlock()
+	var keys []int64
+	for _, s := range e.shards {
+		s.read(func(t *table.Table) { keys = append(keys, t.Keys()...) })
+	}
+	for _, m := range e.moves {
+		keys = append(keys, m.old)
+	}
+	return keys
+}
+
+// Rebalance proposes fresh quantile boundaries from the current key
+// distribution and migrates rows so every shard owns its new range — a
+// no-op (Moved == 0) when the proposal matches the installed bounds or the
+// engine holds no rows. Concurrent reads keep flowing (and observe every
+// row exactly once) except during the bounded stage windows and the single
+// publish+install window (reported as Pause). Writes keep flowing too, with
+// one caveat inherited from the cross-shard move protocol: a Delete or
+// UpdateKey that targets a row while it is parked in the staged-move
+// registry fails with "absent key" — the row is readable but not writable
+// until the publish installs it; callers retry after the rebalance, exactly
+// as with a row mid-move. Requires range partitioning.
+//
+// On a durable engine the boundary change and bulk moves are WAL-logged, the
+// manifest rewritten, and a checkpoint cut; a returned error after a
+// non-zero Moved reports lost durability, not a lost rebalance — the new
+// boundaries are installed in memory either way.
+func (e *Engine) Rebalance() (RebalanceResult, error) {
+	if _, ok := e.loadPart().(*RangePartitioner); !ok {
+		return RebalanceResult{}, fmt.Errorf("shard: rebalance requires range partitioning")
+	}
+	e.rebalanceMu.Lock()
+	defer e.rebalanceMu.Unlock()
+	keys := e.liveKeys()
+	if len(keys) == 0 {
+		b := e.loadPart().(*RangePartitioner).Bounds()
+		return RebalanceResult{OldBounds: b, NewBounds: b, SkewBefore: 1, SkewAfter: 1}, nil
+	}
+	return e.rebalanceLocked(proposeBounds(keys, len(e.shards)))
+}
+
+// RebalanceTo migrates rows onto an explicit boundary set (strictly
+// increasing, exactly Shards()-1 entries) — manual resharding, and the
+// deterministic entry point the test suites drive. Requires range
+// partitioning.
+func (e *Engine) RebalanceTo(bounds []int64) (RebalanceResult, error) {
+	if _, ok := e.loadPart().(*RangePartitioner); !ok {
+		return RebalanceResult{}, fmt.Errorf("shard: rebalance requires range partitioning")
+	}
+	if len(bounds) != len(e.shards)-1 {
+		return RebalanceResult{}, fmt.Errorf("shard: RebalanceTo needs %d boundaries for %d shards, got %d",
+			len(e.shards)-1, len(e.shards), len(bounds))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return RebalanceResult{}, fmt.Errorf("shard: RebalanceTo bounds must be strictly increasing, got %d after %d",
+				bounds[i], bounds[i-1])
+		}
+	}
+	e.rebalanceMu.Lock()
+	defer e.rebalanceMu.Unlock()
+	return e.rebalanceLocked(append([]int64(nil), bounds...))
+}
+
+func boundsEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// rebalanceLocked runs the stage → publish → install protocol onto newBounds;
+// caller holds rebalanceMu and has validated that the engine is
+// range-partitioned.
+func (e *Engine) rebalanceLocked(newBounds []int64) (RebalanceResult, error) {
+	res := RebalanceResult{
+		OldBounds: e.loadPart().(*RangePartitioner).Bounds(),
+		NewBounds: newBounds,
+	}
+	res.SkewBefore = skewOf(e.RowCounts())
+	if boundsEqual(res.OldBounds, newBounds) {
+		res.SkewAfter = res.SkewBefore
+		return res, nil
+	}
+	newPart := RangePartitionerFromBounds(newBounds)
+	if newPart.Shards() != len(e.shards) {
+		return res, fmt.Errorf("shard: proposed bounds yield %d shards, engine has %d", newPart.Shards(), len(e.shards))
+	}
+
+	// Stage: park every row whose owner changes in the staged-move registry
+	// (old key == new key), in bounded exclusive windows. Readers run
+	// between batches and serve staged rows from the registry, so each row
+	// stays visible exactly once throughout. The take halves journal (via
+	// run) for in-flight shadow retrains but skip the WAL: durability logs
+	// the whole migration at publish, so a crash while staging recovers the
+	// pre-rebalance state.
+	var staged []*pendingMove
+	srcOf := make(map[*pendingMove]int)
+	for i, s := range e.shards {
+		var misplaced []int64
+		s.read(func(t *table.Table) {
+			for _, k := range t.Keys() {
+				if newPart.Shard(k) != i {
+					misplaced = append(misplaced, k)
+				}
+			}
+		})
+		for len(misplaced) > 0 {
+			batch := misplaced
+			if len(batch) > stageBatch {
+				batch = batch[:stageBatch]
+			}
+			misplaced = misplaced[len(batch):]
+			e.moveMu.Lock()
+			for _, k := range batch {
+				j := &journalOp{kind: jDelete, key: k, skipWAL: true}
+				err, _ := s.run(j, func(t *table.Table, _ bool) error {
+					row, terr := t.TakeRow(k)
+					j.row = row
+					return terr
+				})
+				if err != nil {
+					continue // deleted since the listing; nothing to move
+				}
+				m := &pendingMove{old: k, new: k, row: j.row}
+				e.moves = append(e.moves, m)
+				staged = append(staged, m)
+				srcOf[m] = i
+			}
+			e.moveMu.Unlock()
+			if e.betweenRebalanceWindows != nil {
+				e.betweenRebalanceWindows()
+			}
+		}
+	}
+
+	// Publish + install: one exclusive window holding the move gate and
+	// every shard's swap lock, so no reader, writer, move, retrain swap, or
+	// checkpoint can interleave. Staged rows land at their destinations, the
+	// tables are rescanned for stragglers (writes that slipped in between
+	// the staging batches under the old routing), the migration is
+	// WAL-logged, and the new partitioner is installed with a single epoch
+	// bump that retires the registry entries.
+	type movedRow struct {
+		src, dst int
+		key      int64
+		row      []int32
+	}
+	ours := make(map[*pendingMove]struct{}, len(staged))
+	for _, m := range staged {
+		ours[m] = struct{}{}
+	}
+	// Install barrier: raise the flag (blocking new cross-shard stages),
+	// then wait for every in-flight move to drain before freezing the
+	// fleet. Boundaries must not change while a move is staged: the move's
+	// WAL record placement and checkpoint registry folding both equate the
+	// routed owner of a staged key with the shard the row physically left.
+	// The wait sleeps with no locks held, so draining moves make progress;
+	// each writer has at most one move in flight, so the drain is bounded.
+	e.moveMu.Lock()
+	e.installing = true
+	for {
+		foreign := false
+		for _, m := range e.moves {
+			if _, ok := ours[m]; !ok {
+				foreign = true
+				break
+			}
+		}
+		if !foreign {
+			break
+		}
+		e.moveMu.Unlock()
+		time.Sleep(200 * time.Microsecond)
+		e.moveMu.Lock()
+	}
+	// The pause clock starts only now: during the drain above, the gate was
+	// repeatedly released and reads/writes flowed normally.
+	start := time.Now()
+	for _, s := range e.shards {
+		s.mu.Lock()
+	}
+	moved := make([]movedRow, 0, len(staged))
+	for _, m := range staged {
+		dst := newPart.Shard(m.old)
+		e.placeLocked(dst, m.old, m.row)
+		moved = append(moved, movedRow{src: srcOf[m], dst: dst, key: m.old, row: m.row})
+	}
+	for i, s := range e.shards {
+		if s.tbl == nil {
+			continue
+		}
+		var stragglers []int64
+		for _, k := range s.tbl.Keys() {
+			if newPart.Shard(k) != i {
+				stragglers = append(stragglers, k)
+			}
+		}
+		for _, k := range stragglers {
+			row, err := s.tbl.TakeRow(k)
+			if err != nil {
+				continue
+			}
+			s.journalLocked(journalOp{kind: jDelete, key: k, row: row})
+			dst := newPart.Shard(k)
+			e.placeLocked(dst, k, row)
+			moved = append(moved, movedRow{src: i, dst: dst, key: k, row: row})
+		}
+	}
+	e.part.Store(newPart)
+	pub := e.epoch.Advance() // the single epoch bump installing the bounds
+	commits := make(map[*shard]uint64)
+	if e.durable {
+		// Move pairs first, then one boundary record per shard, all stamped
+		// with the publish epoch; appended under each shard's jmu so the
+		// per-shard epoch order stays monotonic. The appends must stay
+		// inside the freeze: a post-install write to a migrated row carries
+		// the same epoch as the publish, so if its record could beat the
+		// MoveIn into the shard's WAL, the stable epoch sort at recovery
+		// would replay them in that inverted order and resurrect the row.
+		// Only the fsyncs (Commit) happen after the locks drop.
+		for _, mv := range moved {
+			id := e.moveSeq.Add(1)
+			rec := wal.Record{Epoch: pub, MoveID: id, Key: mv.key, Key2: mv.key, Row: mv.row}
+			src, dst := e.shards[mv.src], e.shards[mv.dst]
+			src.jmu.Lock()
+			rec.Kind = wal.RecMoveOut
+			lsn, _ := src.log.Append(rec)
+			src.jmu.Unlock()
+			commits[src] = lsn
+			dst.jmu.Lock()
+			rec.Kind = wal.RecMoveIn
+			lsn, _ = dst.log.Append(rec)
+			dst.jmu.Unlock()
+			commits[dst] = lsn
+		}
+		brec := wal.Record{Kind: wal.RecRebalance, Epoch: pub, Bounds: newBounds}
+		for _, s := range e.shards {
+			s.jmu.Lock()
+			lsn, _ := s.log.Append(brec)
+			s.jmu.Unlock()
+			commits[s] = lsn
+		}
+	}
+	// Retire every staged entry in one pass: a per-entry retireMove scan
+	// would be quadratic in the migration size, all inside the window where
+	// every read and write is blocked.
+	if len(staged) > 0 {
+		kept := e.moves[:0]
+		for _, m := range e.moves {
+			if _, ok := ours[m]; !ok {
+				kept = append(kept, m)
+			}
+		}
+		for i := len(kept); i < len(e.moves); i++ {
+			e.moves[i] = nil // release the migrated rows' payloads
+		}
+		e.moves = kept
+	}
+	e.installing = false // lower the barrier with the new boundaries in force
+	for i := len(e.shards) - 1; i >= 0; i-- {
+		e.shards[i].mu.Unlock()
+	}
+	e.moveMu.Unlock()
+	res.Pause = time.Since(start)
+	res.Moved = len(moved)
+
+	var werr error
+	if e.durable {
+		for i, s := range e.shards {
+			if lsn, ok := commits[s]; ok {
+				if err := s.log.Commit(lsn); err != nil && werr == nil {
+					werr = fmt.Errorf("shard %d: %w", i, err)
+				}
+			}
+		}
+		if e.afterRebalanceWAL != nil {
+			e.afterRebalanceWAL()
+		}
+		if err := e.rewriteManifest(); err != nil && werr == nil {
+			werr = err
+		}
+		// Checkpointing persists the new boundary set in every shard's
+		// checkpoint and prunes the migration's WAL records behind the new
+		// horizon.
+		if err := e.Checkpoint(); err != nil && werr == nil {
+			werr = err
+		}
+	}
+	e.rebalances.Add(1)
+	res.SkewAfter = skewOf(e.RowCounts())
+	return res, werr
+}
+
+// placeLocked inserts a migrated row into shard dst, seeding its table when
+// empty and journaling the insert for an in-flight shadow retrain; caller
+// holds every shard's swap lock exclusively (publish window).
+func (e *Engine) placeLocked(dst int, key int64, row []int32) {
+	d := e.shards[dst]
+	if d.tbl == nil {
+		tbl, err := table.NewFromRows([]int64{key}, [][]int32{row}, d.cfg)
+		if err != nil {
+			panic(fmt.Sprintf("shard: rebalance seeding one-row table: %v", err))
+		}
+		d.tbl = tbl
+	} else {
+		d.tbl.InsertRow(key, row)
+	}
+	d.journalLocked(journalOp{kind: jInsertRow, key: key, row: row})
+}
+
+// journalLocked appends j to the retrain journal when a shadow retrain is in
+// flight; caller holds s.mu exclusively (the journaling flag is stable).
+func (s *shard) journalLocked(j journalOp) {
+	if !s.journaling {
+		return
+	}
+	j.epoch = s.ep.Now()
+	s.jmu.Lock()
+	s.journal = append(s.journal, j)
+	s.jmu.Unlock()
+}
+
+// StartAutoRebalance launches the background rebalancing worker: every
+// CheckEvery it compares the max/mean shard row-count skew against the
+// policy threshold and, once the fleet has both drifted and absorbed MinOps
+// monitored operations, re-splits the boundaries with Rebalance. Requires
+// range partitioning; runs concurrently with the auto-retrainer (both feed
+// the same per-shard monitors).
+func (e *Engine) StartAutoRebalance(p RebalancePolicy) error {
+	if _, ok := e.loadPart().(*RangePartitioner); !ok {
+		return fmt.Errorf("shard: auto-rebalance requires range partitioning")
+	}
+	e.rebalanceCtl.Lock()
+	defer e.rebalanceCtl.Unlock()
+	if e.rebStopCh != nil {
+		return fmt.Errorf("shard: auto-rebalance already running")
+	}
+	p = p.withDefaults()
+	e.rebStopCh = make(chan struct{})
+	e.rebDoneCh = make(chan struct{})
+	e.monOn.Add(1)
+	// The write-rate baseline is captured here, synchronously: operations
+	// issued after StartAutoRebalance returns must count toward the MinOps
+	// gate even if the worker goroutine is scheduled late (single-CPU
+	// runtimes routinely run it only after the caller's next block).
+	go e.rebalanceLoop(p, e.monitoredOps(), e.rebStopCh, e.rebDoneCh)
+	return nil
+}
+
+// StopAutoRebalance stops the worker and waits for an in-flight rebalance to
+// finish. Safe to call when none is running.
+func (e *Engine) StopAutoRebalance() {
+	e.rebalanceCtl.Lock()
+	defer e.rebalanceCtl.Unlock()
+	if e.rebStopCh == nil {
+		return
+	}
+	close(e.rebStopCh)
+	<-e.rebDoneCh
+	e.rebStopCh, e.rebDoneCh = nil, nil
+	e.monOn.Add(-1)
+}
+
+// Rebalances returns the number of completed rebalances (manual and
+// automatic).
+func (e *Engine) Rebalances() uint64 { return e.rebalances.Load() }
+
+func (e *Engine) rebalanceLoop(p RebalancePolicy, opsBase int, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	tick := time.NewTicker(p.CheckEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			counts := e.RowCounts()
+			total := 0
+			for _, c := range counts {
+				total += c
+			}
+			if total < p.MinRows {
+				continue
+			}
+			// Write-rate gate, reusing the retrain monitor windows: only
+			// rebalance a fleet that is actually absorbing traffic. A
+			// retrain rebasing its monitor can shrink the sum; re-base then.
+			ops := e.monitoredOps()
+			if ops < opsBase {
+				opsBase = ops
+			}
+			if ops-opsBase < p.MinOps {
+				continue
+			}
+			if skewOf(counts) < p.MaxSkew {
+				continue
+			}
+			if _, err := e.Rebalance(); err != nil {
+				continue // durability errors also stick on the write path
+			}
+			opsBase = e.monitoredOps()
+		}
+	}
+}
+
+// monitoredOps sums the operations the per-shard monitors have observed
+// since their last rebase — the rebalancer's write-rate signal.
+func (e *Engine) monitoredOps() int {
+	n := 0
+	for _, s := range e.shards {
+		since, _ := s.mon.stats()
+		n += since
+	}
+	return n
+}

@@ -157,7 +157,7 @@ func (e *Engine) StartAutoRetrain(p RetrainPolicy) error {
 	p = p.withDefaults()
 	e.stopCh = make(chan struct{})
 	e.doneCh = make(chan struct{})
-	e.monOn.Store(true)
+	e.monOn.Add(1)
 	go e.retrainLoop(p, e.stopCh, e.doneCh)
 	return nil
 }
@@ -173,7 +173,7 @@ func (e *Engine) StopAutoRetrain() {
 	close(e.stopCh)
 	<-e.doneCh
 	e.stopCh, e.doneCh = nil, nil
-	e.monOn.Store(false)
+	e.monOn.Add(-1)
 }
 
 // Retrains returns the number of completed background shard retrains.

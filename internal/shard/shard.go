@@ -44,6 +44,41 @@
 // on zero shards or on two shards — including while a shadow retrain of
 // either shard is in flight (both halves journal like any other write, with
 // the payload pinning row identity and the epoch recording commit order).
+//
+// # Drift-triggered shard rebalancing
+//
+// Range partitioning fixes boundaries at load time, so a drifted key
+// distribution piles rows onto one shard. Rebalancing (rebalance.go) is the
+// sharded analogue of re-partitioning inside a shard: a detector watches
+// per-shard row counts (max/mean skew) and write rates, proposes fresh
+// quantile boundaries, and migrates rows through a three-step protocol that
+// extends the cross-shard commit protocol above:
+//
+//  1. Stage: rows whose owner changes under the proposed boundaries are
+//     taken from their source shards and parked in the staged-move registry
+//     (old key == new key), in batches under short exclusive move-gate
+//     windows. Between batches readers run normally, serving staged rows
+//     from the registry — every row stays visible exactly once throughout.
+//  2. Publish: under one exclusive move-gate window that also holds every
+//     shard's swap lock (freezing single-shard writers), staged rows are
+//     inserted at their destination shards, the tables are rescanned for
+//     stragglers that landed after staging, and the bulk moves are WAL-
+//     logged as MoveOut/MoveIn pairs plus a RecRebalance boundary record.
+//     Before freezing, the window raises an install barrier: new
+//     cross-shard moves may not stage, and every in-flight one drains —
+//     boundaries never change while a move is staged, so a staged row's
+//     routed owner always equals the shard it physically left (the
+//     invariant its WAL records and checkpoint folding rely on).
+//  3. Install: still inside that window, the new RangePartitioner is
+//     installed with a single epoch bump, flipping every migrated row's
+//     visible home atomically; the registry entries retire with it.
+//
+// Writers route to a shard, then revalidate the route after acquiring the
+// shard's swap lock: because the install holds every swap lock exclusively,
+// a writer that raced the install observes the new partitioner once it gets
+// the lock and re-routes instead of stranding its row on a shard that no
+// longer owns the key. Readers hold the move gate shared for their full
+// fan-out, so they never observe a half-installed boundary set.
 package shard
 
 import (
@@ -128,6 +163,12 @@ var errEmptyShard = fmt.Errorf("shard: empty shard")
 
 // shard is one partition: a table plus the swap lock and retrain journal.
 type shard struct {
+	// idx is this shard's ordinal in eng.shards; together they let a write
+	// revalidate its routing after acquiring the swap lock (see Engine.mutate
+	// and the rebalance section of the package comment).
+	idx int
+	eng *Engine
+
 	// mu guards the tbl pointer. Readers and writers hold it shared for
 	// the duration of an operation; the retrainer holds it exclusive only
 	// to snapshot and to swap, never while solving layouts.
@@ -208,8 +249,13 @@ type pendingMove struct {
 
 // Engine is a sharded Casper engine.
 type Engine struct {
-	cfg    table.Config
-	part   Partitioner
+	cfg table.Config
+	// part holds the current Partitioner. It is atomic because a rebalance
+	// installs a new RangePartitioner at runtime: lock-free paths (batch
+	// grouping, monitor routing) load it once per decision, reads load it
+	// under the move gate (stable — the install holds the gate exclusively),
+	// and writes revalidate their route under the shard swap lock.
+	part   atomic.Value
 	shards []*shard
 
 	// epoch is the global epoch counter of the cross-shard commit
@@ -226,6 +272,14 @@ type Engine struct {
 	// guarded by moveMu. Its length is bounded by the number of in-flight
 	// cross-shard updates, so reader-side compensation scans stay cheap.
 	moves []*pendingMove
+	// installing (guarded by moveMu) is the rebalance install barrier: while
+	// set, new cross-shard moves may not stage. The rebalance publish window
+	// raises it and then waits for every in-flight move to drain before
+	// installing the new partitioner, so boundaries never change while a
+	// move is staged — logMove's record placement and checkpointShard's
+	// registry folding may therefore equate a staged row's routed owner with
+	// the shard it was physically taken from.
+	installing bool
 	// failDestInsert, when non-nil, injects a destination-shard rejection
 	// into the publish half of a cross-shard move (test seam for the
 	// rollback path).
@@ -245,17 +299,37 @@ type Engine struct {
 	// checkpoint-during-move coverage).
 	betweenMoveWindows func()
 
-	// monOn gates per-operation monitor recording; it is only set while a
-	// background retrainer is running, so the unmonitored fast path costs
-	// one atomic load.
-	monOn        atomic.Bool
+	// monOn counts the background workers (retrainer, rebalancer) that want
+	// per-operation monitor recording, so the unmonitored fast path costs
+	// one atomic load and the workers can start and stop independently.
+	monOn        atomic.Int32
 	keyLo, keyHi int64 // initial key extremes, for drift bucketing
 
 	retrainMu sync.Mutex
 	stopCh    chan struct{}
 	doneCh    chan struct{}
 	retrains  atomic.Uint64
+
+	// Rebalance state (rebalance.go): rebalanceMu serializes rebalances,
+	// rebalances counts completed ones, and the reb* channels bracket the
+	// auto-rebalance worker. betweenRebalanceWindows (test seam) runs with no
+	// locks held between the stage and publish phases; afterRebalanceWAL
+	// (test seam) runs after the WAL commits but before the manifest rewrite.
+	rebalanceMu             sync.Mutex
+	rebalanceCtl            sync.Mutex
+	rebStopCh               chan struct{}
+	rebDoneCh               chan struct{}
+	rebalances              atomic.Uint64
+	betweenRebalanceWindows func()
+	afterRebalanceWAL       func()
 }
+
+// loadPart returns the current partitioner.
+func (e *Engine) loadPart() Partitioner { return e.part.Load().(Partitioner) }
+
+// monitoring reports whether any background worker wants per-operation
+// monitor recording.
+func (e *Engine) monitoring() bool { return e.monOn.Load() > 0 }
 
 // New loads keys (any order) into a sharded engine. With Config.Dir set the
 // engine is durable: if the directory already holds committed state New
@@ -291,7 +365,8 @@ func newInMemory(keys []int64, cfg Config) (*Engine, error) {
 	if ep == nil {
 		ep = txn.NewOracle()
 	}
-	e := &Engine{cfg: cfg.Table, part: part, epoch: ep, keyLo: keys[0], keyHi: keys[0]}
+	e := &Engine{cfg: cfg.Table, epoch: ep, keyLo: keys[0], keyHi: keys[0]}
+	e.part.Store(part)
 	perShard := make([][]int64, part.Shards())
 	for _, k := range keys {
 		perShard[part.Shard(k)] = append(perShard[part.Shard(k)], k)
@@ -303,7 +378,7 @@ func newInMemory(keys []int64, cfg Config) (*Engine, error) {
 		}
 	}
 	for i := 0; i < part.Shards(); i++ {
-		s := &shard{cfg: cfg.Table, mon: newMonitor(monCap), ep: ep}
+		s := &shard{idx: i, eng: e, cfg: cfg.Table, mon: newMonitor(monCap), ep: ep}
 		if len(perShard[i]) > 0 {
 			tbl, err := table.New(perShard[i], cfg.Table, cfg.Gen)
 			if err != nil {
@@ -316,19 +391,25 @@ func newInMemory(keys []int64, cfg Config) (*Engine, error) {
 	return e, nil
 }
 
-// Shards returns the shard count.
-func (e *Engine) Shards() int { return e.part.Shards() }
+// Shards returns the shard count. It is invariant across rebalances — a
+// rebalance re-splits boundaries among the existing shards, never changes
+// their number.
+func (e *Engine) Shards() int { return len(e.shards) }
 
-// Partitioner returns the key router in use.
-func (e *Engine) Partitioner() Partitioner { return e.part }
+// Partitioner returns the key router currently in use. On a range-
+// partitioned engine a rebalance may replace it; the returned value is the
+// router as of the call.
+func (e *Engine) Partitioner() Partitioner { return e.loadPart() }
 
 // Epoch returns the current global epoch. It advances exactly once per
 // published cross-shard move (and, when the oracle is shared with a
 // txn.Manager, once per transaction commit).
 func (e *Engine) Epoch() uint64 { return e.epoch.Now() }
 
-// shardFor routes a key to its shard.
-func (e *Engine) shardFor(key int64) *shard { return e.shards[e.part.Shard(key)] }
+// shardFor routes a key to its shard under the current partitioner. Reads
+// call it under the move gate (route stable for the whole query); writes go
+// through mutate, which revalidates the route under the shard swap lock.
+func (e *Engine) shardFor(key int64) *shard { return e.shards[e.loadPart().Shard(key)] }
 
 // bucket maps a key to a drift-histogram bucket over the initial domain.
 func (e *Engine) bucket(key int64) int {
@@ -349,8 +430,9 @@ func (e *Engine) bucket(key int64) int {
 // record feeds an operation into the monitor of every shard it touches,
 // under the same RouteOp rule the training split uses.
 func (e *Engine) record(op workload.Op) {
-	owner := e.part.Shard(op.Key)
-	workload.RouteOp(op, e.part.Shard, e.part.Span, func(s int) {
+	p := e.loadPart()
+	owner := p.Shard(op.Key)
+	workload.RouteOp(op, p.Shard, p.Span, func(s int) {
 		key := op.Key
 		if op.Kind == workload.Q6Update && s != owner {
 			key = op.Key2 // the update lands in this shard at its new key
@@ -363,6 +445,31 @@ func (e *Engine) record(op workload.Op) {
 // Shard-local application with journaling
 // ---------------------------------------------------------------------------
 
+// routed reports whether this shard still owns j's key(s) under the current
+// partitioner. It must be evaluated while holding s.mu (shared or
+// exclusive): a rebalance installs a new partitioner only while holding
+// every shard's swap lock exclusively, so the answer is stable for the rest
+// of the lock window, and a writer that acquired the lock after an install
+// is guaranteed to observe the new routing.
+func (s *shard) routed(j *journalOp) bool {
+	p := s.eng.loadPart()
+	if p.Shard(j.key) != s.idx {
+		return false
+	}
+	return j.kind != jUpdate || p.Shard(j.key2) == s.idx
+}
+
+// mutate routes j to its owning shard and runs it there, re-routing if a
+// concurrent rebalance moved the key's owner while the write waited on the
+// shard lock.
+func (e *Engine) mutate(j *journalOp, fn func(t *table.Table, capture bool) error) error {
+	for {
+		if err, ok := e.shardFor(j.key).run(j, fn); ok {
+			return err
+		}
+	}
+}
+
 // run executes a mutation against the shard's current table under the swap
 // read lock, journaling it (on success) when a shadow retrain is in flight
 // and WAL-logging it when the engine is durable. fn receives whether it must
@@ -371,6 +478,10 @@ func (e *Engine) record(op workload.Op) {
 // appended after fn succeeds, so they carry the row identity. When the shard
 // is still empty, seed builds a one-row table for inserts; deletes and
 // updates report errEmptyShard.
+//
+// run returns ok=false without executing fn when the shard no longer owns
+// j's key under the current partitioner (a rebalance installed new
+// boundaries while this write waited on the lock); the caller re-routes.
 //
 // The journaling flag only transitions under the exclusive swap lock, so it
 // is stable for the whole RLock window here. While a retrain is in flight or
@@ -385,9 +496,13 @@ func (e *Engine) record(op workload.Op) {
 // The WAL fsync (group commit, per the log's policy) happens after the locks
 // are released, so concurrent committers share fsyncs instead of serializing
 // on one.
-func (s *shard) run(j *journalOp, fn func(t *table.Table, capture bool) error) error {
+func (s *shard) run(j *journalOp, fn func(t *table.Table, capture bool) error) (error, bool) {
 	for {
 		s.mu.RLock()
+		if !s.routed(j) {
+			s.mu.RUnlock()
+			return nil, false
+		}
 		if t := s.tbl; t != nil {
 			var err error
 			var lsn uint64
@@ -411,35 +526,37 @@ func (s *shard) run(j *journalOp, fn func(t *table.Table, capture bool) error) e
 			s.mu.RUnlock()
 			if err == nil && logging {
 				if werr := s.log.Commit(lsn); werr != nil {
-					return werr
+					return werr, true
 				}
 			}
-			return err
+			return err, true
 		}
 		s.mu.RUnlock()
 		if j.kind == jDelete || j.kind == jUpdate {
-			return errEmptyShard
+			return errEmptyShard, true
 		}
 		if ok, lsn, logged := s.seed(*j); ok {
 			if logged {
 				if werr := s.log.Commit(lsn); werr != nil {
-					return werr
+					return werr, true
 				}
 			}
-			return nil
+			return nil, true
 		}
-		// Lost the creation race; retry through the populated path.
+		// Lost the creation race (or the route went stale); retry — the
+		// top-of-loop route check re-routes a stale write.
 	}
 }
 
 // seed creates the shard's table holding exactly j's row, WAL-logging the
 // insert under the same exclusive window so no later record can precede it.
-// Returns ok=false if another writer created the table first; logged
-// reports whether a WAL record was appended (commit it after seeing ok).
+// Returns ok=false if another writer created the table first or the route
+// went stale under a concurrent rebalance; logged reports whether a WAL
+// record was appended (commit it after seeing ok).
 func (s *shard) seed(j journalOp) (ok bool, lsn uint64, logged bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.tbl != nil {
+	if s.tbl != nil || !s.routed(&j) {
 		return false, 0, false
 	}
 	tbl, err := table.NewFromRows([]int64{j.key}, [][]int32{j.row}, s.cfg)
@@ -471,7 +588,7 @@ func (s *shard) read(fn func(*table.Table)) {
 
 // PointQuery returns the number of live rows with the given key (Q1).
 func (e *Engine) PointQuery(key int64) int {
-	if e.monOn.Load() {
+	if e.monitoring() {
 		e.record(workload.Op{Kind: workload.Q1PointQuery, Key: key})
 	}
 	e.moveMu.RLock()
@@ -531,7 +648,7 @@ func (e *Engine) RangeCount(lo, hi int64) int {
 	if hi < lo {
 		return 0
 	}
-	if e.monOn.Load() {
+	if e.monitoring() {
 		e.record(workload.Op{Kind: workload.Q2RangeCount, Key: lo, Key2: hi})
 	}
 	e.moveMu.RLock()
@@ -540,7 +657,7 @@ func (e *Engine) RangeCount(lo, hi int64) int {
 }
 
 func (e *Engine) rangeCountLocked(lo, hi int64) int {
-	a, b := e.part.Span(lo, hi)
+	a, b := e.loadPart().Span(lo, hi)
 	n := int(e.fanOut(a, b, func(t *table.Table) int64 { return int64(t.RangeCount(lo, hi)) }))
 	for _, m := range e.moves {
 		if lo <= m.old && m.old <= hi {
@@ -555,7 +672,7 @@ func (e *Engine) RangeSum(lo, hi int64) int64 {
 	if hi < lo {
 		return 0
 	}
-	if e.monOn.Load() {
+	if e.monitoring() {
 		e.record(workload.Op{Kind: workload.Q3RangeSum, Key: lo, Key2: hi})
 	}
 	e.moveMu.RLock()
@@ -564,7 +681,7 @@ func (e *Engine) RangeSum(lo, hi int64) int64 {
 }
 
 func (e *Engine) rangeSumLocked(lo, hi int64) int64 {
-	a, b := e.part.Span(lo, hi)
+	a, b := e.loadPart().Span(lo, hi)
 	sum := e.fanOut(a, b, func(t *table.Table) int64 { return t.RangeSum(lo, hi) })
 	for _, m := range e.moves {
 		if lo <= m.old && m.old <= hi {
@@ -579,7 +696,7 @@ func (e *Engine) MultiRangeSum(lo, hi int64, filters []table.PayloadFilter, sumC
 	if hi < lo {
 		return 0
 	}
-	if e.monOn.Load() {
+	if e.monitoring() {
 		e.record(workload.Op{Kind: workload.Q3RangeSum, Key: lo, Key2: hi})
 	}
 	e.moveMu.RLock()
@@ -588,7 +705,7 @@ func (e *Engine) MultiRangeSum(lo, hi int64, filters []table.PayloadFilter, sumC
 }
 
 func (e *Engine) multiRangeSumLocked(lo, hi int64, filters []table.PayloadFilter, sumCol int) int64 {
-	a, b := e.part.Span(lo, hi)
+	a, b := e.loadPart().Span(lo, hi)
 	sum := e.fanOut(a, b, func(t *table.Table) int64 { return t.MultiRangeSum(lo, hi, filters, sumCol) })
 	for _, m := range e.moves {
 		if m.old < lo || m.old > hi {
@@ -723,10 +840,10 @@ func (v *View) Len() int { return v.e.lenLocked() }
 // Checkpoint, or Close — callers needing per-insert durability confirmation
 // should follow the batch with SyncWAL.
 func (e *Engine) Insert(key int64) {
-	if e.monOn.Load() {
+	if e.monitoring() {
 		e.record(workload.Op{Kind: workload.Q4Insert, Key: key})
 	}
-	_ = e.shardFor(key).run(&journalOp{kind: jInsert, key: key},
+	_ = e.mutate(&journalOp{kind: jInsert, key: key},
 		func(t *table.Table, _ bool) error { t.Insert(key); return nil })
 }
 
@@ -738,7 +855,7 @@ func (e *Engine) Insert(key int64) {
 // when it succeeds.
 func (e *Engine) Delete(key int64) error {
 	j := &journalOp{kind: jDelete, key: key}
-	err := e.shardFor(key).run(j, func(t *table.Table, capture bool) error {
+	err := e.mutate(j, func(t *table.Table, capture bool) error {
 		if !capture {
 			return t.Delete(key)
 		}
@@ -749,7 +866,7 @@ func (e *Engine) Delete(key int64) error {
 	if err == errEmptyShard {
 		return fmt.Errorf("shard: delete of absent key %d", key)
 	}
-	if err == nil && e.monOn.Load() {
+	if err == nil && e.monitoring() {
 		e.record(workload.Op{Kind: workload.Q5Delete, Key: key})
 	}
 	return err
@@ -762,25 +879,33 @@ func (e *Engine) Delete(key int64) error {
 // neither, never on both, and never with a torn payload. The operation feeds
 // the drift monitor only when it succeeds.
 func (e *Engine) UpdateKey(old, new int64) error {
-	so, sn := e.part.Shard(old), e.part.Shard(new)
 	var err error
-	if so == sn {
-		j := &journalOp{kind: jUpdate, key: old, key2: new}
-		err = e.shards[so].run(j, func(t *table.Table, capture bool) error {
-			if !capture {
-				return t.UpdateKey(old, new)
+	for {
+		p := e.loadPart()
+		so, sn := p.Shard(old), p.Shard(new)
+		var ok bool
+		if so == sn {
+			j := &journalOp{kind: jUpdate, key: old, key2: new}
+			err, ok = e.shards[so].run(j, func(t *table.Table, capture bool) error {
+				if !capture {
+					return t.UpdateKey(old, new)
+				}
+				row, terr := t.UpdateKeyRow(old, new)
+				j.row = row
+				return terr
+			})
+			if ok && err == errEmptyShard {
+				err = fmt.Errorf("shard: update of absent key %d", old)
 			}
-			row, terr := t.UpdateKeyRow(old, new)
-			j.row = row
-			return terr
-		})
-		if err == errEmptyShard {
-			err = fmt.Errorf("shard: update of absent key %d", old)
+		} else {
+			err, ok = e.moveCrossShard(old, new)
 		}
-	} else {
-		err = e.moveCrossShard(old, new, so, sn)
+		if ok {
+			break
+		}
+		// A concurrent rebalance changed the keys' routing; re-derive it.
 	}
-	if err == nil && e.monOn.Load() {
+	if err == nil && e.monitoring() {
 		e.record(workload.Op{Kind: workload.Q6Update, Key: old, Key2: new})
 	}
 	return err
@@ -800,15 +925,39 @@ func (e *Engine) UpdateKey(old, new int64) error {
 // A concurrent Delete(old) or UpdateKey(old, ...) that lands while the row
 // is staged serializes after this move: it fails with "absent key", exactly
 // as it would had it run just after the publish.
-func (e *Engine) moveCrossShard(old, new int64, so, sn int) error {
+//
+// The source and destination shards are re-derived from the current
+// partitioner inside each exclusive window (a rebalance can install new
+// boundaries between them); ok=false asks the caller to retry as a
+// same-shard update when a rebalance collapsed the two keys onto one shard
+// before the stage window.
+func (e *Engine) moveCrossShard(old, new int64) (_ error, ok bool) {
 	// The take, insert, and rollback halves all set skipWAL: durability
 	// logs the move as one MoveOut/MoveIn record pair at publish (below),
 	// so a crash between the windows recovers the row at its old key and a
 	// rolled-back move leaves no WAL trace. The halves still journal for
 	// shadow retrains.
-	e.moveMu.Lock()
+	//
+	// The stage respects the rebalance install barrier: while a rebalance is
+	// about to install new boundaries it drains in-flight moves and blocks
+	// new stages, so the routing derived here cannot be invalidated between
+	// the two windows (sleepy retries, not spins — single-CPU friendly).
+	for {
+		e.moveMu.Lock()
+		if !e.installing {
+			break
+		}
+		e.moveMu.Unlock()
+		time.Sleep(200 * time.Microsecond)
+	}
+	so, sn := e.loadPart().Shard(old), e.loadPart().Shard(new)
+	if so == sn {
+		e.moveMu.Unlock()
+		return nil, false
+	}
 	j := &journalOp{kind: jDelete, key: old, skipWAL: true}
-	err := e.shards[so].run(j, func(t *table.Table, _ bool) error {
+	// The route is stable under the held move gate, so run cannot re-route.
+	err, _ := e.shards[so].run(j, func(t *table.Table, _ bool) error {
 		// The payload is needed for the move itself, journaling or not.
 		row, terr := t.TakeRow(old)
 		j.row = row
@@ -817,9 +966,9 @@ func (e *Engine) moveCrossShard(old, new int64, so, sn int) error {
 	if err != nil {
 		e.moveMu.Unlock()
 		if err == errEmptyShard {
-			return fmt.Errorf("shard: update of absent key %d", old)
+			return fmt.Errorf("shard: update of absent key %d", old), true
 		}
-		return err
+		return err, true
 	}
 	m := &pendingMove{old: old, new: new, row: j.row}
 	e.moves = append(e.moves, m)
@@ -832,12 +981,18 @@ func (e *Engine) moveCrossShard(old, new int64, so, sn int) error {
 
 	e.moveMu.Lock()
 	defer e.moveMu.Unlock()
+	// Re-derive routing defensively. The install barrier means no rebalance
+	// can have changed the boundaries while this move was staged, so these
+	// must equal the stage-time values; if both keys ever did land on one
+	// shard the publish would still degenerate to a plain insert correctly.
+	p := e.loadPart()
+	so, sn = p.Shard(old), p.Shard(new)
 	ierr := error(nil)
 	if e.failDestInsert != nil {
 		ierr = e.failDestInsert(sn, new)
 	}
 	if ierr == nil {
-		ierr = e.shards[sn].run(&journalOp{kind: jInsertRow, key: new, row: m.row, skipWAL: true},
+		ierr, _ = e.shards[sn].run(&journalOp{kind: jInsertRow, key: new, row: m.row, skipWAL: true},
 			func(t *table.Table, _ bool) error { t.InsertRow(new, m.row); return nil })
 	}
 	if ierr != nil {
@@ -846,13 +1001,13 @@ func (e *Engine) moveCrossShard(old, new int64, so, sn int) error {
 		// the rollback itself fails (not reachable with in-memory tables),
 		// the entry is kept pinned — the row stays readable at old rather
 		// than vanishing — and both errors are reported.
-		rerr := e.shards[so].run(&journalOp{kind: jInsertRow, key: old, row: m.row, skipWAL: true},
+		rerr, _ := e.shards[so].run(&journalOp{kind: jInsertRow, key: old, row: m.row, skipWAL: true},
 			func(t *table.Table, _ bool) error { t.InsertRow(old, m.row); return nil })
 		if rerr != nil {
-			return fmt.Errorf("shard: cross-shard update %d→%d: destination insert: %v; rollback failed, row pinned in staged registry: %w", old, new, ierr, rerr)
+			return fmt.Errorf("shard: cross-shard update %d→%d: destination insert: %v; rollback failed, row pinned in staged registry: %w", old, new, ierr, rerr), true
 		}
 		e.retireMove(m)
-		return fmt.Errorf("shard: cross-shard update %d→%d: destination insert: %w", old, new, ierr)
+		return fmt.Errorf("shard: cross-shard update %d→%d: destination insert: %w", old, new, ierr), true
 	}
 	pub := e.epoch.Advance() // the single epoch bump publishing the move
 	var werr error
@@ -863,7 +1018,7 @@ func (e *Engine) moveCrossShard(old, new int64, so, sn int) error {
 	// A WAL error reports lost durability, not a lost move: the move is
 	// committed in memory either way, matching the state a recovery from
 	// the last durable record would reconcile to.
-	return werr
+	return werr, true
 }
 
 // logMove appends the MoveOut/MoveIn record pair of a published cross-shard
@@ -987,10 +1142,13 @@ func (e *Engine) ExecuteParallel(ops []workload.Op, workers int) int64 {
 // per-shard waves. The returned sink is order-independent for disjoint-key
 // batches.
 func (e *Engine) ApplyBatch(ops []workload.Op) int64 {
-	n := e.part.Shards()
+	n := len(e.shards)
 	if n == 1 {
 		return e.ExecuteAll(ops)
 	}
+	// The grouping is advisory: Execute re-routes each operation when it
+	// runs, so a rebalance landing mid-batch costs locality, not correctness.
+	p := e.loadPart()
 	groups := make([][]workload.Op, n)
 	var cross []workload.Op
 	for _, op := range ops {
@@ -998,7 +1156,7 @@ func (e *Engine) ApplyBatch(ops []workload.Op) int64 {
 		// join that shard's parallel group, multi-shard ops go to the
 		// cross wave.
 		first, touched := -1, 0
-		workload.RouteOp(op, e.part.Shard, e.part.Span, func(s int) {
+		workload.RouteOp(op, p.Shard, p.Span, func(s int) {
 			if touched == 0 {
 				first = s
 			}
@@ -1066,8 +1224,9 @@ func (e *Engine) Train(sample []workload.Op, parallelism int) error {
 	if parallelism < 1 {
 		parallelism = 1
 	}
-	n := e.part.Shards()
-	per := workload.SplitByShard(sample, n, e.part.Shard, e.part.Span)
+	n := len(e.shards)
+	p := e.loadPart()
+	per := workload.SplitByShard(sample, n, p.Shard, p.Span)
 	conc := n
 	if parallelism < conc {
 		conc = parallelism
@@ -1140,13 +1299,15 @@ func (e *Engine) Layouts() []LayoutSummary {
 	return out
 }
 
-// Close stops the background retrainer if one is running and, on a durable
-// engine, fsyncs and closes every shard's WAL, returning the first failure —
-// under SyncNone/SyncInterval this final fsync is what makes the latest
-// writes durable, so the error must not be swallowed. A closed durable
-// engine keeps serving reads; further writes fail their durability commit.
+// Close stops the background retrainer and rebalancer if running and, on a
+// durable engine, fsyncs and closes every shard's WAL, returning the first
+// failure — under SyncNone/SyncInterval this final fsync is what makes the
+// latest writes durable, so the error must not be swallowed. A closed
+// durable engine keeps serving reads; further writes fail their durability
+// commit.
 func (e *Engine) Close() error {
 	e.StopAutoRetrain()
+	e.StopAutoRebalance()
 	var first error
 	if e.durable {
 		for i, s := range e.shards {

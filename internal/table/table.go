@@ -633,21 +633,9 @@ func (t *Table) Snapshot() ([]int64, [][]int32) {
 		row []int32
 	}
 	var all []kv
-	for _, ck := range t.chunks {
-		ck.mu.RLock()
-		if ck.casperCol != nil {
-			ck.casperCol.PhysicalPositions(func(ord, pos int) {
-				all = append(all, kv{ck.casperCol.Value(pos), ck.payloadAt(pos)})
-			})
-		} else {
-			var buf []int
-			buf = ck.store.RangePositions(math.MinInt64, math.MaxInt64, buf)
-			for _, pos := range buf {
-				all = append(all, kv{ck.store.Value(pos), ck.payloadAt(pos)})
-			}
-		}
-		ck.mu.RUnlock()
-	}
+	t.forEachLive(func(ck *chunk, pos int) {
+		all = append(all, kv{ck.keyAt(pos), ck.payloadAt(pos)})
+	})
 	sort.SliceStable(all, func(i, j int) bool { return all[i].key < all[j].key })
 	keys := make([]int64, len(all))
 	rows := make([][]int32, len(all))
@@ -656,6 +644,48 @@ func (t *Table) Snapshot() ([]int64, [][]int32) {
 		rows[i] = r.row
 	}
 	return keys, rows
+}
+
+// forEachLive visits every live row position, chunk by chunk under each
+// chunk's read lock — the single definition of live-row iteration shared by
+// Snapshot and Keys, so the casper-column vs plain-store traversal rules
+// cannot drift apart.
+func (t *Table) forEachLive(visit func(ck *chunk, pos int)) {
+	for _, ck := range t.chunks {
+		ck.mu.RLock()
+		if ck.casperCol != nil {
+			ck.casperCol.PhysicalPositions(func(ord, pos int) { visit(ck, pos) })
+		} else {
+			var buf []int
+			buf = ck.store.RangePositions(math.MinInt64, math.MaxInt64, buf)
+			for _, pos := range buf {
+				visit(ck, pos)
+			}
+		}
+		ck.mu.RUnlock()
+	}
+}
+
+// keyAt returns the key at physical position pos; caller holds the chunk
+// lock.
+func (ck *chunk) keyAt(pos int) int64 {
+	if ck.casperCol != nil {
+		return ck.casperCol.Value(pos)
+	}
+	return ck.store.Value(pos)
+}
+
+// Keys returns every live key (ascending, duplicates included) without
+// copying payload rows — the cheap form of Snapshot for callers that only
+// plan by key, such as the shard rebalancer scanning for rows whose owner
+// changes under a proposed boundary set. The consistency contract is
+// Snapshot's: per-chunk atomicity only, unless the caller serializes
+// writers.
+func (t *Table) Keys() []int64 {
+	var keys []int64
+	t.forEachLive(func(ck *chunk, pos int) { keys = append(keys, ck.keyAt(pos)) })
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
 }
 
 // Payload returns payload column col at physical position pos of the chunk

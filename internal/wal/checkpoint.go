@@ -31,16 +31,28 @@ type ChunkLayout struct {
 // cut, and the move-ID horizon (every cross-shard move with MoveID <=
 // MoveHorizon had fully published before the cut, so its effect on this
 // shard — if any — is already inside Keys/Rows).
+//
+// Schema v2 (magic "CSPRCKP2") adds Bounds: the range-partitioner boundary
+// set in force at the cut (nil on hash-partitioned engines). Shard
+// rebalancing re-splits boundaries at runtime and checkpoints prune the WAL
+// records that announced the change, so each checkpoint must carry the
+// boundary set itself; recovery resolves the live set as the
+// highest-epoch one across the manifest, the checkpoints, and any
+// RecRebalance records in the WAL tails. There is no v1 read path: a v1
+// checkpoint fails the magic test and recovery of a v1-only shard directory
+// errors loudly ("no valid checkpoint") rather than silently recovering a
+// WAL tail without its base.
 type Checkpoint struct {
 	Epoch       uint64
 	WALSeq      uint64
 	MoveHorizon uint64
+	Bounds      []int64
 	Keys        []int64
 	Rows        [][]int32
 	Layouts     []ChunkLayout
 }
 
-const ckptMagic = uint64(0x43535052434b5031) // "CSPRCKP1"
+const ckptMagic = uint64(0x43535052434b5032) // "CSPRCKP2"
 
 // checkpointName formats a checkpoint file name for seq.
 func checkpointName(seq uint64) string { return fmt.Sprintf("ckpt-%08d.ckpt", seq) }
@@ -68,6 +80,10 @@ func WriteCheckpoint(dir string, seq uint64, cp *Checkpoint) error {
 	w(cp.Epoch)
 	w(cp.WALSeq)
 	w(cp.MoveHorizon)
+	w(uint32(len(cp.Bounds)))
+	for _, b := range cp.Bounds {
+		w(b)
+	}
 	w(uint64(len(cp.Keys)))
 	ncols := 0
 	if len(cp.Rows) > 0 {
@@ -183,6 +199,21 @@ func readCheckpoint(path string) (*Checkpoint, error) {
 	}
 	if err := rd(&cp.MoveHorizon); err != nil {
 		return nil, err
+	}
+	var nbounds uint32
+	if err := rd(&nbounds); err != nil {
+		return nil, err
+	}
+	if uint64(nbounds) > uint64(len(body)) {
+		return nil, fmt.Errorf("wal: absurd checkpoint bounds count %d", nbounds)
+	}
+	if nbounds > 0 {
+		cp.Bounds = make([]int64, nbounds)
+		for i := range cp.Bounds {
+			if err := rd(&cp.Bounds[i]); err != nil {
+				return nil, err
+			}
+		}
 	}
 	if err := rd(&nrows); err != nil {
 		return nil, err

@@ -115,6 +115,14 @@ const (
 	// RecMoveIn is the destination half of a cross-shard move: the row
 	// with payload Row arrives on this shard at Key2 (it left Key).
 	RecMoveIn
+	// RecRebalance is a boundary-change record: the engine installed a new
+	// range-partitioner boundary set (Bounds) at the record's epoch — the
+	// publish epoch of a shard rebalance. It is appended to every shard's
+	// WAL, so any surviving tail carries the boundary change; the rebalance's
+	// bulk moves are logged as ordinary RecMoveOut/RecMoveIn pairs (with
+	// Key == Key2, since a rebalance moves rows between shards without
+	// changing their keys).
+	RecRebalance
 )
 
 // Record is one WAL entry.
@@ -125,6 +133,7 @@ type Record struct {
 	Key    int64
 	Key2   int64
 	Row    []int32
+	Bounds []int64 // RecRebalance only: the new partitioner boundaries
 }
 
 const (
@@ -143,6 +152,14 @@ func encodePayload(buf []byte, r Record) []byte {
 	for _, v := range r.Row {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
 	}
+	if r.Kind == RecRebalance {
+		// Boundary records carry a trailing bounds section; every other kind
+		// keeps the original fixed-plus-row framing byte for byte.
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(r.Bounds)))
+		for _, b := range r.Bounds {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(b))
+		}
+	}
 	return buf
 }
 
@@ -160,7 +177,22 @@ func decodePayload(p []byte) (Record, error) {
 		Key2:   int64(binary.LittleEndian.Uint64(p[25:])),
 	}
 	n := int(binary.LittleEndian.Uint16(p[33:]))
-	if len(p) != fixed+4*n {
+	rowEnd := fixed + 4*n
+	if r.Kind == RecRebalance {
+		if len(p) < rowEnd+2 {
+			return Record{}, fmt.Errorf("wal: rebalance payload too short for bounds count")
+		}
+		nb := int(binary.LittleEndian.Uint16(p[rowEnd:]))
+		if len(p) != rowEnd+2+8*nb {
+			return Record{}, fmt.Errorf("wal: rebalance payload length %d does not match %d bounds", len(p), nb)
+		}
+		if nb > 0 {
+			r.Bounds = make([]int64, nb)
+			for i := 0; i < nb; i++ {
+				r.Bounds[i] = int64(binary.LittleEndian.Uint64(p[rowEnd+2+8*i:]))
+			}
+		}
+	} else if len(p) != rowEnd {
 		return Record{}, fmt.Errorf("wal: payload length %d does not match %d row values", len(p), n)
 	}
 	if n > 0 {
