@@ -885,28 +885,58 @@ func (e *Engine) Retrains() uint64 { return e.sh.Retrains() }
 // Shard rebalancing (range-partitioned engines)
 // ---------------------------------------------------------------------------
 
-// RebalanceResult reports one shard-boundary re-split: rows moved, boundary
-// sets before and after, max/mean row-count skew around the rebalance, and
-// the duration of the exclusive install window.
+// RebalanceResult reports one shard-boundary re-split: rows moved (and the
+// straggler subset caught by the publish-window rescan of the changed
+// ownership intervals), boundary sets before and after, max/mean row-count
+// skew around the rebalance, and the duration of the exclusive install
+// window.
 type RebalanceResult = shard.RebalanceResult
+
+// RebalanceStrategy selects the boundary proposer used by Rebalance,
+// RebalanceWith, and the auto-rebalancer.
+type RebalanceStrategy = shard.RebalanceStrategy
+
+const (
+	// RebalanceMinimal (the default) re-splits only the shards breaching
+	// the skew bound, plus the neighbors absorbing their load; every other
+	// boundary stays bit-identical, so migration volume and the
+	// publish-window pause track the drift size rather than the table size.
+	RebalanceMinimal = shard.RebalanceMinimal
+	// RebalanceQuantile re-splits every boundary on the global quantiles —
+	// the exhaustive baseline.
+	RebalanceQuantile = shard.RebalanceQuantile
+)
 
 // Rebalance re-splits the shard boundaries of a range-partitioned engine
 // (Options.ShardByRange) on the current key distribution and migrates rows
-// so every shard owns its new range. Rows migrate through the engine's
-// staged-move protocol: concurrent readers observe every row on exactly one
-// shard throughout, and reads keep flowing except during bounded exclusive
-// windows (the last one reported as Pause). Writes keep flowing with one
-// caveat shared with cross-shard moves: a Delete or UpdateKey targeting a
-// row currently in flight fails with "absent key" until the rebalance
-// publishes — retry afterwards. On a durable engine the boundary change and
-// bulk moves are WAL-logged and checkpointed, so a crash at any point
-// recovers to one consistent boundary set.
+// so every shard owns its new range, under the minimal-movement proposer:
+// only the shards breaching the skew bound re-split (starved neighbors
+// absorb their load), every other boundary stays bit-identical, and only
+// rows in intervals whose owner actually changes migrate — a no-op when no
+// shard breaches. Rows migrate through the engine's staged-move protocol:
+// concurrent readers observe every row on exactly one shard throughout, and
+// reads keep flowing except during bounded exclusive windows (the last one
+// reported as Pause). Writes keep flowing with one caveat shared with
+// cross-shard moves: a Delete or UpdateKey targeting a row currently in
+// flight fails with "absent key" until the rebalance publishes — retry
+// afterwards. On a durable engine the boundary change and bulk moves are
+// WAL-logged and checkpointed, so a crash at any point recovers to one
+// consistent boundary set.
 func (e *Engine) Rebalance() (RebalanceResult, error) { return e.sh.Rebalance() }
+
+// RebalanceWith is Rebalance under an explicit proposal strategy;
+// RebalanceQuantile restores the exhaustive all-boundaries re-split, for
+// comparing migration volume and publish pause against the minimal default
+// (casperbench -rebalance reports both side by side).
+func (e *Engine) RebalanceWith(s RebalanceStrategy) (RebalanceResult, error) {
+	return e.sh.RebalanceWith(s)
+}
 
 // RebalanceTo migrates rows onto an explicit boundary set (strictly
 // increasing, exactly Shards()-1 entries) — manual resharding for operators
-// who know the target distribution better than the quantile proposal.
-// Otherwise identical to Rebalance.
+// who know the target distribution better than any proposer. The migration
+// is still planned from the ownership delta, so unchanged boundaries cost
+// nothing; otherwise identical to Rebalance.
 func (e *Engine) RebalanceTo(bounds []int64) (RebalanceResult, error) {
 	return e.sh.RebalanceTo(bounds)
 }
@@ -927,6 +957,8 @@ type RebalancePolicy struct {
 	// MaxSkew triggers a rebalance when the max/mean shard row-count ratio
 	// reaches this value (default 1.5).
 	MaxSkew float64
+	// Strategy selects the boundary proposer (default RebalanceMinimal).
+	Strategy RebalanceStrategy
 	// MinRows is the minimum total row count before rebalancing is
 	// considered (default 1024).
 	MinRows int
@@ -945,6 +977,7 @@ func (e *Engine) StartAutoRebalance(p RebalancePolicy) error {
 	return e.sh.StartAutoRebalance(shard.RebalancePolicy{
 		CheckEvery: p.CheckEvery,
 		MaxSkew:    p.MaxSkew,
+		Strategy:   p.Strategy,
 		MinRows:    p.MinRows,
 		MinOps:     p.MinOps,
 	})

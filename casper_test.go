@@ -577,8 +577,20 @@ func TestRebalancePublicAPI(t *testing.T) {
 	if got := e.Rebalances(); got != 1 {
 		t.Fatalf("Rebalances = %d, want 1", got)
 	}
+	// The minimal default left the repaired fleet alone; the exhaustive
+	// quantile baseline stays selectable through RebalanceWith.
+	if res, err := e.Rebalance(); err != nil || res.Moved != 0 {
+		t.Fatalf("repeat minimal rebalance: moved %d, err %v; want a no-op", res.Moved, err)
+	}
+	if _, err := e.RebalanceWith(RebalanceQuantile); err != nil {
+		t.Fatalf("RebalanceWith(RebalanceQuantile): %v", err)
+	}
+	if got := e.ShardSkew(); got >= 1.5 {
+		t.Fatalf("skew %.2f after quantile rebalance", got)
+	}
 
 	// Auto mode: a second drift burst under the background worker.
+	base := e.Rebalances()
 	if err := e.StartAutoRebalance(RebalancePolicy{CheckEvery: 5 * time.Millisecond, MinRows: 100, MinOps: 8}); err != nil {
 		t.Fatal(err)
 	}
@@ -587,11 +599,11 @@ func TestRebalancePublicAPI(t *testing.T) {
 		e.Insert(50_001 + int64(i))
 	}
 	deadline := time.Now().Add(10 * time.Second)
-	for e.Rebalances() < 2 && time.Now().Before(deadline) {
+	for e.Rebalances() == base && time.Now().Before(deadline) {
 		e.Insert(50_001 + int64(time.Now().UnixNano()%4_000))
 		time.Sleep(time.Millisecond)
 	}
-	if e.Rebalances() < 2 {
+	if e.Rebalances() == base {
 		t.Fatalf("auto-rebalance never triggered (skew %.2f)", e.ShardSkew())
 	}
 	if got := e.ShardSkew(); got >= 1.5 {

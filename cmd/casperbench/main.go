@@ -14,7 +14,21 @@
 //	casperbench -table 1                  # the design-space table
 //	casperbench -throughput -shards 1,2,4,8 -workers 8
 //	casperbench -durable -rows 200000     # WAL overhead per fsync policy + recovery time
-//	casperbench -rebalance -rows 200000   # skewed-drift scenario: shard skew, rows moved, pause
+//	casperbench -rebalance -rows 200000   # skewed-drift scenario: quantile vs minimal proposer
+//
+// The -rebalance report compares the two boundary-proposal strategies on
+// the same drifted fleet, one column per metric:
+//
+//	rows-moved       rows migrated between shards (minimal ~ drift size)
+//	stragglers       rows caught by the publish-window rescan of the
+//	                 changed ownership intervals (writes that landed
+//	                 between the staging batches)
+//	pause-ms         exclusive publish+install window; under minimal the
+//	                 straggler rescan walks only the changed intervals, so
+//	                 the pause scales with drift, not table size
+//	bounds-changed   boundaries rewritten vs total (quantile rewrites all,
+//	                 minimal only those around breaching shards)
+//	skew             max/mean shard row-count ratio before -> after
 package main
 
 import (
@@ -192,48 +206,73 @@ func runDurable(rows, measuredOps int, seed int64) error {
 	return nil
 }
 
-// runRebalance drives the skewed-drift scenario end to end: a range-sharded
-// engine is loaded uniformly, the write distribution then drifts entirely
-// past one end of the key range (piling the new rows onto the last shard),
-// and a manual Rebalance re-splits the boundaries — reporting per-shard row
-// counts, max/mean skew before/after, rows moved, and the exclusive-window
-// pause. A second drift burst then exercises the StartAutoRebalance worker.
+// runRebalance drives the skewed-drift scenario once per proposal strategy:
+// a range-sharded engine is loaded uniformly, the write distribution then
+// drifts entirely past one end of the key range (piling the new rows onto
+// the last shard), and one rebalance re-splits the boundaries. The report
+// compares the exhaustive quantile baseline against the minimal-movement
+// default side by side: rows moved, stragglers caught by the delta-bounded
+// publish rescan, the exclusive publish-window pause (which the minimal
+// strategy measures over the changed intervals only), how many boundaries
+// actually changed, and skew before/after. A second drift burst then
+// exercises the StartAutoRebalance worker under the minimal default.
 func runRebalance(rows, measuredOps int, seed int64) error {
 	if rows <= 0 {
 		rows = 200_000
 	}
 	if measuredOps <= 0 {
-		measuredOps = 50_000
+		measuredOps = 20_000
 	}
 	const shards = 8
 	domain := int64(rows) * 10
 	keys := casper.UniformKeys(rows, domain, seed)
-	eng, err := casper.Open(keys, casper.Options{Mode: casper.ModeCasper, Shards: shards, ShardByRange: true})
-	if err != nil {
-		return err
-	}
 	fmt.Printf("shard rebalancing: %d initial rows over [0, %d], %d shards (range), %d drift inserts\n\n",
 		rows, domain, shards, measuredOps)
-
-	counts := func(label string) {
-		fmt.Printf("%-22s skew %.2fx  rows/shard %v\n", label, eng.ShardSkew(), eng.ShardRowCounts())
-	}
-	counts("after uniform load:")
 
 	// Drift: every insert lands past the top of the loaded range.
 	batch := make([]casper.Op, measuredOps)
 	for i := range batch {
 		batch[i] = casper.Op{Kind: casper.Insert, Key: domain + 1 + int64(i)}
 	}
-	eng.ApplyBatch(batch)
-	counts("after skewed drift:")
 
-	res, err := eng.Rebalance()
-	if err != nil {
-		return err
+	var eng *casper.Engine
+	fmt.Printf("%-10s %12s %12s %14s %16s %18s\n",
+		"strategy", "rows-moved", "stragglers", "pause-ms", "bounds-changed", "skew")
+	for _, strat := range []struct {
+		name string
+		s    casper.RebalanceStrategy
+	}{
+		{"quantile", casper.RebalanceQuantile},
+		{"minimal", casper.RebalanceMinimal},
+	} {
+		e, err := casper.Open(keys, casper.Options{Mode: casper.ModeCasper, Shards: shards, ShardByRange: true})
+		if err != nil {
+			return err
+		}
+		e.ApplyBatch(batch)
+		res, err := e.RebalanceWith(strat.s)
+		if err != nil {
+			return err
+		}
+		changed := 0
+		for i := range res.NewBounds {
+			if res.NewBounds[i] != res.OldBounds[i] {
+				changed++
+			}
+		}
+		fmt.Printf("%-10s %12d %12d %14.2f %11d of %d %10.2fx -> %.2fx\n",
+			strat.name, res.Moved, res.Stragglers, res.Pause.Seconds()*1e3,
+			changed, len(res.OldBounds), res.SkewBefore, res.SkewAfter)
+		if strat.s == casper.RebalanceMinimal {
+			eng = e // the minimal engine carries on into the auto demo
+		} else {
+			e.Close()
+		}
 	}
-	fmt.Printf("\nmanual rebalance:      moved %d rows, pause %.2fms, skew %.2fx -> %.2fx\n\n",
-		res.Moved, res.Pause.Seconds()*1e3, res.SkewBefore, res.SkewAfter)
+	counts := func(label string) {
+		fmt.Printf("%-22s skew %.2fx  rows/shard %v\n", label, eng.ShardSkew(), eng.ShardRowCounts())
+	}
+	fmt.Println()
 	counts("after rebalance:")
 
 	// Auto mode: a second drift burst under the background worker.

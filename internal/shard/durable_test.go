@@ -347,8 +347,28 @@ func TestKillReplayRandomOffsets(t *testing.T) {
 // between the WAL commit and the manifest rewrite. Every crash image must
 // recover rows byte-identical to the in-memory shadow twin, land on exactly
 // one consistent boundary set (old or new, never a blend), and place every
-// row on the shard that owns it under the recovered set.
+// row on the shard that owns it under the recovered set. The suite runs once
+// per proposal strategy: the quantile baseline rewrites every boundary,
+// while the minimal default must leave part of the bounds vector
+// bit-identical mid-crash and still recover exactly one consistent set.
 func TestKillReplayDuringRebalance(t *testing.T) {
+	t.Run("quantile", func(t *testing.T) {
+		runKillReplayRebalance(t, func(e *Engine) (RebalanceResult, error) {
+			return e.RebalanceWith(RebalanceQuantile)
+		}, false)
+	})
+	t.Run("minimal", func(t *testing.T) {
+		runKillReplayRebalance(t, func(e *Engine) (RebalanceResult, error) {
+			return e.Rebalance() // minimal is the default proposer
+		}, true)
+	})
+}
+
+// runKillReplayRebalance drives one strategy through the crash matrix;
+// wantPartial asserts the proposal changed a strict subset of the boundary
+// vector (the minimal proposer's signature property — crashes then straddle
+// records whose bounds mostly equal the manifest's).
+func runKillReplayRebalance(t *testing.T, rebalance func(*Engine) (RebalanceResult, error), wantPartial bool) {
 	dir := t.TempDir()
 	rng := rand.New(rand.NewSource(13))
 	keys := durableKeys(300, rng)
@@ -417,7 +437,7 @@ func TestKillReplayDuringRebalance(t *testing.T) {
 		copyDir(t, dir, preManifest)
 	}
 
-	res, err := e.Rebalance()
+	res, err := rebalance(e)
 	if err != nil {
 		t.Fatalf("Rebalance: %v", err)
 	}
@@ -425,6 +445,18 @@ func TestKillReplayDuringRebalance(t *testing.T) {
 		t.Fatalf("rebalance moved %d rows (staging seam ran: %v)", res.Moved, stagedCopied)
 	}
 	newBounds := res.NewBounds
+	if wantPartial {
+		changed := 0
+		for i := range newBounds {
+			if newBounds[i] != oldBounds[i] {
+				changed++
+			}
+		}
+		if changed == 0 || changed == len(newBounds) {
+			t.Fatalf("minimal proposer changed %d of %d boundaries (%v -> %v); scenario needs a strict subset",
+				changed, len(newBounds), oldBounds, newBounds)
+		}
+	}
 
 	// Recovery mutates a directory (fresh WAL segment, torn-tail repair), so
 	// every recovery below runs against a throwaway copy of its image.

@@ -26,11 +26,11 @@ func encodeBounds(bounds ...int64) []byte {
 func FuzzRangePartitionerFromBounds(f *testing.F) {
 	f.Add(encodeBounds(), int64(0))
 	f.Add(encodeBounds(0), int64(5))
-	f.Add(encodeBounds(5, 5, 5), int64(5))                             // duplicates
-	f.Add(encodeBounds(9, 3, 7), int64(4))                             // unsorted
-	f.Add(encodeBounds(math.MinInt64, math.MaxInt64), int64(-1))       // extremes
-	f.Add(encodeBounds(math.MaxInt64, math.MaxInt64-1), int64(1))      // reversed extremes
-	f.Add(encodeBounds(-10, -10, 0, 0, 10, 10), int64(0))              // dup runs
+	f.Add(encodeBounds(5, 5, 5), int64(5))                        // duplicates
+	f.Add(encodeBounds(9, 3, 7), int64(4))                        // unsorted
+	f.Add(encodeBounds(math.MinInt64, math.MaxInt64), int64(-1))  // extremes
+	f.Add(encodeBounds(math.MaxInt64, math.MaxInt64-1), int64(1)) // reversed extremes
+	f.Add(encodeBounds(-10, -10, 0, 0, 10, 10), int64(0))         // dup runs
 	f.Add(encodeBounds(proposeBounds([]int64{1, 2, 3, 100, 200, 300}, 4)...), int64(150))
 	f.Add(encodeBounds(proposeBounds([]int64{7, 7, 7, 7}, 8)...), int64(7))
 	f.Add(encodeBounds(proposeBounds(nil, 6)...), int64(2))
@@ -101,6 +101,85 @@ func FuzzRangePartitionerFromBounds(f *testing.F) {
 			t.Fatalf("sanitize not idempotent: %v -> %v", got, again)
 		}
 	})
+}
+
+// FuzzProposeMinimalBounds locks the minimal-movement proposer's contract:
+// for arbitrary key multisets (duplicate-heavy and int64-extreme included),
+// arbitrary sanitized old boundary sets, and arbitrary skew thresholds, the
+// proposal must keep exactly the old boundary count, stay strictly
+// increasing without collapsing a shard, never worsen the max shard
+// occupancy (post-proposal skew <= pre-proposal skew), change nothing when
+// no shard breaches, and leave every boundary outside a repair region
+// bit-identical.
+func FuzzProposeMinimalBounds(f *testing.F) {
+	f.Add(encodeBounds(), encodeBounds(0), uint8(0))
+	f.Add(encodeBounds(1, 2, 3, 4, 5, 100, 200, 300), encodeBounds(50, 150), uint8(8))
+	f.Add(encodeBounds(7, 7, 7, 7, 7, 7), encodeBounds(3, 10), uint8(16))
+	f.Add(encodeBounds(math.MinInt64, math.MaxInt64, 0, 0), encodeBounds(math.MinInt64+1, math.MaxInt64-1), uint8(32))
+	f.Add(encodeBounds(9, 9, 9, 9, 10, 11, 900, 901, 902, 903, 904, 905), encodeBounds(100, 500, 800), uint8(4))
+	f.Add(encodeBounds(proposeBounds([]int64{1, 2, 3, 100, 200, 300}, 4)...), encodeBounds(proposeBounds([]int64{1, 2, 3, 100, 200, 300}, 4)...), uint8(12))
+
+	f.Fuzz(func(t *testing.T, keyData, boundData []byte, skew uint8) {
+		if len(keyData) > 256*8 {
+			keyData = keyData[:256*8]
+		}
+		if len(boundData) > 16*8 {
+			boundData = boundData[:16*8]
+		}
+		keys := decodeRawBounds(keyData)
+		// The engine hands the proposer its installed (sanitized, strictly
+		// increasing) boundary set; mirror that invariant here.
+		old := RangePartitionerFromBounds(decodeRawBounds(boundData)).Bounds()
+		maxSkew := 1 + float64(skew)/16 // 1.0 (→ default via guard) .. ~16.9
+		got := ProposeMinimalBounds(keys, old, maxSkew)
+
+		if len(got) != len(old) {
+			t.Fatalf("proposal has %d bounds, old had %d", len(got), len(old))
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] <= got[i-1] {
+				t.Fatalf("proposal not strictly increasing: %v", got)
+			}
+		}
+		if n := RangePartitionerFromBounds(got).Shards(); n != len(old)+1 {
+			t.Fatalf("proposal yields %d shards, want %d", n, len(old)+1)
+		}
+
+		sorted := append([]int64(nil), keys...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		pre := countPerShard(sorted, old)
+		post := countPerShard(sorted, got)
+		if maxCount(post) > maxCount(pre) {
+			t.Fatalf("proposal worsened max occupancy %d -> %d (counts %v -> %v)",
+				maxCount(pre), maxCount(post), pre, post)
+		}
+
+		regions := repairRegions(pre, effectiveMaxSkew(maxSkew))
+		if len(regions) == 0 && !boundsEqual(got, old) {
+			t.Fatalf("no shard breaches yet bounds changed: %v -> %v", old, got)
+		}
+		inRegion := make([]bool, len(old))
+		for _, r := range regions {
+			for j := r[0]; j < r[1] && j < len(old); j++ {
+				inRegion[j] = true
+			}
+		}
+		for j := range old {
+			if !inRegion[j] && got[j] != old[j] {
+				t.Fatalf("boundary %d outside every repair region changed: %v -> %v (regions %v)",
+					j, old, got, regions)
+			}
+		}
+	})
+}
+
+// decodeRawBounds decodes little-endian int64s, the shared corpus encoding.
+func decodeRawBounds(data []byte) []int64 {
+	var out []int64
+	for i := 0; i+8 <= len(data); i += 8 {
+		out = append(out, int64(binary.LittleEndian.Uint64(data[i:])))
+	}
+	return out
 }
 
 func FuzzProposeBounds(f *testing.F) {

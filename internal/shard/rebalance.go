@@ -5,9 +5,20 @@ package shard
 // stage → publish → install-partitioner protocol and ROADMAP "Shard
 // rebalancing"). A detector watches per-shard row-count skew and the write
 // rate observed by the retrain monitors; when the key distribution has
-// drifted onto one end of the range, fresh quantile boundaries are proposed
-// and rows migrate between shards without ever being visible on zero or two
-// shards.
+// drifted onto one end of the range, fresh boundaries are proposed and rows
+// migrate between shards without ever being visible on zero or two shards.
+//
+// Proposals come in two strategies. The default, RebalanceMinimal
+// (ProposeMinimalBounds), re-splits only the shards breaching the skew
+// bound plus the neighbors absorbing their load, leaving every other
+// boundary bit-identical; RebalanceQuantile re-splits every boundary on the
+// global quantiles — the exhaustive baseline. Whatever the proposal, the
+// migration is planned from the ownership delta (ownershipDelta): only rows
+// inside intervals whose owner actually changes are staged, and the
+// publish-window straggler rescan walks just those intervals through the
+// table's bounded iterator (KeysInRange) instead of every live key — so
+// both migration volume and the exclusive-window pause scale with the drift
+// the layout absorbs, not with the table size.
 //
 // Durability: migrated rows are WAL-logged as MoveOut/MoveIn pairs (Key ==
 // Key2) and the boundary change as one RecRebalance record per shard, all
@@ -31,6 +42,26 @@ import (
 // registry compensation) between batches, bounding the per-window pause.
 const stageBatch = 1024
 
+// defaultMaxSkew is the max/mean row-count ratio that triggers (and, for the
+// minimal proposer, scopes) a rebalance when no policy overrides it.
+const defaultMaxSkew = 1.5
+
+// RebalanceStrategy selects the boundary proposer used by Rebalance,
+// RebalanceWith, and the auto-rebalance worker.
+type RebalanceStrategy int
+
+const (
+	// RebalanceMinimal (the default) re-splits only the shards breaching
+	// the skew bound, plus the neighbors absorbing their load, leaving
+	// every other boundary bit-identical — migration volume and publish
+	// pause track the drift size. See ProposeMinimalBounds.
+	RebalanceMinimal RebalanceStrategy = iota
+	// RebalanceQuantile re-splits every boundary on the global quantiles —
+	// the exhaustive baseline, which migrates most resident rows to absorb
+	// even a small drifted tail.
+	RebalanceQuantile
+)
+
 // RebalancePolicy tunes the background auto-rebalancer (StartAutoRebalance).
 // Zero fields select defaults.
 type RebalancePolicy struct {
@@ -39,6 +70,8 @@ type RebalancePolicy struct {
 	// MaxSkew triggers a rebalance when the max/mean shard row-count ratio
 	// reaches this value (default 1.5). 1 means perfectly balanced.
 	MaxSkew float64
+	// Strategy selects the boundary proposer (default RebalanceMinimal).
+	Strategy RebalanceStrategy
 	// MinRows is the minimum total row count before rebalancing is
 	// considered (default 1024): tiny fleets are always "skewed".
 	MinRows int
@@ -53,7 +86,7 @@ func (p RebalancePolicy) withDefaults() RebalancePolicy {
 		p.CheckEvery = 200 * time.Millisecond
 	}
 	if p.MaxSkew <= 0 {
-		p.MaxSkew = 1.5
+		p.MaxSkew = defaultMaxSkew
 	}
 	if p.MinRows <= 0 {
 		p.MinRows = 1024
@@ -68,6 +101,10 @@ func (p RebalancePolicy) withDefaults() RebalancePolicy {
 type RebalanceResult struct {
 	// Moved is the number of rows migrated between shards.
 	Moved int
+	// Stragglers is the subset of Moved caught by the publish-window rescan
+	// of the changed ownership intervals: writes that landed between the
+	// staging batches under the old routing.
+	Stragglers int
 	// OldBounds and NewBounds are the boundary sets before and after.
 	OldBounds, NewBounds []int64
 	// SkewBefore and SkewAfter are the max/mean shard row-count ratios
@@ -126,34 +163,59 @@ func (e *Engine) liveKeys() []int64 {
 	return keys
 }
 
-// Rebalance proposes fresh quantile boundaries from the current key
-// distribution and migrates rows so every shard owns its new range — a
-// no-op (Moved == 0) when the proposal matches the installed bounds or the
-// engine holds no rows. Concurrent reads keep flowing (and observe every
-// row exactly once) except during the bounded stage windows and the single
-// publish+install window (reported as Pause). Writes keep flowing too, with
-// one caveat inherited from the cross-shard move protocol: a Delete or
-// UpdateKey that targets a row while it is parked in the staged-move
-// registry fails with "absent key" — the row is readable but not writable
-// until the publish installs it; callers retry after the rebalance, exactly
-// as with a row mid-move. Requires range partitioning.
+// Rebalance proposes fresh boundaries from the current key distribution
+// under the default minimal-movement strategy and migrates rows so every
+// shard owns its new range — a no-op (Moved == 0) when no shard breaches
+// the skew bound, when the proposal matches the installed bounds, or when
+// the engine holds no rows. Concurrent reads keep flowing (and observe
+// every row exactly once) except during the bounded stage windows and the
+// single publish+install window (reported as Pause). Writes keep flowing
+// too, with one caveat inherited from the cross-shard move protocol: a
+// Delete or UpdateKey that targets a row while it is parked in the
+// staged-move registry fails with "absent key" — the row is readable but
+// not writable until the publish installs it; callers retry after the
+// rebalance, exactly as with a row mid-move. Requires range partitioning.
 //
 // On a durable engine the boundary change and bulk moves are WAL-logged, the
 // manifest rewritten, and a checkpoint cut; a returned error after a
 // non-zero Moved reports lost durability, not a lost rebalance — the new
 // boundaries are installed in memory either way.
 func (e *Engine) Rebalance() (RebalanceResult, error) {
+	return e.rebalanceStrategy(RebalanceMinimal, 0)
+}
+
+// RebalanceWith is Rebalance under an explicit proposal strategy —
+// RebalanceQuantile restores the exhaustive all-boundaries re-split, for
+// callers (and benchmarks) comparing it against the minimal default.
+func (e *Engine) RebalanceWith(strategy RebalanceStrategy) (RebalanceResult, error) {
+	return e.rebalanceStrategy(strategy, 0)
+}
+
+// rebalanceStrategy runs one proposal-driven rebalance; maxSkew <= 0 selects
+// defaultMaxSkew (the auto-rebalance worker passes its policy's threshold so
+// the proposer and the trigger agree on what "breaching" means).
+func (e *Engine) rebalanceStrategy(strategy RebalanceStrategy, maxSkew float64) (RebalanceResult, error) {
 	if _, ok := e.loadPart().(*RangePartitioner); !ok {
 		return RebalanceResult{}, fmt.Errorf("shard: rebalance requires range partitioning")
+	}
+	if maxSkew <= 0 {
+		maxSkew = defaultMaxSkew
 	}
 	e.rebalanceMu.Lock()
 	defer e.rebalanceMu.Unlock()
 	keys := e.liveKeys()
+	old := e.loadPart().(*RangePartitioner).Bounds()
 	if len(keys) == 0 {
-		b := e.loadPart().(*RangePartitioner).Bounds()
-		return RebalanceResult{OldBounds: b, NewBounds: b, SkewBefore: 1, SkewAfter: 1}, nil
+		return RebalanceResult{OldBounds: old, NewBounds: old, SkewBefore: 1, SkewAfter: 1}, nil
 	}
-	return e.rebalanceLocked(proposeBounds(keys, len(e.shards)))
+	var proposal []int64
+	switch strategy {
+	case RebalanceQuantile:
+		proposal = proposeBounds(keys, len(e.shards))
+	default:
+		proposal = ProposeMinimalBounds(keys, old, maxSkew)
+	}
+	return e.rebalanceLocked(proposal)
 }
 
 // RebalanceTo migrates rows onto an explicit boundary set (strictly
@@ -209,6 +271,17 @@ func (e *Engine) rebalanceLocked(newBounds []int64) (RebalanceResult, error) {
 		return res, fmt.Errorf("shard: proposed bounds yield %d shards, engine has %d", newPart.Shards(), len(e.shards))
 	}
 
+	// The migration plan is the ownership delta: the key intervals whose
+	// owner differs between the old and new bounds, grouped by the shard
+	// that loses them. Rows outside these intervals keep their owner, so
+	// neither the staging scan below nor the publish-window straggler
+	// rescan ever visits them — with a minimal proposal most boundaries are
+	// bit-identical and both scans touch O(drift) keys, not O(table).
+	losing := make([][]keyInterval, len(e.shards))
+	for _, iv := range ownershipDelta(res.OldBounds, newBounds) {
+		losing[iv.from] = append(losing[iv.from], iv)
+	}
+
 	// Stage: park every row whose owner changes in the staged-move registry
 	// (old key == new key), in bounded exclusive windows. Readers run
 	// between batches and serve staged rows from the registry, so each row
@@ -219,12 +292,13 @@ func (e *Engine) rebalanceLocked(newBounds []int64) (RebalanceResult, error) {
 	var staged []*pendingMove
 	srcOf := make(map[*pendingMove]int)
 	for i, s := range e.shards {
+		if len(losing[i]) == 0 {
+			continue
+		}
 		var misplaced []int64
 		s.read(func(t *table.Table) {
-			for _, k := range t.Keys() {
-				if newPart.Shard(k) != i {
-					misplaced = append(misplaced, k)
-				}
+			for _, iv := range losing[i] {
+				misplaced = append(misplaced, t.KeysInRange(iv.lo, iv.hi)...)
 			}
 		})
 		for len(misplaced) > 0 {
@@ -308,17 +382,43 @@ func (e *Engine) rebalanceLocked(newBounds []int64) (RebalanceResult, error) {
 		e.placeLocked(dst, m.old, m.row)
 		moved = append(moved, movedRow{src: srcOf[m], dst: dst, key: m.old, row: m.row})
 	}
-	for i, s := range e.shards {
-		if s.tbl == nil {
-			continue
+	// Straggler rescan, bounded to the ownership delta: a write that slipped
+	// in between the staging batches landed under the old routing, so if its
+	// owner changes it sits on the losing shard inside one of that shard's
+	// delta intervals — scanning exactly those intervals finds every
+	// straggler (and nothing else; the equivalence against a full-table
+	// rescan is locked down by TestDeltaRescanEquivalence via the
+	// verifyRescan seam below). The rows just placed from the registry are
+	// never revisited: they live in intervals their destination gains, not
+	// loses.
+	stragglersOf := func(i int) []int64 {
+		s := e.shards[i]
+		if s.tbl == nil || len(losing[i]) == 0 {
+			return nil
 		}
-		var stragglers []int64
-		for _, k := range s.tbl.Keys() {
-			if newPart.Shard(k) != i {
-				stragglers = append(stragglers, k)
+		var out []int64
+		for _, iv := range losing[i] {
+			out = append(out, s.tbl.KeysInRange(iv.lo, iv.hi)...)
+		}
+		return out
+	}
+	if e.verifyRescan != nil {
+		var full, bounded []int64
+		for i, s := range e.shards {
+			if s.tbl == nil {
+				continue
 			}
+			for _, k := range s.tbl.Keys() {
+				if newPart.Shard(k) != i {
+					full = append(full, k)
+				}
+			}
+			bounded = append(bounded, stragglersOf(i)...)
 		}
-		for _, k := range stragglers {
+		e.verifyRescan(full, bounded)
+	}
+	for i, s := range e.shards {
+		for _, k := range stragglersOf(i) {
 			row, err := s.tbl.TakeRow(k)
 			if err != nil {
 				continue
@@ -327,6 +427,7 @@ func (e *Engine) rebalanceLocked(newBounds []int64) (RebalanceResult, error) {
 			dst := newPart.Shard(k)
 			e.placeLocked(dst, k, row)
 			moved = append(moved, movedRow{src: i, dst: dst, key: k, row: row})
+			res.Stragglers++
 		}
 	}
 	e.part.Store(newPart)
@@ -446,9 +547,10 @@ func (s *shard) journalLocked(j journalOp) {
 // StartAutoRebalance launches the background rebalancing worker: every
 // CheckEvery it compares the max/mean shard row-count skew against the
 // policy threshold and, once the fleet has both drifted and absorbed MinOps
-// monitored operations, re-splits the boundaries with Rebalance. Requires
-// range partitioning; runs concurrently with the auto-retrainer (both feed
-// the same per-shard monitors).
+// monitored operations, re-splits the boundaries under the policy's
+// proposal strategy (minimal movement by default). Requires range
+// partitioning; runs concurrently with the auto-retrainer (both feed the
+// same per-shard monitors).
 func (e *Engine) StartAutoRebalance(p RebalancePolicy) error {
 	if _, ok := e.loadPart().(*RangePartitioner); !ok {
 		return fmt.Errorf("shard: auto-rebalance requires range partitioning")
@@ -518,7 +620,7 @@ func (e *Engine) rebalanceLoop(p RebalancePolicy, opsBase int, stop <-chan struc
 			if skewOf(counts) < p.MaxSkew {
 				continue
 			}
-			if _, err := e.Rebalance(); err != nil {
+			if _, err := e.rebalanceStrategy(p.Strategy, p.MaxSkew); err != nil {
 				continue // durability errors also stick on the write path
 			}
 			opsBase = e.monitoredOps()

@@ -51,19 +51,29 @@
 // distribution piles rows onto one shard. Rebalancing (rebalance.go) is the
 // sharded analogue of re-partitioning inside a shard: a detector watches
 // per-shard row counts (max/mean skew) and write rates, proposes fresh
-// quantile boundaries, and migrates rows through a three-step protocol that
-// extends the cross-shard commit protocol above:
+// boundaries — by default the minimal-movement proposer, which re-splits
+// only the shards breaching the skew bound (merging load into their starved
+// neighbors) and leaves every other boundary bit-identical; the exhaustive
+// global-quantile re-split remains selectable as RebalanceQuantile — and
+// migrates rows through a three-step protocol that extends the cross-shard
+// commit protocol above. The whole migration is planned from the ownership
+// delta: the key intervals whose owner differs between the old and new
+// bounds. Rows outside those intervals keep their owner by construction, so
+// every scan below is bounded to them (table.KeysInRange) and both the
+// migration volume and the publish pause scale with the drift actually
+// absorbed, not with the table size:
 //
-//  1. Stage: rows whose owner changes under the proposed boundaries are
-//     taken from their source shards and parked in the staged-move registry
-//     (old key == new key), in batches under short exclusive move-gate
-//     windows. Between batches readers run normally, serving staged rows
-//     from the registry — every row stays visible exactly once throughout.
+//  1. Stage: rows inside the delta intervals are taken from the shards
+//     losing them and parked in the staged-move registry (old key == new
+//     key), in batches under short exclusive move-gate windows. Between
+//     batches readers run normally, serving staged rows from the registry —
+//     every row stays visible exactly once throughout.
 //  2. Publish: under one exclusive move-gate window that also holds every
 //     shard's swap lock (freezing single-shard writers), staged rows are
-//     inserted at their destination shards, the tables are rescanned for
-//     stragglers that landed after staging, and the bulk moves are WAL-
-//     logged as MoveOut/MoveIn pairs plus a RecRebalance boundary record.
+//     inserted at their destination shards, the delta intervals (only) are
+//     rescanned for stragglers that landed after staging, and the bulk
+//     moves are WAL-logged as MoveOut/MoveIn pairs plus a RecRebalance
+//     boundary record carrying the (minimally changed) bounds.
 //     Before freezing, the window raises an install barrier: new
 //     cross-shard moves may not stage, and every in-flight one drains —
 //     boundaries never change while a move is staged, so a staged row's
@@ -322,6 +332,12 @@ type Engine struct {
 	rebalances              atomic.Uint64
 	betweenRebalanceWindows func()
 	afterRebalanceWAL       func()
+	// verifyRescan (test seam) runs inside the publish window, before the
+	// straggler take pass, with the full-table straggler multiset and the
+	// delta-bounded one — the shadow comparison behind the rescan
+	// equivalence property test. Must not call engine operations (every
+	// lock is held).
+	verifyRescan func(full, bounded []int64)
 }
 
 // loadPart returns the current partitioner.

@@ -688,6 +688,33 @@ func (t *Table) Keys() []int64 {
 	return keys
 }
 
+// KeysInRange returns the live keys in [lo, hi] (ascending, duplicates
+// included), touching only the chunks overlapping the range — the bounded
+// form of Keys for callers that plan by key intervals, such as the shard
+// rebalancer staging and rescanning the ownership-delta intervals of a
+// boundary change instead of walking every live key. The consistency
+// contract is Snapshot's: per-chunk atomicity only, unless the caller
+// serializes writers.
+func (t *Table) KeysInRange(lo, hi int64) []int64 {
+	if hi < lo {
+		return nil
+	}
+	a, b := t.chunkRange(lo, hi)
+	var keys []int64
+	var buf []int
+	for i := a; i <= b; i++ {
+		ck := t.chunks[i]
+		ck.mu.RLock()
+		buf = ck.store.RangePositions(lo, hi, buf[:0])
+		for _, pos := range buf {
+			keys = append(keys, ck.keyAt(pos))
+		}
+		ck.mu.RUnlock()
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
 // Payload returns payload column col at physical position pos of the chunk
 // owning key; test helper.
 func (t *Table) Payload(key int64, col int) (int32, bool) {

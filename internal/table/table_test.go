@@ -543,3 +543,67 @@ func TestChunkLayoutsRoundTrip(t *testing.T) {
 		t.Fatalf("restored layouts diverged:\ngot  %+v\nwant %+v", got, want)
 	}
 }
+
+// TestKeysInRangeMatchesKeys: the bounded iterator must agree with a filter
+// over the full Keys() listing on every layout mode — across duplicates,
+// chunk boundaries, mutations, and empty/reversed ranges. The shard
+// rebalancer's ownership-delta staging and straggler rescan both ride on
+// this equivalence.
+func TestKeysInRangeMatchesKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, mode := range Modes() {
+		keys := make([]int64, 0, 1_200)
+		for i := 0; i < 1_000; i++ {
+			keys = append(keys, rng.Int63n(5_000))
+		}
+		for i := 0; i < 200; i++ {
+			keys = append(keys, 777) // a duplicate run
+		}
+		cfg := testConfig(mode)
+		cfg.ChunkValues = 256 // force several chunks so ranges straddle them
+		tb, err := New(keys, cfg, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		for i := 0; i < 150; i++ { // mutate so live positions have holes
+			switch rng.Intn(3) {
+			case 0:
+				tb.Insert(rng.Int63n(5_000))
+			case 1:
+				_ = tb.Delete(keys[rng.Intn(len(keys))])
+			default:
+				_ = tb.UpdateKey(keys[rng.Intn(len(keys))], rng.Int63n(5_000))
+			}
+		}
+		all := tb.Keys()
+		filtered := func(lo, hi int64) []int64 {
+			var out []int64
+			for _, k := range all {
+				if lo <= k && k <= hi {
+					out = append(out, k)
+				}
+			}
+			return out
+		}
+		ranges := [][2]int64{
+			{0, 5_000},          // everything
+			{777, 777},          // the duplicate run
+			{-100, -1},          // empty below
+			{6_000, 9_000},      // empty above
+			{250, 260},          // narrow
+			{0, 2_500},          // half
+			{2_400, 2_700},      // chunk-straddling interior
+			{-1 << 40, 1 << 40}, // beyond the domain on both sides
+		}
+		for _, r := range ranges {
+			got, want := tb.KeysInRange(r[0], r[1]), filtered(r[0], r[1])
+			if !reflect.DeepEqual(got, want) && !(len(got) == 0 && len(want) == 0) {
+				t.Fatalf("%v: KeysInRange(%d,%d) = %d keys, filter of Keys() = %d keys",
+					mode, r[0], r[1], len(got), len(want))
+			}
+		}
+		if got := tb.KeysInRange(10, 5); got != nil {
+			t.Fatalf("%v: reversed range returned %v, want nil", mode, got)
+		}
+	}
+}
