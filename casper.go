@@ -295,7 +295,10 @@ func (e *Engine) Shards() int { return e.sh.Shards() }
 // Len returns the live row count.
 func (e *Engine) Len() int { return e.sh.Len() }
 
-// Chunks returns the number of column chunks across all shards.
+// Chunks returns the number of column chunks across all shards. It reads
+// under the move gate, so the count reflects a single boundary set — never
+// a mid-install rebalance state; see shard.Engine.Chunks for the full
+// read-consistency contract.
 func (e *Engine) Chunks() int { return e.sh.Chunks() }
 
 // CostParams returns the calibrated block access constants in use.
@@ -377,21 +380,25 @@ type PendingMove = shard.PendingMove
 // mid-move never persists a row on zero or two shards.
 func (e *Engine) PendingMoves() []PendingMove { return e.sh.PendingMoves() }
 
-// View is a move-stable multi-query read handle: while the callback of
-// Engine.View runs, no cross-shard move can stage or publish, so invariants
-// that span several queries and depend only on move atomicity hold exactly.
-// It is not a full snapshot: single-shard writes (Insert, Delete, same-shard
+// View is a move-stable multi-query read handle pinned to one routing
+// snapshot: for the duration of the callback of Engine.View, the epoch, the
+// shard boundaries, and the staged-move registry the view's queries route
+// through are frozen — no cross-shard move can stage or publish and no
+// rebalance can install new boundaries. Invariants that span several
+// queries and depend only on move atomicity therefore hold exactly. It is
+// not a full snapshot: single-shard writes (Insert, Delete, same-shard
 // UpdateKey) do not pass through the move gate and may land between the
 // view's queries.
 type View struct {
 	v *shard.View
 }
 
-// View runs fn over a move-stable read handle pinned at the current epoch.
-// Queries inside fn must go through the View's methods; calling Engine
-// methods from inside fn can deadlock against a queued cross-shard move.
-// Individual engine queries are already epoch-stable on their own — View is
-// only needed when one invariant spans several calls.
+// View runs fn over a move-stable read handle pinned at the current epoch
+// and routing snapshot. Queries inside fn must go through the View's
+// methods; calling Engine methods from inside fn can deadlock against a
+// queued cross-shard move. Individual engine queries are already
+// snapshot-stable on their own — View is only needed when one invariant
+// spans several calls.
 func (e *Engine) View(fn func(*View)) {
 	e.sh.View(func(v *shard.View) { fn(&View{v: v}) })
 }

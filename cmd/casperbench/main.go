@@ -5,6 +5,7 @@
 // Usage:
 //
 //	casperbench [-fig N | -table N | -all | -throughput | -durable | -rebalance] [-rows N] [-ops N] [-workers N]
+//	casperbench -throughput -cpus 1,2,4,8 [-out BENCH_throughput.json]
 //
 // Examples:
 //
@@ -13,6 +14,7 @@
 //	casperbench -fig 9 -rows 1000000      # model verification on a 1M chunk
 //	casperbench -table 1                  # the design-space table
 //	casperbench -throughput -shards 1,2,4,8 -workers 8
+//	casperbench -throughput -cpus 1,2,4,8 # worker sweep, JSON artifact
 //	casperbench -durable -rows 200000     # WAL overhead per fsync policy + recovery time
 //	casperbench -rebalance -rows 200000   # skewed-drift scenario: quantile vs minimal proposer
 //
@@ -32,6 +34,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -57,6 +60,8 @@ func main() {
 		durable = flag.Bool("durable", false, "measure durable ingest throughput per WAL sync policy and recovery time")
 		rebal   = flag.Bool("rebalance", false, "run the skewed-drift shard rebalancing scenario")
 		shards  = flag.String("shards", "1,2,4,8", "shard counts for -throughput (comma separated)")
+		cpus    = flag.String("cpus", "", "worker/GOMAXPROCS sweep for -throughput (comma separated); emits a JSON artifact")
+		out     = flag.String("out", "BENCH_throughput.json", "artifact path for the -cpus sweep")
 		rows    = flag.Int("rows", 0, "initial table rows (default 200k)")
 		ops     = flag.Int("ops", 0, "measured operations per run (default 4k)")
 		workers = flag.Int("workers", runtime.NumCPU(), "execution/optimization parallelism")
@@ -76,6 +81,11 @@ func main() {
 	}
 
 	switch {
+	case *thr && *cpus != "":
+		if err := runThroughputSweep(*cpus, sc.Rows, *ops, sc.Seed, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "casperbench: %v\n", err)
+			os.Exit(1)
+		}
 	case *thr:
 		if err := runThroughput(*shards, sc.Rows, *ops, *workers, sc.Seed); err != nil {
 			fmt.Fprintf(os.Stderr, "casperbench: %v\n", err)
@@ -340,5 +350,99 @@ func runThroughput(shardList string, rows, measuredOps, workers int, seed int64)
 		}
 		fmt.Println()
 	}
+	return nil
+}
+
+// Artifact schema for the -cpus sweep. Speedups are relative to the first
+// listed worker count; host metadata is embedded so a reader can judge
+// whether the sweep had real parallel hardware behind it (a one-CPU host
+// timeshares all workers on one core and will report ~flat speedups no
+// matter how good the scaling is).
+type sweepPoint struct {
+	Workers   int     `json:"workers"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	Speedup   float64 `json:"speedup_vs_first"`
+}
+
+type sweepMix struct {
+	Mix    string       `json:"mix"`
+	Points []sweepPoint `json:"points"`
+}
+
+type sweepArtifact struct {
+	Benchmark string     `json:"benchmark"`
+	Rows      int        `json:"rows"`
+	Ops       int        `json:"ops"`
+	Shards    int        `json:"shards"`
+	HostCPUs  int        `json:"host_cpus"`
+	GoVersion string     `json:"go_version"`
+	Mixes     []sweepMix `json:"mixes"`
+}
+
+// runThroughputSweep fixes the shard count and sweeps the worker count
+// instead: for each count c it pins GOMAXPROCS to c, builds a fresh engine
+// (the fan-out pool is sized at engine construction, so the pool tracks the
+// pinned value), and drives c concurrent clients. Results go to stdout and
+// to a JSON artifact at outPath.
+func runThroughputSweep(cpuList string, rows, measuredOps int, seed int64, outPath string) error {
+	if rows <= 0 {
+		rows = 200_000
+	}
+	if measuredOps <= 0 {
+		measuredOps = 100_000
+	}
+	var counts []int
+	for _, f := range strings.Split(cpuList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -cpus entry %q", f)
+		}
+		counts = append(counts, n)
+	}
+	const sweepShards = 8
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	art := sweepArtifact{
+		Benchmark: "casperbench -throughput -cpus",
+		Rows:      rows,
+		Ops:       measuredOps,
+		Shards:    sweepShards,
+		HostCPUs:  runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+	}
+	fmt.Printf("worker sweep: %d rows, %d ops/run, shards=%d, host CPUs %d\n",
+		rows, measuredOps, sweepShards, art.HostCPUs)
+	fmt.Printf("speedups are relative to workers=%d\n\n", counts[0])
+	for _, mix := range experiments.ShardedMixes() {
+		sm := sweepMix{Mix: mix.Name}
+		var base float64
+		for _, c := range counts {
+			runtime.GOMAXPROCS(c)
+			eng, ops, err := experiments.ShardedScenario(mix.Preset, sweepShards, rows, measuredOps, c, seed)
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			eng.ExecuteParallel(ops, c)
+			opsPerSec := float64(len(ops)) / time.Since(start).Seconds()
+			if base == 0 {
+				base = opsPerSec
+			}
+			pt := sweepPoint{Workers: c, OpsPerSec: opsPerSec, Speedup: opsPerSec / base}
+			sm.Points = append(sm.Points, pt)
+			fmt.Printf("%-12s workers=%-2d  %10.0f ops/s   %4.2fx\n", mix.Name, c, pt.OpsPerSec, pt.Speedup)
+		}
+		art.Mixes = append(art.Mixes, sm)
+		fmt.Println()
+	}
+	buf, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("artifact written to %s\n", outPath)
 	return nil
 }

@@ -19,10 +19,11 @@ package shard
 // window; recovery reconciles pairs whose halves straddle the crash so a row
 // is never restored on zero or two shards.
 //
-// Checkpoints cut one shard at a single point: under the engine move gate
-// (moveMu shared — no move can stage or publish) plus the shard's exclusive
-// swap lock (no writer, no WAL append), the WAL is rotated and the table
-// snapshot taken, satisfying table.Snapshot's serialize-writers contract.
+// Checkpoints cut one shard at a single point: under the shard's gate
+// stripe (shared — move-gate transitions take every stripe, so no move can
+// stage or publish) plus the shard's exclusive swap lock (no writer, no WAL
+// append), the WAL is rotated and the table snapshot taken, satisfying
+// table.Snapshot's serialize-writers contract.
 // Rows staged OUT of the shard by an in-flight move are folded back in at
 // their old key, exactly mirroring reader-side registry compensation. The
 // checkpoint also records the move-ID horizon: every move with a smaller ID
@@ -231,7 +232,7 @@ func recoverDurable(cfg Config, man *wal.Manifest) (*Engine, error) {
 	if part.Shards() != man.Shards {
 		return nil, fmt.Errorf("shard: recovered bounds yield %d shards, manifest declares %d", part.Shards(), man.Shards)
 	}
-	e.part.Store(part)
+	e.initRoute(part)
 
 	// Epoch stamps are non-decreasing within one shard's WAL (appends and
 	// stamps share jmu), so a stable sort preserves per-shard append order
@@ -440,10 +441,11 @@ type PendingMove struct {
 // checkpoint cut while a move is staged never persists the row on zero or
 // two shards.
 func (e *Engine) PendingMoves() []PendingMove {
-	e.moveMu.RLock()
-	defer e.moveMu.RUnlock()
-	out := make([]PendingMove, len(e.moves))
-	for i, m := range e.moves {
+	e.rlockAll()
+	defer e.runlockAll()
+	moves := e.loadRoute().moves.byOld
+	out := make([]PendingMove, len(moves))
+	for i, m := range moves {
 		out[i] = PendingMove{Old: m.old, New: m.new}
 	}
 	return out
@@ -464,7 +466,7 @@ func (e *Engine) Checkpoint() error {
 }
 
 // checkpointShard cuts shard i at a single point and persists it: under the
-// move gate (shared) and the shard's exclusive swap lock, the WAL rotates to
+// shard's gate stripe (shared) and its exclusive swap lock, the WAL rotates to
 // a fresh segment and the snapshot is taken — no writer, no WAL append, no
 // move stage/publish can interleave, so checkpoint + tail replay is exact.
 // Rows staged out of this shard by in-flight moves are folded back in at
@@ -480,12 +482,16 @@ func (e *Engine) checkpointShard(i int) error {
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
 
-	e.moveMu.RLock()
+	// Holding any single stripe shared excludes every move-gate transition
+	// (they take all stripes exclusively), so this shard's own stripe is
+	// enough to freeze the snapshot fleet-wide — checkpoints of different
+	// shards no longer contend on one gate.
+	e.stripes[i].mu.RLock()
 	s.mu.Lock()
 	newSeq, err := s.log.Rotate()
 	if err != nil {
 		s.mu.Unlock()
-		e.moveMu.RUnlock()
+		e.stripes[i].mu.RUnlock()
 		return err
 	}
 	cp := &wal.Checkpoint{
@@ -493,10 +499,12 @@ func (e *Engine) checkpointShard(i int) error {
 		WALSeq:      newSeq,
 		MoveHorizon: e.moveSeq.Load(),
 	}
-	// The partitioner is stable under the held move gate (a rebalance
-	// installs a new one only while holding it exclusively), so the bounds
-	// and the staged-move attribution below are consistent with the cut.
-	p := e.loadPart()
+	// The snapshot is stable under the held stripe (a rebalance installs a
+	// new partitioner only while holding every stripe exclusively), so the
+	// bounds and the staged-move attribution below are consistent with the
+	// cut.
+	v := e.loadRoute()
+	p := v.part
 	if rp, ok := p.(*RangePartitioner); ok {
 		cp.Bounds = rp.Bounds()
 	}
@@ -504,13 +512,13 @@ func (e *Engine) checkpointShard(i int) error {
 		cp.Keys, cp.Rows = s.tbl.Snapshot()
 		cp.Layouts = fromTableLayouts(s.tbl.ChunkLayouts())
 	}
-	for _, m := range e.moves {
+	for _, m := range v.moves.byOld {
 		if p.Shard(m.old) == i {
 			cp.Keys, cp.Rows = insertSorted(cp.Keys, cp.Rows, m.old, m.row)
 		}
 	}
 	s.mu.Unlock()
-	e.moveMu.RUnlock()
+	e.stripes[i].mu.RUnlock()
 
 	// The checkpoint's move horizon asserts that every move with id <=
 	// MoveHorizon is durable; its pruning destroys this shard's halves of

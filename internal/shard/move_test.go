@@ -37,9 +37,9 @@ func crossShardPair(t *testing.T, e *Engine, from int64) (int64, int64) {
 }
 
 func stagedMoves(e *Engine) int {
-	e.moveMu.RLock()
-	defer e.moveMu.RUnlock()
-	return len(e.moves)
+	e.rlockAll()
+	defer e.runlockAll()
+	return e.loadRoute().moves.len()
 }
 
 // TestCrossShardInsertErrorPropagation regresses the swallowed-insert bug:

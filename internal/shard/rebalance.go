@@ -118,8 +118,8 @@ type RebalanceResult struct {
 // RowCounts returns the physical live-row count of every shard (rows staged
 // in the move registry are not attributed); the input of the skew detector.
 func (e *Engine) RowCounts() []int {
-	e.moveMu.RLock()
-	defer e.moveMu.RUnlock()
+	e.rlockAll()
+	defer e.runlockAll()
 	counts := make([]int, len(e.shards))
 	for i, s := range e.shards {
 		s.read(func(t *table.Table) { counts[i] = t.Len() })
@@ -151,13 +151,13 @@ func skewOf(counts []int) float64 {
 // order; staleness against concurrent writers only shifts the proposed
 // quantiles, never correctness.
 func (e *Engine) liveKeys() []int64 {
-	e.moveMu.RLock()
-	defer e.moveMu.RUnlock()
+	e.rlockAll()
+	defer e.runlockAll()
 	var keys []int64
 	for _, s := range e.shards {
 		s.read(func(t *table.Table) { keys = append(keys, t.Keys()...) })
 	}
-	for _, m := range e.moves {
+	for _, m := range e.loadRoute().moves.byOld {
 		keys = append(keys, m.old)
 	}
 	return keys
@@ -307,7 +307,8 @@ func (e *Engine) rebalanceLocked(newBounds []int64) (RebalanceResult, error) {
 				batch = batch[:stageBatch]
 			}
 			misplaced = misplaced[len(batch):]
-			e.moveMu.Lock()
+			e.lockAll()
+			var batchMoves []*pendingMove
 			for _, k := range batch {
 				j := &journalOp{kind: jDelete, key: k, skipWAL: true}
 				err, _ := s.run(j, func(t *table.Table, _ bool) error {
@@ -319,11 +320,17 @@ func (e *Engine) rebalanceLocked(newBounds []int64) (RebalanceResult, error) {
 					continue // deleted since the listing; nothing to move
 				}
 				m := &pendingMove{old: k, new: k, row: j.row}
-				e.moves = append(e.moves, m)
+				batchMoves = append(batchMoves, m)
 				staged = append(staged, m)
 				srcOf[m] = i
 			}
-			e.moveMu.Unlock()
+			// One snapshot publish per batch, not per row: the registry is
+			// copy-on-write, so staging is batched to keep it linear.
+			if len(batchMoves) > 0 {
+				v := e.loadRoute()
+				e.publishRoute(v.part, v.moves.with(batchMoves, nil))
+			}
+			e.unlockAll()
 			if e.betweenRebalanceWindows != nil {
 				e.betweenRebalanceWindows()
 			}
@@ -353,11 +360,11 @@ func (e *Engine) rebalanceLocked(newBounds []int64) (RebalanceResult, error) {
 	// routed owner of a staged key with the shard the row physically left.
 	// The wait sleeps with no locks held, so draining moves make progress;
 	// each writer has at most one move in flight, so the drain is bounded.
-	e.moveMu.Lock()
+	e.lockAll()
 	e.installing = true
 	for {
 		foreign := false
-		for _, m := range e.moves {
+		for _, m := range e.loadRoute().moves.byOld {
 			if _, ok := ours[m]; !ok {
 				foreign = true
 				break
@@ -366,9 +373,9 @@ func (e *Engine) rebalanceLocked(newBounds []int64) (RebalanceResult, error) {
 		if !foreign {
 			break
 		}
-		e.moveMu.Unlock()
+		e.unlockAll()
 		time.Sleep(200 * time.Microsecond)
-		e.moveMu.Lock()
+		e.lockAll()
 	}
 	// The pause clock starts only now: during the drain above, the gate was
 	// repeatedly released and reads/writes flowed normally.
@@ -430,7 +437,6 @@ func (e *Engine) rebalanceLocked(newBounds []int64) (RebalanceResult, error) {
 			res.Stragglers++
 		}
 	}
-	e.part.Store(newPart)
 	pub := e.epoch.Advance() // the single epoch bump installing the bounds
 	commits := make(map[*shard]uint64)
 	if e.durable {
@@ -465,26 +471,22 @@ func (e *Engine) rebalanceLocked(newBounds []int64) (RebalanceResult, error) {
 			commits[s] = lsn
 		}
 	}
-	// Retire every staged entry in one pass: a per-entry retireMove scan
-	// would be quadratic in the migration size, all inside the window where
-	// every read and write is blocked.
-	if len(staged) > 0 {
-		kept := e.moves[:0]
-		for _, m := range e.moves {
-			if _, ok := ours[m]; !ok {
-				kept = append(kept, m)
-			}
-		}
-		for i := len(kept); i < len(e.moves); i++ {
-			e.moves[i] = nil // release the migrated rows' payloads
-		}
-		e.moves = kept
+	// Install: one snapshot publish carries the new partitioner, the publish
+	// epoch, and the registry with every staged entry retired in one pass (a
+	// per-entry drop would be quadratic in the migration size, all inside
+	// the window where every read and write is blocked). Readers and writers
+	// blocked on the stripes and swap locks observe the new routing the
+	// moment the locks drop.
+	drop := make(map[*pendingMove]bool, len(staged))
+	for _, m := range staged {
+		drop[m] = true
 	}
+	e.publishRoute(newPart, e.loadRoute().moves.without(drop))
 	e.installing = false // lower the barrier with the new boundaries in force
 	for i := len(e.shards) - 1; i >= 0; i-- {
 		e.shards[i].mu.Unlock()
 	}
-	e.moveMu.Unlock()
+	e.unlockAll()
 	res.Pause = time.Since(start)
 	res.Moved = len(moved)
 

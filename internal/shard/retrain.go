@@ -16,7 +16,9 @@ const driftBuckets = 64
 // monitor is a per-shard window of recent operations plus an access
 // histogram compared against the histogram captured at the last training to
 // decide when the layout has drifted out from under the workload. Monitor
-// locks never nest inside shard or table locks.
+// locks never nest inside gate stripes, shard locks, or table locks:
+// Engine.record routes off an advisory snapshot load and is only called
+// while its caller holds no stripe, shard, or table lock.
 type monitor struct {
 	mu         sync.Mutex
 	cap        int

@@ -23,11 +23,26 @@
 //
 // The engine carries a global epoch counter (a txn.Oracle, shareable with
 // the transaction manager so commits and moves draw from one time domain)
-// and a registry of staged cross-shard moves, both guarded by an
-// engine-level reader/writer gate (moveMu). Every query — point, range
-// fan-out, payload probe, Len — runs under the gate's read side for its full
-// duration, so the epoch and the registry are stable for the whole
-// operation: the read executes under a single stable epoch.
+// and a registry of staged cross-shard moves. Routing state — the epoch,
+// the partitioner, and the staged-move registry (indexed by old key) — is
+// published as one immutable snapshot behind an atomic pointer (routeSnap),
+// so the hot read path pays one atomic load, not a contended lock acquire.
+// Consistency comes from the striped move gate: one reader/writer stripe
+// per shard. A point read holds the single stripe owning its key shared; a
+// range read holds exactly the stripes its span touches; whole-fleet reads
+// (Len, Chunks, View, RowCounts) hold every stripe shared. Move-gate
+// transitions — staging or publishing a cross-shard move, a rebalance
+// install — hold every stripe exclusively in ascending stripe order, so
+// holding any one stripe shared freezes the entire snapshot: the epoch,
+// the boundaries, and the registry are stable for the whole operation, and
+// disjoint reads no longer contend on a single gate cache line.
+//
+// A reader validates its stripes optimistically: load the snapshot, lock
+// the stripes the snapshot's partitioner routes to, then reload. If the
+// partitioner changed in between (a rebalance install won the race), the
+// stripes may be the wrong ones — unlock and retry; otherwise the freshest
+// snapshot is used under the held stripes. Installs are rare, so the retry
+// loop almost always exits on the first pass.
 //
 // A cross-shard UpdateKey commits in two short exclusive windows:
 //
@@ -39,11 +54,27 @@
 //     entry, and bump the global epoch — a single epoch bump that flips the
 //     row's visible home from the old key to the new one atomically.
 //
-// Because both transitions happen while readers are excluded, and readers
-// hold the gate across their whole fan-out, no reader ever observes the row
-// on zero shards or on two shards — including while a shadow retrain of
-// either shard is in flight (both halves journal like any other write, with
-// the payload pinning row identity and the epoch recording commit order).
+// Because both transitions happen while readers are excluded (they take
+// every stripe), and readers hold their stripes across their whole fan-out,
+// no reader ever observes the row on zero shards or on two shards —
+// including while a shadow retrain of either shard is in flight (both
+// halves journal like any other write, with the payload pinning row
+// identity and the epoch recording commit order).
+//
+// # Lock order
+//
+// Gate stripes come first, then shard locks, then journal locks:
+//
+//	gate stripe(s) (ascending stripe index) → shard.mu → shard.jmu
+//
+// Multi-stripe acquisitions — range spans, whole-fleet reads, and the
+// all-stripe exclusive windows of moves and installs — always acquire in
+// ascending stripe index order and release in descending order. Shard code
+// never acquires a stripe while holding shard.mu or jmu, so the order is
+// acyclic. layoutMu (per-shard layout serialization) is taken without any
+// stripe held and never nests inside one; monitor locks never nest inside
+// shard or table locks. The fan-out worker pool executes read closures
+// that take shard.mu only, so pool workers obey the same order.
 //
 // # Drift-triggered shard rebalancing
 //
@@ -87,16 +118,19 @@
 // shard's swap lock: because the install holds every swap lock exclusively,
 // a writer that raced the install observes the new partitioner once it gets
 // the lock and re-routes instead of stranding its row on a shard that no
-// longer owns the key. Readers hold the move gate shared for their full
-// fan-out, so they never observe a half-installed boundary set.
+// longer owns the key. Readers hold their gate stripes shared for their
+// full fan-out and validate the partitioner after locking, so they never
+// observe a half-installed boundary set.
 package shard
 
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"casper/internal/table"
 	"casper/internal/txn"
@@ -259,36 +293,38 @@ type pendingMove struct {
 
 // Engine is a sharded Casper engine.
 type Engine struct {
-	cfg table.Config
-	// part holds the current Partitioner. It is atomic because a rebalance
-	// installs a new RangePartitioner at runtime: lock-free paths (batch
-	// grouping, monitor routing) load it once per decision, reads load it
-	// under the move gate (stable — the install holds the gate exclusively),
-	// and writes revalidate their route under the shard swap lock.
-	part   atomic.Value
+	cfg    table.Config
 	shards []*shard
+
+	// route is the atomically published routing snapshot: epoch,
+	// partitioner, and staged-move index as of the last move-gate
+	// transition. Reads load it once (one atomic load, no lock) and then
+	// pin it by holding gate stripes shared; every transition — move
+	// stage/publish/rollback, rebalance install — replaces the pointer
+	// with a fresh immutable snapshot while holding every stripe
+	// exclusively. Lock-free paths (batch grouping, monitor routing,
+	// write pre-routing) load it once per decision; writes revalidate
+	// their route under the shard swap lock.
+	route atomic.Pointer[routeSnap]
+	// stripes is the striped move gate, one stripe per shard, in shard
+	// order. See the package comment's lock-order section; acquire
+	// through lockKey/lockSpan/rlockAll/lockAll, never directly.
+	stripes []gateStripe
+	// pool is the bounded fan-out worker pool shared by every range read
+	// (see fanPool).
+	pool *fanPool
 
 	// epoch is the global epoch counter of the cross-shard commit
 	// protocol; publishing a cross-shard move advances it exactly once.
 	epoch *txn.Oracle
-	// moveMu is the engine-wide move gate: readers hold it shared for the
-	// full duration of a query (fan-out included), so the epoch and the
-	// staged-move registry are stable for the whole read; the two commit
-	// windows of a cross-shard move (stage, publish) hold it exclusive.
-	// Lock order: moveMu before any shard.mu; shard code never acquires
-	// moveMu, so the order is acyclic.
-	moveMu sync.RWMutex
-	// moves holds staged (taken-but-unpublished) cross-shard moves;
-	// guarded by moveMu. Its length is bounded by the number of in-flight
-	// cross-shard updates, so reader-side compensation scans stay cheap.
-	moves []*pendingMove
-	// installing (guarded by moveMu) is the rebalance install barrier: while
-	// set, new cross-shard moves may not stage. The rebalance publish window
-	// raises it and then waits for every in-flight move to drain before
-	// installing the new partitioner, so boundaries never change while a
-	// move is staged — logMove's record placement and checkpointShard's
-	// registry folding may therefore equate a staged row's routed owner with
-	// the shard it was physically taken from.
+	// installing (guarded by the all-stripe exclusive gate) is the
+	// rebalance install barrier: while set, new cross-shard moves may not
+	// stage. The rebalance publish window raises it and then waits for
+	// every in-flight move to drain before installing the new partitioner,
+	// so boundaries never change while a move is staged — logMove's record
+	// placement and checkpointShard's registry folding may therefore
+	// equate a staged row's routed owner with the shard it was physically
+	// taken from.
 	installing bool
 	// failDestInsert, when non-nil, injects a destination-shard rejection
 	// into the publish half of a cross-shard move (test seam for the
@@ -340,8 +376,235 @@ type Engine struct {
 	verifyRescan func(full, bounded []int64)
 }
 
+// routeSnap is one immutable routing snapshot: the epoch, the partitioner,
+// and the staged-move index as of the move-gate transition that published
+// it. Readers pin a snapshot by holding gate stripes shared; transitions
+// replace the whole pointer, never mutate a published snapshot.
+type routeSnap struct {
+	epoch uint64
+	part  Partitioner
+	moves *moveIndex
+}
+
+// moveIndex is the staged-move registry of a routing snapshot, kept sorted
+// by old key so reader-side compensation is a binary search plus a walk of
+// the matching entries instead of a scan of every staged move.
+type moveIndex struct {
+	byOld []*pendingMove
+}
+
+var emptyMoves = &moveIndex{}
+
+func (ix *moveIndex) len() int { return len(ix.byOld) }
+
+// forRange calls fn for every staged move whose old key lies in [lo, hi].
+func (ix *moveIndex) forRange(lo, hi int64, fn func(*pendingMove)) {
+	i := sort.Search(len(ix.byOld), func(i int) bool { return ix.byOld[i].old >= lo })
+	for ; i < len(ix.byOld) && ix.byOld[i].old <= hi; i++ {
+		fn(ix.byOld[i])
+	}
+}
+
+// with returns a new index with add staged and drop retired. The receiver
+// is never mutated (published snapshots are immutable).
+func (ix *moveIndex) with(add []*pendingMove, drop *pendingMove) *moveIndex {
+	out := make([]*pendingMove, 0, len(ix.byOld)+len(add))
+	for _, m := range ix.byOld {
+		if m != drop {
+			out = append(out, m)
+		}
+	}
+	out = append(out, add...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].old < out[j].old })
+	return &moveIndex{byOld: out}
+}
+
+// without returns a new index dropping every move in drop.
+func (ix *moveIndex) without(drop map[*pendingMove]bool) *moveIndex {
+	out := make([]*pendingMove, 0, len(ix.byOld))
+	for _, m := range ix.byOld {
+		if !drop[m] {
+			out = append(out, m)
+		}
+	}
+	return &moveIndex{byOld: out}
+}
+
+// gateStripe is one stripe of the striped move gate, padded so the reader
+// counts of different shards live on distinct cache lines — the contention
+// the striping exists to remove.
+type gateStripe struct {
+	mu sync.RWMutex
+	_  [128 - unsafe.Sizeof(sync.RWMutex{})%128]byte
+}
+
+// initRoute installs the initial routing snapshot and sizes the gate
+// stripes and the fan-out pool; called once per constructed engine, before
+// it is shared.
+func (e *Engine) initRoute(part Partitioner) {
+	e.stripes = make([]gateStripe, part.Shards())
+	e.pool = newFanPool()
+	e.route.Store(&routeSnap{part: part, moves: emptyMoves})
+}
+
+// loadRoute returns the current routing snapshot. Only stable while at
+// least one gate stripe is held; lock-free callers treat it as advisory.
+func (e *Engine) loadRoute() *routeSnap { return e.route.Load() }
+
 // loadPart returns the current partitioner.
-func (e *Engine) loadPart() Partitioner { return e.part.Load().(Partitioner) }
+func (e *Engine) loadPart() Partitioner { return e.route.Load().part }
+
+// publishRoute installs a new routing snapshot carrying the current epoch.
+// Caller holds every gate stripe exclusively, so no reader can be between
+// its snapshot load and its compensation lookups.
+func (e *Engine) publishRoute(part Partitioner, ix *moveIndex) {
+	e.route.Store(&routeSnap{epoch: e.epoch.Now(), part: part, moves: ix})
+}
+
+// addMove publishes a snapshot with m staged; caller holds every stripe
+// exclusively.
+func (e *Engine) addMove(m *pendingMove) {
+	v := e.route.Load()
+	e.publishRoute(v.part, v.moves.with([]*pendingMove{m}, nil))
+}
+
+// dropMove publishes a snapshot with m retired; caller holds every stripe
+// exclusively.
+func (e *Engine) dropMove(m *pendingMove) {
+	v := e.route.Load()
+	e.publishRoute(v.part, v.moves.with(nil, m))
+}
+
+// lockKey acquires the gate stripe owning key shared and returns the
+// snapshot it validated plus the stripe ordinal for unlockKey. See the
+// package comment for the optimistic validation protocol.
+func (e *Engine) lockKey(key int64) (*routeSnap, int) {
+	for {
+		v := e.route.Load()
+		s := v.part.Shard(key)
+		e.stripes[s].mu.RLock()
+		w := e.route.Load()
+		// Same snapshot, or a newer one under the same partitioner (a
+		// move transition, which any held stripe excludes from here on):
+		// the locked stripe is the right one. Only a rebalance install
+		// can invalidate the routing; then retry.
+		if w == v || w.part == v.part {
+			return w, s
+		}
+		e.stripes[s].mu.RUnlock()
+	}
+}
+
+func (e *Engine) unlockKey(s int) { e.stripes[s].mu.RUnlock() }
+
+// lockSpan acquires the stripes of the span [lo, hi] shared, in ascending
+// order, and returns the validated snapshot plus the stripe interval for
+// unlockSpan.
+func (e *Engine) lockSpan(lo, hi int64) (*routeSnap, int, int) {
+	for {
+		v := e.route.Load()
+		a, b := v.part.Span(lo, hi)
+		for i := a; i <= b; i++ {
+			e.stripes[i].mu.RLock()
+		}
+		w := e.route.Load()
+		if w == v || w.part == v.part {
+			return w, a, b
+		}
+		for i := b; i >= a; i-- {
+			e.stripes[i].mu.RUnlock()
+		}
+	}
+}
+
+func (e *Engine) unlockSpan(a, b int) {
+	for i := b; i >= a; i-- {
+		e.stripes[i].mu.RUnlock()
+	}
+}
+
+// rlockAll acquires every stripe shared (ascending): the whole-fleet read
+// gate. Holding it excludes every move-gate transition, so the snapshot
+// needs no validation.
+func (e *Engine) rlockAll() {
+	for i := range e.stripes {
+		e.stripes[i].mu.RLock()
+	}
+}
+
+func (e *Engine) runlockAll() {
+	for i := len(e.stripes) - 1; i >= 0; i-- {
+		e.stripes[i].mu.RUnlock()
+	}
+}
+
+// lockAll acquires every stripe exclusively (ascending): the move-gate
+// transition window.
+func (e *Engine) lockAll() {
+	for i := range e.stripes {
+		e.stripes[i].mu.Lock()
+	}
+}
+
+func (e *Engine) unlockAll() {
+	for i := len(e.stripes) - 1; i >= 0; i-- {
+		e.stripes[i].mu.Unlock()
+	}
+}
+
+// fanPool is the engine's bounded fan-out worker pool: GOMAXPROCS workers
+// (sized once, at engine construction) reused across queries, so a range
+// fan-out costs channel hand-offs instead of per-query goroutine spawns.
+// On a single-CPU runtime the pool stays empty and fan-out degenerates to
+// the strictly cheaper sequential merge. Workers are started lazily on the
+// first parallel fan-out and then park on the empty channel for the
+// engine's lifetime — a closed engine keeps serving reads, so there is
+// deliberately no shutdown path.
+type fanPool struct {
+	size  int
+	tasks chan func()
+	once  sync.Once
+}
+
+func newFanPool() *fanPool {
+	n := runtime.GOMAXPROCS(0)
+	return &fanPool{size: n, tasks: make(chan func(), 4*n)}
+}
+
+// run executes fn(0..n-1), distributing across the pool's workers. When
+// the queue is saturated the caller executes the task inline — the caller
+// is a worker too, so a full pool degrades to sequential execution instead
+// of blocking, and the pool can never deadlock on its own capacity.
+func (p *fanPool) run(n int, fn func(int)) {
+	if p.size <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	p.once.Do(func() {
+		for w := 0; w < p.size; w++ {
+			go func() {
+				for t := range p.tasks {
+					t()
+				}
+			}()
+		}
+	})
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		t := func(i int) func() {
+			return func() { defer wg.Done(); fn(i) }
+		}(i)
+		select {
+		case p.tasks <- t:
+		default:
+			t()
+		}
+	}
+	wg.Wait()
+}
 
 // monitoring reports whether any background worker wants per-operation
 // monitor recording.
@@ -382,7 +645,7 @@ func newInMemory(keys []int64, cfg Config) (*Engine, error) {
 		ep = txn.NewOracle()
 	}
 	e := &Engine{cfg: cfg.Table, epoch: ep, keyLo: keys[0], keyHi: keys[0]}
-	e.part.Store(part)
+	e.initRoute(part)
 	perShard := make([][]int64, part.Shards())
 	for _, k := range keys {
 		perShard[part.Shard(k)] = append(perShard[part.Shard(k)], k)
@@ -607,51 +870,34 @@ func (e *Engine) PointQuery(key int64) int {
 	if e.monitoring() {
 		e.record(workload.Op{Kind: workload.Q1PointQuery, Key: key})
 	}
-	e.moveMu.RLock()
-	defer e.moveMu.RUnlock()
-	return e.pointQueryLocked(key)
+	v, s := e.lockKey(key)
+	defer e.unlockKey(s)
+	return e.pointQueryAt(v, key)
 }
 
-// pointQueryLocked serves a point query under the move gate (caller holds
-// moveMu shared): the physical count plus one for every staged move whose
-// row is still visible at its old key.
-func (e *Engine) pointQueryLocked(key int64) int {
+// pointQueryAt serves a point query under a pinned snapshot (caller holds
+// the stripe owning key — or every stripe, for Views): the physical count
+// plus one for every staged move whose row is still visible at its old key.
+func (e *Engine) pointQueryAt(v *routeSnap, key int64) int {
 	n := 0
-	e.shardFor(key).read(func(t *table.Table) { n = t.PointQuery(key) })
-	for _, m := range e.moves {
-		if m.old == key {
-			n++
-		}
-	}
+	e.shards[v.part.Shard(key)].read(func(t *table.Table) { n = t.PointQuery(key) })
+	v.moves.forRange(key, key, func(*pendingMove) { n++ })
 	return n
 }
 
 // fanOut merges fn over shards [a, b], returning the sum. The merge runs on
-// parallel goroutines when the runtime has CPUs to run them; on a single-CPU
-// runtime a sequential merge is strictly cheaper.
+// the engine's worker pool when the runtime has CPUs to run it; on a
+// single-CPU runtime a sequential merge is strictly cheaper.
 func (e *Engine) fanOut(a, b int, fn func(*table.Table) int64) int64 {
 	if a == b {
 		var v int64
 		e.shards[a].read(func(t *table.Table) { v = fn(t) })
 		return v
 	}
-	if runtime.GOMAXPROCS(0) == 1 {
-		var sum int64
-		for i := a; i <= b; i++ {
-			e.shards[i].read(func(t *table.Table) { sum += fn(t) })
-		}
-		return sum
-	}
-	var wg sync.WaitGroup
 	parts := make([]int64, b-a+1)
-	for i := a; i <= b; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			e.shards[i].read(func(t *table.Table) { parts[i-a] = fn(t) })
-		}(i)
-	}
-	wg.Wait()
+	e.pool.run(len(parts), func(i int) {
+		e.shards[a+i].read(func(t *table.Table) { parts[i] = fn(t) })
+	})
 	var sum int64
 	for _, v := range parts {
 		sum += v
@@ -667,19 +913,15 @@ func (e *Engine) RangeCount(lo, hi int64) int {
 	if e.monitoring() {
 		e.record(workload.Op{Kind: workload.Q2RangeCount, Key: lo, Key2: hi})
 	}
-	e.moveMu.RLock()
-	defer e.moveMu.RUnlock()
-	return e.rangeCountLocked(lo, hi)
+	v, a, b := e.lockSpan(lo, hi)
+	defer e.unlockSpan(a, b)
+	return e.rangeCountAt(v, lo, hi)
 }
 
-func (e *Engine) rangeCountLocked(lo, hi int64) int {
-	a, b := e.loadPart().Span(lo, hi)
+func (e *Engine) rangeCountAt(v *routeSnap, lo, hi int64) int {
+	a, b := v.part.Span(lo, hi)
 	n := int(e.fanOut(a, b, func(t *table.Table) int64 { return int64(t.RangeCount(lo, hi)) }))
-	for _, m := range e.moves {
-		if lo <= m.old && m.old <= hi {
-			n++
-		}
-	}
+	v.moves.forRange(lo, hi, func(*pendingMove) { n++ })
 	return n
 }
 
@@ -691,19 +933,15 @@ func (e *Engine) RangeSum(lo, hi int64) int64 {
 	if e.monitoring() {
 		e.record(workload.Op{Kind: workload.Q3RangeSum, Key: lo, Key2: hi})
 	}
-	e.moveMu.RLock()
-	defer e.moveMu.RUnlock()
-	return e.rangeSumLocked(lo, hi)
+	v, a, b := e.lockSpan(lo, hi)
+	defer e.unlockSpan(a, b)
+	return e.rangeSumAt(v, lo, hi)
 }
 
-func (e *Engine) rangeSumLocked(lo, hi int64) int64 {
-	a, b := e.loadPart().Span(lo, hi)
+func (e *Engine) rangeSumAt(v *routeSnap, lo, hi int64) int64 {
+	a, b := v.part.Span(lo, hi)
 	sum := e.fanOut(a, b, func(t *table.Table) int64 { return t.RangeSum(lo, hi) })
-	for _, m := range e.moves {
-		if lo <= m.old && m.old <= hi {
-			sum += m.old
-		}
-	}
+	v.moves.forRange(lo, hi, func(m *pendingMove) { sum += m.old })
 	return sum
 }
 
@@ -713,64 +951,63 @@ func (e *Engine) MultiRangeSum(lo, hi int64, filters []table.PayloadFilter, sumC
 		return 0
 	}
 	if e.monitoring() {
-		e.record(workload.Op{Kind: workload.Q3RangeSum, Key: lo, Key2: hi})
+		e.record(workload.Op{Kind: workload.Q7MultiRange, Key: lo, Key2: hi})
 	}
-	e.moveMu.RLock()
-	defer e.moveMu.RUnlock()
-	return e.multiRangeSumLocked(lo, hi, filters, sumCol)
+	v, a, b := e.lockSpan(lo, hi)
+	defer e.unlockSpan(a, b)
+	return e.multiRangeSumAt(v, lo, hi, filters, sumCol)
 }
 
-func (e *Engine) multiRangeSumLocked(lo, hi int64, filters []table.PayloadFilter, sumCol int) int64 {
-	a, b := e.loadPart().Span(lo, hi)
+func (e *Engine) multiRangeSumAt(v *routeSnap, lo, hi int64, filters []table.PayloadFilter, sumCol int) int64 {
+	a, b := v.part.Span(lo, hi)
 	sum := e.fanOut(a, b, func(t *table.Table) int64 { return t.MultiRangeSum(lo, hi, filters, sumCol) })
-	for _, m := range e.moves {
-		if m.old < lo || m.old > hi {
-			continue
-		}
-		pass := true
+	v.moves.forRange(lo, hi, func(m *pendingMove) {
 		for _, f := range filters {
 			if x := m.row[f.Col]; x < f.Lo || x > f.Hi {
-				pass = false
-				break
+				return
 			}
 		}
-		if pass {
-			sum += int64(m.row[sumCol])
-		}
-	}
+		sum += int64(m.row[sumCol])
+	})
 	return sum
 }
 
-// Payload returns payload column col of one row with the given key.
+// Payload returns payload column col of one row with the given key. Like
+// the other reads it feeds the drift monitor (as a point access — it scans
+// the same partition a Q1 of the key would), so payload-heavy workloads
+// drive retraining too.
 func (e *Engine) Payload(key int64, col int) (int32, bool) {
-	e.moveMu.RLock()
-	defer e.moveMu.RUnlock()
-	return e.payloadLocked(key, col)
+	if e.monitoring() {
+		e.record(workload.Op{Kind: workload.Q1PointQuery, Key: key})
+	}
+	v, s := e.lockKey(key)
+	defer e.unlockKey(s)
+	return e.payloadAt(v, key, col)
 }
 
-func (e *Engine) payloadLocked(key int64, col int) (int32, bool) {
-	var v int32
+func (e *Engine) payloadAt(v *routeSnap, key int64, col int) (int32, bool) {
+	var val int32
 	var ok bool
-	e.shardFor(key).read(func(t *table.Table) { v, ok = t.Payload(key, col) })
+	e.shards[v.part.Shard(key)].read(func(t *table.Table) { val, ok = t.Payload(key, col) })
 	if !ok {
-		for _, m := range e.moves {
-			if m.old == key && col < len(m.row) {
-				return m.row[col], true
+		v.moves.forRange(key, key, func(m *pendingMove) {
+			if !ok && col < len(m.row) {
+				val, ok = m.row[col], true
 			}
-		}
+		})
 	}
-	return v, ok
+	return val, ok
 }
 
 // Len returns the live row count across all shards.
 func (e *Engine) Len() int {
-	e.moveMu.RLock()
-	defer e.moveMu.RUnlock()
-	return e.lenLocked()
+	e.rlockAll()
+	defer e.runlockAll()
+	return e.lenAt(e.loadRoute())
 }
 
-func (e *Engine) lenLocked() int {
-	n := len(e.moves) // staged rows are live at their old key
+func (e *Engine) lenAt(v *routeSnap) int {
+	n := v.moves.len() // staged rows are live at their old key
 	for _, s := range e.shards {
 		s.read(func(t *table.Table) { n += t.Len() })
 	}
@@ -778,7 +1015,17 @@ func (e *Engine) lenLocked() int {
 }
 
 // Chunks returns the total column chunk count across all shards.
+//
+// Read-consistency contract: Chunks holds every gate stripe shared, so the
+// boundary set and row placement it observes belong to one routing
+// snapshot — it can never see the half-installed state inside a rebalance
+// publish window (rows parked off-table, destination tables mid-seed).
+// Per-shard chunk counts are still read one shard at a time under each
+// shard's swap lock, so concurrent single-shard writes and retrain swaps —
+// which do not pass the move gate — may land between shard visits.
 func (e *Engine) Chunks() int {
+	e.rlockAll()
+	defer e.runlockAll()
 	n := 0
 	for _, s := range e.shards {
 		s.read(func(t *table.Table) { n += t.Chunks() })
@@ -786,8 +1033,11 @@ func (e *Engine) Chunks() int {
 	return n
 }
 
-// View is a move-stable multi-query read handle: while the callback of
-// Engine.View runs, no cross-shard move can stage or publish, so invariants
+// View is a move-stable multi-query read handle pinned to one routing
+// snapshot: while the callback of Engine.View runs, every gate stripe is
+// held shared, so no cross-shard move can stage or publish and no
+// rebalance can install — the epoch, the partitioner, and the staged-move
+// registry the view routes through are one frozen routeSnap. Invariants
 // that span several queries and depend only on move atomicity hold exactly
 // (e.g. a row being moved between shards is counted exactly once by
 // PointQuery(old)+PointQuery(new)). It is not a full snapshot: single-shard
@@ -795,18 +1045,19 @@ func (e *Engine) Chunks() int {
 // move gate and may land between the view's queries.
 type View struct {
 	e     *Engine
+	v     *routeSnap
 	epoch uint64
 }
 
-// View runs fn over a move-stable read handle pinned at the current epoch.
-// Queries must go through the View's methods; calling Engine methods (or
-// nesting Views) from inside fn can deadlock against a queued move. Writes
-// and single queries do not need View — every individual engine query is
-// already epoch-stable on its own.
+// View runs fn over a move-stable read handle pinned at the current epoch
+// and routing snapshot. Queries must go through the View's methods; calling
+// Engine methods (or nesting Views) from inside fn can deadlock against a
+// queued move. Writes and single queries do not need View — every
+// individual engine query pins a snapshot of its own.
 func (e *Engine) View(fn func(*View)) {
-	e.moveMu.RLock()
-	defer e.moveMu.RUnlock()
-	fn(&View{e: e, epoch: e.epoch.Now()})
+	e.rlockAll()
+	defer e.runlockAll()
+	fn(&View{e: e, v: e.loadRoute(), epoch: e.epoch.Now()})
 }
 
 // Epoch returns the epoch the view is pinned at. No cross-shard move can
@@ -814,14 +1065,14 @@ func (e *Engine) View(fn func(*View)) {
 func (v *View) Epoch() uint64 { return v.epoch }
 
 // PointQuery is Engine.PointQuery under the view's snapshot.
-func (v *View) PointQuery(key int64) int { return v.e.pointQueryLocked(key) }
+func (v *View) PointQuery(key int64) int { return v.e.pointQueryAt(v.v, key) }
 
 // RangeCount is Engine.RangeCount under the view's snapshot.
 func (v *View) RangeCount(lo, hi int64) int {
 	if hi < lo {
 		return 0
 	}
-	return v.e.rangeCountLocked(lo, hi)
+	return v.e.rangeCountAt(v.v, lo, hi)
 }
 
 // RangeSum is Engine.RangeSum under the view's snapshot.
@@ -829,7 +1080,7 @@ func (v *View) RangeSum(lo, hi int64) int64 {
 	if hi < lo {
 		return 0
 	}
-	return v.e.rangeSumLocked(lo, hi)
+	return v.e.rangeSumAt(v.v, lo, hi)
 }
 
 // MultiRangeSum is Engine.MultiRangeSum under the view's snapshot.
@@ -837,14 +1088,14 @@ func (v *View) MultiRangeSum(lo, hi int64, filters []table.PayloadFilter, sumCol
 	if hi < lo {
 		return 0
 	}
-	return v.e.multiRangeSumLocked(lo, hi, filters, sumCol)
+	return v.e.multiRangeSumAt(v.v, lo, hi, filters, sumCol)
 }
 
 // Payload is Engine.Payload under the view's snapshot.
-func (v *View) Payload(key int64, col int) (int32, bool) { return v.e.payloadLocked(key, col) }
+func (v *View) Payload(key int64, col int) (int32, bool) { return v.e.payloadAt(v.v, key, col) }
 
 // Len is Engine.Len under the view's snapshot.
-func (v *View) Len() int { return v.e.lenLocked() }
+func (v *View) Len() int { return v.e.lenAt(v.v) }
 
 // ---------------------------------------------------------------------------
 // Writes
@@ -959,16 +1210,16 @@ func (e *Engine) moveCrossShard(old, new int64) (_ error, ok bool) {
 	// new stages, so the routing derived here cannot be invalidated between
 	// the two windows (sleepy retries, not spins — single-CPU friendly).
 	for {
-		e.moveMu.Lock()
+		e.lockAll()
 		if !e.installing {
 			break
 		}
-		e.moveMu.Unlock()
+		e.unlockAll()
 		time.Sleep(200 * time.Microsecond)
 	}
 	so, sn := e.loadPart().Shard(old), e.loadPart().Shard(new)
 	if so == sn {
-		e.moveMu.Unlock()
+		e.unlockAll()
 		return nil, false
 	}
 	j := &journalOp{kind: jDelete, key: old, skipWAL: true}
@@ -980,23 +1231,23 @@ func (e *Engine) moveCrossShard(old, new int64) (_ error, ok bool) {
 		return terr
 	})
 	if err != nil {
-		e.moveMu.Unlock()
+		e.unlockAll()
 		if err == errEmptyShard {
 			return fmt.Errorf("shard: update of absent key %d", old), true
 		}
 		return err, true
 	}
 	m := &pendingMove{old: old, new: new, row: j.row}
-	e.moves = append(e.moves, m)
-	e.moveMu.Unlock()
+	e.addMove(m)
+	e.unlockAll()
 
 	// Readers may run here: they serve the staged row from the registry.
 	if e.betweenMoveWindows != nil {
 		e.betweenMoveWindows()
 	}
 
-	e.moveMu.Lock()
-	defer e.moveMu.Unlock()
+	e.lockAll()
+	defer e.unlockAll()
 	// Re-derive routing defensively. The install barrier means no rebalance
 	// can have changed the boundaries while this move was staged, so these
 	// must equal the stage-time values; if both keys ever did land on one
@@ -1022,7 +1273,7 @@ func (e *Engine) moveCrossShard(old, new int64) (_ error, ok bool) {
 		if rerr != nil {
 			return fmt.Errorf("shard: cross-shard update %d→%d: destination insert: %v; rollback failed, row pinned in staged registry: %w", old, new, ierr, rerr), true
 		}
-		e.retireMove(m)
+		e.dropMove(m)
 		return fmt.Errorf("shard: cross-shard update %d→%d: destination insert: %w", old, new, ierr), true
 	}
 	pub := e.epoch.Advance() // the single epoch bump publishing the move
@@ -1030,7 +1281,7 @@ func (e *Engine) moveCrossShard(old, new int64) (_ error, ok bool) {
 	if e.durable {
 		werr = e.logMove(so, sn, old, new, m.row, pub)
 	}
-	e.retireMove(m)
+	e.dropMove(m)
 	// A WAL error reports lost durability, not a lost move: the move is
 	// committed in memory either way, matching the state a recovery from
 	// the last durable record would reconcile to.
@@ -1040,9 +1291,10 @@ func (e *Engine) moveCrossShard(old, new int64) (_ error, ok bool) {
 // logMove appends the MoveOut/MoveIn record pair of a published cross-shard
 // move, both stamped with the publish epoch (so recovery restores the epoch
 // oracle past the bump even when the move is the last durable event), and
-// commits both per the fsync policy. Caller holds moveMu exclusive (publish
-// window), so the pair is atomic with respect to checkpoints and the
-// move-ID horizon they record. Each append takes its shard's jmu so the
+// commits both per the fsync policy. Caller holds every gate stripe
+// exclusively (publish window), so the pair is atomic with respect to
+// checkpoints and the move-ID horizon they record. Each append takes its
+// shard's jmu so the
 // epoch stamps stay monotonic within that shard's WAL (epoch-order replay
 // relies on stable per-shard order).
 func (e *Engine) logMove(so, sn int, old, new int64, row []int32, pub uint64) error {
@@ -1063,17 +1315,6 @@ func (e *Engine) logMove(so, sn int, old, new int64, row []int32, pub uint64) er
 	return dst.log.Commit(lsnIn)
 }
 
-// retireMove removes m from the staged-move registry; caller holds moveMu
-// exclusive.
-func (e *Engine) retireMove(m *pendingMove) {
-	for i, x := range e.moves {
-		if x == m {
-			e.moves = append(e.moves[:i], e.moves[i+1:]...)
-			return
-		}
-	}
-}
-
 // ---------------------------------------------------------------------------
 // Batched execution
 // ---------------------------------------------------------------------------
@@ -1088,6 +1329,8 @@ func (e *Engine) Execute(op workload.Op) int64 {
 		return int64(e.RangeCount(op.Key, op.Key2))
 	case workload.Q3RangeSum:
 		return e.RangeSum(op.Key, op.Key2)
+	case workload.Q7MultiRange:
+		return e.MultiRangeSum(op.Key, op.Key2, nil, 0)
 	case workload.Q4Insert:
 		e.Insert(op.Key)
 		return 1

@@ -1,0 +1,196 @@
+package shard_test
+
+// Equivalence suite for the striped move gate, meant for
+// `go test -race ./internal/shard/`: the striped gate must preserve the
+// old global-gate read semantics — View-pinned readers observe every
+// ping-ponging row exactly once and a constant row count while cross-shard
+// moves and rebalance boundary installs hammer the fleet — plus fan-out
+// pool regressions at GOMAXPROCS=1 (sequential fallback) and many
+// (bounded, reused workers).
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"casper/internal/shard"
+)
+
+// stripeEngine builds a range-partitioned 8-shard engine over keys
+// 0,4,...,4*(n-1) (the race suite's ≡0 mod 4 discipline).
+func stripeEngine(t *testing.T, n int) (*shard.Engine, int64) {
+	t.Helper()
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = 4 * int64(i)
+	}
+	cfg := oracleConfig()
+	cfg.ChunkValues = 1_024
+	e, err := shard.New(keys, shard.Config{Shards: 8, ByRange: true, Table: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, keys[len(keys)-1]
+}
+
+// TestStripedGateEquivalence pins the striped gate to the old global-gate
+// semantics: while cross-shard movers ping-pong rows between the fleet's
+// ends and a rebalancer flip-flops the boundary set (all-stripe installs),
+// View-pinned readers must see each moving row on exactly one of its two
+// keys and a constant total row count, and gate-protected Chunks calls must
+// never observe a mid-install state (they would crash or miscount tables
+// being reseeded inside the publish window).
+func TestStripedGateEquivalence(t *testing.T) {
+	const (
+		rows      = 4_096
+		movers    = 4
+		moveIters = 150
+		installs  = 12
+	)
+	e, maxKey := stripeEngine(t, rows)
+
+	// Each mover owns one row ping-ponging between a low key (shard 0) and
+	// a high key (last shard) under every boundary set used below; both
+	// keys are ≡ 2 (mod 4), disjoint from the resident rows.
+	lowKey := func(w int) int64 { return int64(2 + 8*w) }
+	highKey := func(w int) int64 { return maxKey - int64(2+8*w) } // ≡ 2 (mod 4)
+	for w := 0; w < movers; w++ {
+		e.Insert(lowKey(w))
+	}
+	total := rows + movers
+
+	// Two boundary sets shifted against each other so every install changes
+	// ownership somewhere; both keep lowKey/highKey on different shards.
+	span := maxKey + 1
+	boundsA := make([]int64, 7)
+	boundsB := make([]int64, 7)
+	for i := range boundsA {
+		boundsA[i] = span * int64(i+1) / 8
+		boundsB[i] = boundsA[i] - span/16
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan error, movers+2)
+
+	for w := 0; w < movers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			a, b := lowKey(w), highKey(w)
+			for i := 0; i < moveIters; i++ {
+				if err := e.UpdateKey(a, b); err != nil {
+					errs <- err
+					return
+				}
+				if err := e.UpdateKey(b, a); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer stop.Store(true)
+		for i := 0; i < installs; i++ {
+			bounds := boundsA
+			if i%2 == 1 {
+				bounds = boundsB
+			}
+			if _, err := e.RebalanceTo(bounds); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+
+	// View-pinned readers: the move-atomicity invariants of the old global
+	// gate, checked against a frozen snapshot.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				e.View(func(v *shard.View) {
+					for w := 0; w < movers; w++ {
+						n := v.PointQuery(lowKey(w)) + v.PointQuery(highKey(w))
+						if n != 1 {
+							t.Errorf("view: mover %d visible %d times, want exactly 1", w, n)
+						}
+					}
+					if got := v.Len(); got != total {
+						t.Errorf("view: Len = %d, want %d (move-only traffic)", got, total)
+					}
+				})
+				if got := e.Chunks(); got <= 0 {
+					t.Errorf("Chunks = %d during rebalance, want > 0", got)
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := e.Len(); got != total {
+		t.Fatalf("final Len = %d, want %d", got, total)
+	}
+	for w := 0; w < movers; w++ {
+		if n := e.PointQuery(lowKey(w)) + e.PointQuery(highKey(w)); n != 1 {
+			t.Errorf("final: mover %d visible %d times, want 1", w, n)
+		}
+	}
+}
+
+// fanOutSums drives range reads spanning every shard and checks them
+// against the closed-form sum of the resident keys 0,4,...,4*(n-1).
+func fanOutSums(t *testing.T, e *shard.Engine, n int, maxKey int64) {
+	t.Helper()
+	want := int64(n) * int64(n-1) * 2 // Σ 4i, i<n
+	for i := 0; i < 50; i++ {
+		if got := e.RangeSum(0, maxKey); got != want {
+			t.Fatalf("RangeSum = %d, want %d", got, want)
+		}
+		if got := e.RangeCount(0, maxKey); got != n {
+			t.Fatalf("RangeCount = %d, want %d", got, n)
+		}
+	}
+}
+
+// TestFanOutPoolSequentialFallback regresses the single-CPU fast path: an
+// engine built at GOMAXPROCS=1 must serve fan-out reads correctly with an
+// empty pool (pure sequential merge, no worker goroutines).
+func TestFanOutPoolSequentialFallback(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	const n = 2_048
+	e, maxKey := stripeEngine(t, n) // pool sized at construction: 1
+	before := runtime.NumGoroutine()
+	fanOutSums(t, e, n, maxKey)
+	if grew := runtime.NumGoroutine() - before; grew > 0 {
+		t.Errorf("sequential fallback spawned %d goroutines, want 0", grew)
+	}
+}
+
+// TestFanOutPoolBounded regresses pool reuse at many CPUs: fan-out must
+// keep returning correct sums while the goroutine count stays bounded by
+// the pool size — not one spawn per shard per query.
+func TestFanOutPoolBounded(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+	const n = 2_048
+	e, maxKey := stripeEngine(t, n) // pool sized at construction: 8
+	before := runtime.NumGoroutine()
+	fanOutSums(t, e, n, maxKey)
+	// 50 queries × 8 shards would be 400 spawns unpooled; the pool parks
+	// at most its fixed worker set.
+	if grew := runtime.NumGoroutine() - before; grew > 8 {
+		t.Errorf("goroutine count grew by %d across 50 fan-outs, want <= pool size 8", grew)
+	}
+}

@@ -31,6 +31,13 @@ const (
 	Q4Insert
 	Q5Delete
 	Q6Update
+	// Q7MultiRange is the TPC-H-Q6-shaped multi-predicate range scan of
+	// Fig. 1 (key range plus payload filters). The preset mixes never
+	// generate it; it exists so the drift monitor can attribute
+	// MultiRangeSum traffic distinctly from a plain Q3 range sum while
+	// still training the layout solver with its (range-shaped) access
+	// pattern.
+	Q7MultiRange
 )
 
 // String implements fmt.Stringer.
@@ -48,6 +55,8 @@ func (k Kind) String() string {
 		return "Q5(delete)"
 	case Q6Update:
 		return "Q6(update)"
+	case Q7MultiRange:
+		return "Q7(multirange)"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -272,7 +281,7 @@ func ToFreqOps(ops []Op) []freq.Op {
 		switch op.Kind {
 		case Q1PointQuery:
 			out = append(out, freq.Op{Kind: freq.OpPointQuery, Key: op.Key})
-		case Q2RangeCount, Q3RangeSum:
+		case Q2RangeCount, Q3RangeSum, Q7MultiRange:
 			out = append(out, freq.Op{Kind: freq.OpRangeQuery, Key: op.Key, Key2: op.Key2})
 		case Q4Insert:
 			out = append(out, freq.Op{Kind: freq.OpInsert, Key: op.Key})
@@ -293,7 +302,7 @@ func ToFreqOps(ops []Op) []freq.Op {
 // recording, and batch grouping.
 func RouteOp(op Op, owner func(int64) int, span func(lo, hi int64) (int, int), visit func(int)) {
 	switch op.Kind {
-	case Q2RangeCount, Q3RangeSum:
+	case Q2RangeCount, Q3RangeSum, Q7MultiRange:
 		a, b := span(op.Key, op.Key2)
 		for s := a; s <= b; s++ {
 			visit(s)
