@@ -430,6 +430,56 @@ func (v *View) Payload(key int64, col int) (int32, bool) { return v.v.Payload(ke
 // Len is Engine.Len under the view's snapshot.
 func (v *View) Len() int { return v.v.Len() }
 
+// Scan is Engine.Scan pinned to the view's snapshot: no cross-shard move
+// or rebalance install can interleave, so two drains of the same range
+// inside one View yield byte-identical streams. The cursor is only valid
+// inside the View callback. Single-shard inserts and deletes may still
+// land between batches — a View is move-stable, not write-stable.
+func (v *View) Scan(lo, hi int64, opts ScanOptions) *Cursor { return v.v.Scan(lo, hi, opts) }
+
+// ---------------------------------------------------------------------------
+// Streaming scans
+// ---------------------------------------------------------------------------
+
+// ScanOptions configures Engine.Scan and View.Scan: Limit caps the total
+// rows yielded (0 = unlimited), Batch tunes the per-shard batch size, and
+// PageToken resumes a scan where a previous cursor's PageToken left off.
+type ScanOptions = shard.ScanOptions
+
+// Cursor streams the live rows with keys in [lo, hi] in ascending key
+// order, lazily: it materializes one small batch per shard at a time —
+// memory and first-row latency are bounded by the batch size, never the
+// result size — and holds no locks between Next calls, so a consumer may
+// page at leisure while writers proceed.
+//
+// Next advances and reports whether a row is available; Key and Payload
+// read the current row (the payload slice is valid only until the next
+// Next/SeekTo/Close — copy to retain); SeekTo jumps forward or backward
+// within the scanned range; PageToken returns a resume token for a later
+// Scan; Err surfaces construction failures such as a malformed page token;
+// Close releases the cursor's buffers.
+//
+// Concurrent writes: an Engine cursor observes inserts and deletes that
+// land ahead of its position and misses those behind it (each row it does
+// yield is never torn), and a key moved across the scan frontier by
+// UpdateKey or a rebalance mid-scan may be missed or seen twice. A View
+// cursor (View.Scan) pins the routing snapshot instead: moves and installs
+// cannot interleave at all. Stable pagination under live ingest therefore
+// wants page tokens (each page is internally exact) or a View (exact
+// across pages).
+type Cursor = shard.Cursor
+
+// ErrBadPageToken reports a malformed ScanOptions.PageToken, surfaced
+// through Cursor.Err.
+var ErrBadPageToken = shard.ErrBadPageToken
+
+// Scan opens a streaming cursor over [lo, hi] — the lazy alternative to
+// the materialized aggregates for large or LIMIT-bounded reads. The scan
+// feeds the engine's drift monitor as a range access over the requested
+// span, so scan-heavy workloads train the layout solver and trigger
+// retraining like any other range read. Always Close the cursor.
+func (e *Engine) Scan(lo, hi int64, opts ScanOptions) *Cursor { return e.sh.Scan(lo, hi, opts) }
+
 // OpKind enumerates workload operations.
 type OpKind int
 
@@ -440,20 +490,27 @@ const (
 	Insert
 	Delete
 	Update
+	// Scan is a streaming cursor read over [Key, Key2], optionally
+	// LIMIT-bounded by Op.Limit. Execute drains the cursor and returns the
+	// row count; for the layout solver and drift monitor it is a range
+	// access over the span it requests.
+	Scan
 )
 
 // Op is one workload operation. Key2 holds the range end (RangeCount,
-// RangeSum) or the new key (Update).
+// RangeSum, Scan) or the new key (Update). Limit caps the rows a Scan
+// yields (0 = unlimited) and is ignored by every other kind.
 type Op struct {
-	Kind OpKind
-	Key  int64
-	Key2 int64
+	Kind  OpKind
+	Key   int64
+	Key2  int64
+	Limit int
 }
 
 func toWorkloadOps(ops []Op) []workload.Op {
 	out := make([]workload.Op, len(ops))
 	for i, op := range ops {
-		out[i] = workload.Op{Kind: workloadKind(op.Kind), Key: op.Key, Key2: op.Key2}
+		out[i] = workload.Op{Kind: workloadKind(op.Kind), Key: op.Key, Key2: op.Key2, Limit: op.Limit}
 	}
 	return out
 }
@@ -472,6 +529,8 @@ func workloadKind(k OpKind) workload.Kind {
 		return workload.Q5Delete
 	case Update:
 		return workload.Q6Update
+	case Scan:
+		return workload.Q8Scan
 	}
 	panic(fmt.Sprintf("casper: unknown op kind %d", int(k)))
 }
@@ -493,8 +552,10 @@ func fromWorkloadOps(ops []workload.Op) []Op {
 			k = Delete
 		case workload.Q6Update:
 			k = Update
+		case workload.Q8Scan:
+			k = Scan
 		}
-		out[i] = Op{Kind: k, Key: op.Key, Key2: op.Key2}
+		out[i] = Op{Kind: k, Key: op.Key, Key2: op.Key2, Limit: op.Limit}
 	}
 	return out
 }
@@ -509,7 +570,7 @@ func (e *Engine) Execute(op Op) int64 {
 	if mon != nil {
 		mon.record(op)
 	}
-	return e.sh.Execute(workload.Op{Kind: workloadKind(op.Kind), Key: op.Key, Key2: op.Key2})
+	return e.sh.Execute(workload.Op{Kind: workloadKind(op.Kind), Key: op.Key, Key2: op.Key2, Limit: op.Limit})
 }
 
 // ExecuteAll runs the operations serially.
@@ -600,6 +661,7 @@ const (
 	UpdateOnlySkewed  = workload.UpdateOnlySkewed
 	UpdateOnlyUniform = workload.UpdateOnlyUniform
 	SLAHybrid         = workload.SLAHybrid
+	ScanHeavy         = workload.ScanHeavy
 )
 
 // PresetWorkload generates ops operations of the named HAP preset against

@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	casperbench [-fig N | -table N | -all | -throughput | -durable | -rebalance] [-rows N] [-ops N] [-workers N]
+//	casperbench [-fig N | -table N | -all | -throughput | -durable | -rebalance | -scan] [-rows N] [-ops N] [-workers N]
 //	casperbench -throughput -cpus 1,2,4,8 [-out BENCH_throughput.json]
+//	casperbench -scan [-rows N] [-out BENCH_scan.json]
 //
 // Examples:
 //
@@ -17,6 +18,16 @@
 //	casperbench -throughput -cpus 1,2,4,8 # worker sweep, JSON artifact
 //	casperbench -durable -rows 200000     # WAL overhead per fsync policy + recovery time
 //	casperbench -rebalance -rows 200000   # skewed-drift scenario: quantile vs minimal proposer
+//	casperbench -scan -rows 200000        # streaming cursor sweep: LIMIT × result size
+//
+// The -scan sweep drives streaming cursors over ranges of three result
+// sizes under LIMIT 10, 1000, and unlimited, reporting scans/s, first-row
+// latency, and heap bytes allocated per scan, next to a materialized
+// baseline that collects the whole result before serving its first row.
+// The JSON artifact (default BENCH_scan.json) records the same numbers;
+// the point of the report is that a LIMIT-10 cursor over a huge range
+// allocates O(batch) bytes and reaches its first row orders of magnitude
+// before the materialized path.
 //
 // The -rebalance report compares the two boundary-proposal strategies on
 // the same drifted fleet, one column per metric:
@@ -37,6 +48,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -59,6 +71,7 @@ func main() {
 		thr     = flag.Bool("throughput", false, "measure sharded-engine throughput across shard counts")
 		durable = flag.Bool("durable", false, "measure durable ingest throughput per WAL sync policy and recovery time")
 		rebal   = flag.Bool("rebalance", false, "run the skewed-drift shard rebalancing scenario")
+		scan    = flag.Bool("scan", false, "run the streaming-scan sweep (LIMIT x result size); emits a JSON artifact")
 		shards  = flag.String("shards", "1,2,4,8", "shard counts for -throughput (comma separated)")
 		cpus    = flag.String("cpus", "", "worker/GOMAXPROCS sweep for -throughput (comma separated); emits a JSON artifact")
 		out     = flag.String("out", "BENCH_throughput.json", "artifact path for the -cpus sweep")
@@ -98,6 +111,15 @@ func main() {
 		}
 	case *rebal:
 		if err := runRebalance(sc.Rows, *ops, sc.Seed); err != nil {
+			fmt.Fprintf(os.Stderr, "casperbench: %v\n", err)
+			os.Exit(1)
+		}
+	case *scan:
+		outPath := *out
+		if !flagWasSet("out") {
+			outPath = "BENCH_scan.json"
+		}
+		if err := runScan(sc.Rows, sc.Seed, outPath); err != nil {
 			fmt.Fprintf(os.Stderr, "casperbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -351,6 +373,177 @@ func runThroughput(shardList string, rows, measuredOps, workers int, seed int64)
 		fmt.Println()
 	}
 	return nil
+}
+
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// Artifact schema for the -scan sweep.
+type scanPoint struct {
+	Range           string  `json:"range"`
+	RangeRows       int     `json:"range_rows"`
+	Limit           int     `json:"limit"` // 0 = unlimited
+	RowsYielded     int     `json:"rows_yielded"`
+	ScansPerSec     float64 `json:"scans_per_sec"`
+	FirstRowNs      float64 `json:"first_row_ns"`
+	AllocBytesPerOp uint64  `json:"alloc_bytes_per_scan"`
+}
+
+type scanBaseline struct {
+	Range           string  `json:"range"`
+	RangeRows       int     `json:"range_rows"`
+	FirstRowNs      float64 `json:"first_row_ns"`
+	AllocBytesPerOp uint64  `json:"alloc_bytes_per_scan"`
+}
+
+type scanArtifact struct {
+	Benchmark    string         `json:"benchmark"`
+	Rows         int            `json:"rows"`
+	Shards       int            `json:"shards"`
+	HostCPUs     int            `json:"host_cpus"`
+	GoVersion    string         `json:"go_version"`
+	Materialized []scanBaseline `json:"materialized_baseline"`
+	Points       []scanPoint    `json:"points"`
+}
+
+// runScan sweeps streaming cursors over three result sizes × three LIMITs,
+// against a materialized baseline that collects the entire result (copied
+// rows) before its first row is readable — the pre-cursor read pattern.
+func runScan(rows int, seed int64, outPath string) error {
+	if rows <= 0 {
+		rows = 200_000
+	}
+	domain := int64(rows) * 10
+	keys := casper.UniformKeys(rows, domain, seed)
+	eng, err := casper.Open(keys, casper.Options{Mode: casper.ModeCasper, Shards: 4})
+	if err != nil {
+		return err
+	}
+	art := scanArtifact{
+		Benchmark: "casperbench -scan",
+		Rows:      rows,
+		Shards:    4,
+		HostCPUs:  runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+	}
+	ranges := []struct {
+		name   string
+		lo, hi int64
+	}{
+		{"1k-rows", 0, 10_000},
+		{"10pct", 0, domain / 10},
+		{"full", math.MinInt64, math.MaxInt64},
+	}
+	fmt.Printf("streaming scan sweep: %d rows over [0, %d], 4 shards\n\n", rows, domain)
+	fmt.Printf("%-10s %10s %8s %12s %14s %14s\n",
+		"range", "rows", "limit", "scans/s", "first-row-µs", "alloc/scan")
+	for _, r := range ranges {
+		size := eng.RangeCount(r.lo, r.hi)
+
+		// Materialized baseline: collect everything, then read row one.
+		iters := scanIters(size)
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		var sink int64
+		for i := 0; i < iters; i++ {
+			allKeys := make([]int64, 0, size)
+			allRows := make([][]int32, 0, size)
+			c := eng.Scan(r.lo, r.hi, casper.ScanOptions{})
+			for c.Next() {
+				allKeys = append(allKeys, c.Key())
+				allRows = append(allRows, append([]int32(nil), c.Payload()...))
+			}
+			c.Close()
+			if len(allKeys) > 0 {
+				sink += allKeys[0] + int64(allRows[0][0])
+			}
+		}
+		matNs := float64(time.Since(start).Nanoseconds()) / float64(iters)
+		runtime.ReadMemStats(&m1)
+		base := scanBaseline{
+			Range:           r.name,
+			RangeRows:       size,
+			FirstRowNs:      matNs,
+			AllocBytesPerOp: (m1.TotalAlloc - m0.TotalAlloc) / uint64(iters),
+		}
+		art.Materialized = append(art.Materialized, base)
+		fmt.Printf("%-10s %10d %8s %12s %14.1f %14d   (materialized baseline)\n",
+			r.name, size, "-", "-", matNs/1e3, base.AllocBytesPerOp)
+
+		for _, limit := range []int{10, 1_000, 0} {
+			drain := size
+			if limit > 0 && limit < size {
+				drain = limit
+			}
+			iters := scanIters(drain)
+			var firstNs float64
+			runtime.GC()
+			runtime.ReadMemStats(&m0)
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				c := eng.Scan(r.lo, r.hi, casper.ScanOptions{Limit: limit})
+				t0 := time.Now()
+				if c.Next() {
+					firstNs += float64(time.Since(t0).Nanoseconds())
+					sink += c.Key()
+				}
+				for c.Next() {
+					sink += c.Key()
+				}
+				c.Close()
+			}
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&m1)
+			pt := scanPoint{
+				Range:           r.name,
+				RangeRows:       size,
+				Limit:           limit,
+				RowsYielded:     drain,
+				ScansPerSec:     float64(iters) / elapsed.Seconds(),
+				FirstRowNs:      firstNs / float64(iters),
+				AllocBytesPerOp: (m1.TotalAlloc - m0.TotalAlloc) / uint64(iters),
+			}
+			art.Points = append(art.Points, pt)
+			lim := "full"
+			if limit > 0 {
+				lim = strconv.Itoa(limit)
+			}
+			fmt.Printf("%-10s %10d %8s %12.0f %14.1f %14d\n",
+				r.name, size, lim, pt.ScansPerSec, pt.FirstRowNs/1e3, pt.AllocBytesPerOp)
+		}
+		fmt.Println()
+	}
+	buf, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("artifact written to %s\n", outPath)
+	return nil
+}
+
+// scanIters sizes the measurement loop so every cell does comparable work:
+// tiny drains repeat often, full-table drains a handful of times.
+func scanIters(drain int) int {
+	switch {
+	case drain <= 100:
+		return 300
+	case drain <= 10_000:
+		return 50
+	default:
+		return 5
+	}
 }
 
 // Artifact schema for the -cpus sweep. Speedups are relative to the first

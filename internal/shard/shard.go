@@ -76,6 +76,25 @@
 // shard or table locks. The fan-out worker pool executes read closures
 // that take shard.mu only, so pool workers obey the same order.
 //
+// Streaming scans (stream.go) follow the same order with one extra rule:
+// a cursor-mode shardSource acquires its shard's gate stripe shared only
+// for the duration of ONE batch fill — stripe → shard.mu → chunk locks,
+// all released before the batch is handed to the consumer — and never
+// holds any lock across a consumer yield. It revalidates at every fill:
+// the routing snapshot is reloaded under the stripe (observing any install
+// that landed between batches) and the table pointer is re-checked under
+// shard.mu (restarting the chunk iterator at the resume key if a shadow
+// retrain swapped the table). Pinned-mode sources (View.Scan, and the
+// streamFold under every aggregate) must NOT touch stripes — their caller
+// already holds the covering stripes shared, and re-acquiring would
+// deadlock behind a queued writer — so they take only shard.mu per batch.
+// Aggregates therefore keep today's exactly-once visibility: lockSpan is
+// held for the entire fold, batching only the chunk-level locking.
+// Prefetch fills run on fan-out pool workers and acquire stripe/shard.mu
+// in the same order; a fill never blocks on its consumer (the batch
+// hand-off channel always has room), so pool saturation degrades to
+// inline fills, never deadlock.
+//
 // # Drift-triggered shard rebalancing
 //
 // Range partitioning fixes boundaries at load time, so a drifted key
@@ -582,15 +601,7 @@ func (p *fanPool) run(n int, fn func(int)) {
 		}
 		return
 	}
-	p.once.Do(func() {
-		for w := 0; w < p.size; w++ {
-			go func() {
-				for t := range p.tasks {
-					t()
-				}
-			}()
-		}
-	})
+	p.start()
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for i := 0; i < n; i++ {
@@ -604,6 +615,37 @@ func (p *fanPool) run(n int, fn func(int)) {
 		}
 	}
 	wg.Wait()
+}
+
+func (p *fanPool) start() {
+	p.once.Do(func() {
+		for w := 0; w < p.size; w++ {
+			go func() {
+				for t := range p.tasks {
+					t()
+				}
+			}()
+		}
+	})
+}
+
+// submit schedules fn on a pool worker without waiting for it. On a
+// single-CPU runtime, or when the queue is saturated, fn runs inline before
+// submit returns — callers (scan read-ahead) must tolerate synchronous
+// execution, which they do because a prefetch fill never blocks on its
+// consumer: the hand-off channel always has room for the one outstanding
+// batch.
+func (p *fanPool) submit(fn func()) {
+	if p.size <= 1 {
+		fn()
+		return
+	}
+	p.start()
+	select {
+	case p.tasks <- fn:
+	default:
+		fn()
+	}
 }
 
 // monitoring reports whether any background worker wants per-operation
@@ -887,7 +929,10 @@ func (e *Engine) pointQueryAt(v *routeSnap, key int64) int {
 
 // fanOut merges fn over shards [a, b], returning the sum. The merge runs on
 // the engine's worker pool when the runtime has CPUs to run it; on a
-// single-CPU runtime a sequential merge is strictly cheaper.
+// single-CPU runtime a sequential merge is strictly cheaper. The aggregate
+// read path now folds over streaming scans (streamFold); fanOut remains as
+// the materialized reference implementation the oracle-equivalence tests
+// compare against.
 func (e *Engine) fanOut(a, b int, fn func(*table.Table) int64) int64 {
 	if a == b {
 		var v int64
@@ -919,8 +964,9 @@ func (e *Engine) RangeCount(lo, hi int64) int {
 }
 
 func (e *Engine) rangeCountAt(v *routeSnap, lo, hi int64) int {
-	a, b := v.part.Span(lo, hi)
-	n := int(e.fanOut(a, b, func(t *table.Table) int64 { return int64(t.RangeCount(lo, hi)) }))
+	n := int(e.streamFold(v, lo, hi, false, func(keys []int64, _ [][]int32) (int64, bool) {
+		return int64(len(keys)), false
+	}))
 	v.moves.forRange(lo, hi, func(*pendingMove) { n++ })
 	return n
 }
@@ -939,8 +985,13 @@ func (e *Engine) RangeSum(lo, hi int64) int64 {
 }
 
 func (e *Engine) rangeSumAt(v *routeSnap, lo, hi int64) int64 {
-	a, b := v.part.Span(lo, hi)
-	sum := e.fanOut(a, b, func(t *table.Table) int64 { return t.RangeSum(lo, hi) })
+	sum := e.streamFold(v, lo, hi, false, func(keys []int64, _ [][]int32) (int64, bool) {
+		var s int64
+		for _, k := range keys {
+			s += k
+		}
+		return s, false
+	})
 	v.moves.forRange(lo, hi, func(m *pendingMove) { sum += m.old })
 	return sum
 }
@@ -959,8 +1010,19 @@ func (e *Engine) MultiRangeSum(lo, hi int64, filters []table.PayloadFilter, sumC
 }
 
 func (e *Engine) multiRangeSumAt(v *routeSnap, lo, hi int64, filters []table.PayloadFilter, sumCol int) int64 {
-	a, b := v.part.Span(lo, hi)
-	sum := e.fanOut(a, b, func(t *table.Table) int64 { return t.MultiRangeSum(lo, hi, filters, sumCol) })
+	sum := e.streamFold(v, lo, hi, true, func(_ []int64, rows [][]int32) (int64, bool) {
+		var s int64
+	rowLoop:
+		for _, row := range rows {
+			for _, f := range filters {
+				if x := row[f.Col]; x < f.Lo || x > f.Hi {
+					continue rowLoop
+				}
+			}
+			s += int64(row[sumCol])
+		}
+		return s, false
+	})
 	v.moves.forRange(lo, hi, func(m *pendingMove) {
 		for _, f := range filters {
 			if x := m.row[f.Col]; x < f.Lo || x > f.Hi {
@@ -1331,6 +1393,14 @@ func (e *Engine) Execute(op workload.Op) int64 {
 		return e.RangeSum(op.Key, op.Key2)
 	case workload.Q7MultiRange:
 		return e.MultiRangeSum(op.Key, op.Key2, nil, 0)
+	case workload.Q8Scan:
+		c := e.Scan(op.Key, op.Key2, ScanOptions{Limit: op.Limit})
+		var n int64
+		for c.Next() {
+			n++
+		}
+		c.Close()
+		return n
 	case workload.Q4Insert:
 		e.Insert(op.Key)
 		return 1

@@ -176,6 +176,10 @@ type chunk struct {
 	// Casper modes); used for layout introspection and rebuilds.
 	casperCol *column.Column
 	lowerKey  int64 // smallest key routed to this chunk
+	// ver counts mutations (bumped under mu.Lock whenever live rows or
+	// physical layout change), letting ScanIter detect between batches
+	// whether its captured positions are still valid.
+	ver uint64
 	// trainedBlocks/trainedGhosts record the layout TrainLayout last
 	// applied to this chunk (partition widths in blocks and the ghost
 	// allocation), so checkpoints can persist the learned layout and
@@ -427,24 +431,22 @@ func (t *Table) MultiRangeSum(lo, hi int64, filters []PayloadFilter, sumCol int)
 	if hi < lo {
 		return 0
 	}
-	a, b := t.chunkRange(lo, hi)
+	it := t.ScanRange(lo, hi)
+	defer it.Close()
+	buf := getRowBuf()
+	defer putRowBuf(buf)
 	var sum int64
-	var buf []int
-	for i := a; i <= b; i++ {
-		ck := t.chunks[i]
-		ck.mu.RLock()
-		buf = ck.store.RangePositions(lo, hi, buf[:0])
-	posLoop:
-		for _, pos := range buf {
+	for it.NextBatch(buf, DefaultScanBatch) {
+	rowLoop:
+		for _, row := range buf.Rows {
 			for _, f := range filters {
-				x := ck.mover.cols[f.Col][pos]
+				x := row[f.Col]
 				if x < f.Lo || x > f.Hi {
-					continue posLoop
+					continue rowLoop
 				}
 			}
-			sum += int64(ck.mover.cols[sumCol][pos])
+			sum += int64(row[sumCol])
 		}
-		ck.mu.RUnlock()
 	}
 	return sum
 }
@@ -454,6 +456,7 @@ func (t *Table) MultiRangeSum(lo, hi int64, filters []PayloadFilter, sumCol int)
 func (t *Table) Insert(key int64) {
 	ck := t.chunkFor(key)
 	ck.mu.Lock()
+	ck.ver++
 	pos := ck.store.Insert(key)
 	for c := range ck.mover.cols {
 		ck.mover.cols[c][pos] = DefaultPayload(key, c)
@@ -466,6 +469,7 @@ func (t *Table) Delete(key int64) error {
 	ck := t.chunkFor(key)
 	ck.mu.Lock()
 	defer ck.mu.Unlock()
+	ck.ver++
 	return ck.store.Delete(key)
 }
 
@@ -490,6 +494,7 @@ func (t *Table) UpdateKeyRow(old, new int64) ([]int32, error) {
 		if !ok {
 			return nil, fmt.Errorf("table: %w: %d", column.ErrNotFound, old)
 		}
+		src.ver++
 		saved := src.payloadAt(pos)
 		newPos, err := src.store.Update(old, new)
 		if err != nil {
@@ -511,6 +516,8 @@ func (t *Table) UpdateKeyRow(old, new int64) ([]int32, error) {
 	if !ok {
 		return nil, fmt.Errorf("table: %w: %d", column.ErrNotFound, old)
 	}
+	src.ver++
+	dst.ver++
 	saved := src.payloadAt(pos)
 	if err := src.store.Delete(old); err != nil {
 		return nil, err
@@ -548,6 +555,7 @@ func (ck *chunk) setPayload(pos int, row []int32) {
 func (t *Table) InsertRow(key int64, row []int32) {
 	ck := t.chunkFor(key)
 	ck.mu.Lock()
+	ck.ver++
 	pos := ck.store.Insert(key)
 	for c := range ck.mover.cols {
 		if c < len(row) {
@@ -569,6 +577,7 @@ func (t *Table) TakeRow(key int64) ([]int32, error) {
 	if !ok {
 		return nil, fmt.Errorf("table: %w: %d", column.ErrNotFound, key)
 	}
+	ck.ver++
 	row := ck.payloadAt(pos)
 	if err := ck.store.Delete(key); err != nil {
 		return nil, err
@@ -628,42 +637,19 @@ func rowsEqual(a, b []int32) bool {
 // recovery checkpoints, cutting under the engine move gate so the snapshot
 // sits at a single epoch with no cross-shard move half-applied).
 func (t *Table) Snapshot() ([]int64, [][]int32) {
-	type kv struct {
-		key int64
-		row []int32
-	}
-	var all []kv
-	t.forEachLive(func(ck *chunk, pos int) {
-		all = append(all, kv{ck.keyAt(pos), ck.payloadAt(pos)})
-	})
-	sort.SliceStable(all, func(i, j int) bool { return all[i].key < all[j].key })
-	keys := make([]int64, len(all))
-	rows := make([][]int32, len(all))
-	for i, r := range all {
-		keys[i] = r.key
-		rows[i] = r.row
+	it := t.ScanRange(math.MinInt64, math.MaxInt64)
+	defer it.Close()
+	buf := getRowBuf()
+	defer putRowBuf(buf)
+	var keys []int64
+	var rows [][]int32
+	for it.NextBatch(buf, DefaultScanBatch) {
+		keys = append(keys, buf.Keys...)
+		for _, r := range buf.Rows {
+			rows = append(rows, append([]int32(nil), r...))
+		}
 	}
 	return keys, rows
-}
-
-// forEachLive visits every live row position, chunk by chunk under each
-// chunk's read lock — the single definition of live-row iteration shared by
-// Snapshot and Keys, so the casper-column vs plain-store traversal rules
-// cannot drift apart.
-func (t *Table) forEachLive(visit func(ck *chunk, pos int)) {
-	for _, ck := range t.chunks {
-		ck.mu.RLock()
-		if ck.casperCol != nil {
-			ck.casperCol.PhysicalPositions(func(ord, pos int) { visit(ck, pos) })
-		} else {
-			var buf []int
-			buf = ck.store.RangePositions(math.MinInt64, math.MaxInt64, buf)
-			for _, pos := range buf {
-				visit(ck, pos)
-			}
-		}
-		ck.mu.RUnlock()
-	}
 }
 
 // keyAt returns the key at physical position pos; caller holds the chunk
@@ -682,10 +668,7 @@ func (ck *chunk) keyAt(pos int) int64 {
 // Snapshot's: per-chunk atomicity only, unless the caller serializes
 // writers.
 func (t *Table) Keys() []int64 {
-	var keys []int64
-	t.forEachLive(func(ck *chunk, pos int) { keys = append(keys, ck.keyAt(pos)) })
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	return keys
+	return t.KeysInRange(math.MinInt64, math.MaxInt64)
 }
 
 // KeysInRange returns the live keys in [lo, hi] (ascending, duplicates
@@ -699,19 +682,14 @@ func (t *Table) KeysInRange(lo, hi int64) []int64 {
 	if hi < lo {
 		return nil
 	}
-	a, b := t.chunkRange(lo, hi)
+	it := t.ScanRangeKeys(lo, hi)
+	defer it.Close()
+	buf := getRowBuf()
+	defer putRowBuf(buf)
 	var keys []int64
-	var buf []int
-	for i := a; i <= b; i++ {
-		ck := t.chunks[i]
-		ck.mu.RLock()
-		buf = ck.store.RangePositions(lo, hi, buf[:0])
-		for _, pos := range buf {
-			keys = append(keys, ck.keyAt(pos))
-		}
-		ck.mu.RUnlock()
+	for it.NextBatch(buf, DefaultScanBatch) {
+		keys = append(keys, buf.Keys...)
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	return keys
 }
 
@@ -906,6 +884,7 @@ func (t *Table) rebuildChunk(i int, sortedKeys []int64, layout costmodel.Layout,
 	ck := t.chunks[i]
 	ck.mu.Lock()
 	defer ck.mu.Unlock()
+	ck.ver++
 
 	// Save payload rows in key-sorted order.
 	old := ck.casperCol

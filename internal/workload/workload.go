@@ -38,6 +38,12 @@ const (
 	// still training the layout solver with its (range-shaped) access
 	// pattern.
 	Q7MultiRange
+	// Q8Scan is a streaming cursor scan over [Key, Key2] that yields rows
+	// lazily and may stop after Op.Limit rows — the paginated/LIMIT read
+	// shape of serving workloads rather than a paper query. It trains the
+	// layout solver and drift monitor as a range access over the key span
+	// it *requests* (the engine cannot know where a consumer will stop).
+	Q8Scan
 )
 
 // String implements fmt.Stringer.
@@ -57,6 +63,8 @@ func (k Kind) String() string {
 		return "Q6(update)"
 	case Q7MultiRange:
 		return "Q7(multirange)"
+	case Q8Scan:
+		return "Q8(scan)"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -80,11 +88,13 @@ const (
 )
 
 // Op is one benchmark operation over the key domain. Key2 is the range end
-// for Q2/Q3 and the new key for Q6.
+// for Q2/Q3/Q7/Q8 and the new key for Q6. Limit caps the rows a Q8 cursor
+// scan yields (0 = unlimited); other kinds ignore it.
 type Op struct {
-	Kind Kind
-	Key  int64
-	Key2 int64
+	Kind  Kind
+	Key   int64
+	Key2  int64
+	Limit int
 }
 
 // MixEntry gives one operation class a share of the workload and an access
@@ -234,7 +244,7 @@ func (g *Generator) generateOne(e MixEntry, rangeFrac float64) (Op, bool) {
 		// and a miss scan the same partition, so the access *position* is
 		// what matters for layout decisions.
 		return Op{Kind: Q1PointQuery, Key: g.domainKey(e.Access)}, true
-	case Q2RangeCount, Q3RangeSum:
+	case Q2RangeCount, Q3RangeSum, Q8Scan:
 		width := int64(rangeFrac * float64(g.domainMax))
 		if width < 1 {
 			width = 1
@@ -246,7 +256,12 @@ func (g *Generator) generateOne(e MixEntry, rangeFrac float64) (Op, bool) {
 		if lo < 0 {
 			lo = 0
 		}
-		return Op{Kind: e.Kind, Key: lo, Key2: lo + width}, true
+		op := Op{Kind: e.Kind, Key: lo, Key2: lo + width}
+		if e.Kind == Q8Scan {
+			// Paginated consumers mostly read a page or two; some drain.
+			op.Limit = []int{10, 10, 100, 1000, 0}[g.rng.Intn(5)]
+		}
+		return op, true
 	case Q4Insert:
 		v := g.domainKey(e.Access)
 		g.pool = append(g.pool, v)
@@ -281,7 +296,7 @@ func ToFreqOps(ops []Op) []freq.Op {
 		switch op.Kind {
 		case Q1PointQuery:
 			out = append(out, freq.Op{Kind: freq.OpPointQuery, Key: op.Key})
-		case Q2RangeCount, Q3RangeSum, Q7MultiRange:
+		case Q2RangeCount, Q3RangeSum, Q7MultiRange, Q8Scan:
 			out = append(out, freq.Op{Kind: freq.OpRangeQuery, Key: op.Key, Key2: op.Key2})
 		case Q4Insert:
 			out = append(out, freq.Op{Kind: freq.OpInsert, Key: op.Key})
@@ -302,7 +317,7 @@ func ToFreqOps(ops []Op) []freq.Op {
 // recording, and batch grouping.
 func RouteOp(op Op, owner func(int64) int, span func(lo, hi int64) (int, int), visit func(int)) {
 	switch op.Kind {
-	case Q2RangeCount, Q3RangeSum, Q7MultiRange:
+	case Q2RangeCount, Q3RangeSum, Q7MultiRange, Q8Scan:
 		a, b := span(op.Key, op.Key2)
 		for s := a; s <= b; s++ {
 			visit(s)
@@ -356,6 +371,7 @@ const (
 	UDI2              = "udi2"                // Fig. 14: update-only, uniform
 	YCSBA2            = "ycsb-a2"             // Fig. 14: hybrid, skewed
 	Robust5050        = "robust-50-50"        // Fig. 16: PQ late domain + IN early domain
+	ScanHeavy         = "scan-heavy"          // serving mix: paginated Q8 scans over live ingest
 )
 
 // Preset returns the named paper workload spec with the given operation
@@ -431,6 +447,17 @@ func Preset(name string, ops int, seed int64) (Spec, error) {
 			{Q1PointQuery, 0.50, RampRecent},
 			{Q4Insert, 0.50, RampEarly},
 		}
+	case ScanHeavy:
+		// Not a paper mix: the HTAP serving shape the streaming read path
+		// targets — cursor scans dominating, with enough ingest and key
+		// churn to keep the drift monitor and movers busy.
+		s.Mix = []MixEntry{
+			{Q8Scan, 0.40, SkewedRecent},
+			{Q1PointQuery, 0.24, SkewedRecent},
+			{Q4Insert, 0.30, SkewedRecent},
+			{Q5Delete, 0.05, Uniform},
+			{Q6Update, 0.01, Uniform},
+		}
 	default:
 		return Spec{}, fmt.Errorf("workload: unknown preset %q", name)
 	}
@@ -442,7 +469,7 @@ func PresetNames() []string {
 	return []string{
 		HybridSkewed, HybridRangeSkewed, ReadOnlySkewed, ReadOnlyUniform,
 		UpdateOnlySkewed, UpdateOnlyUniform, SLAHybrid, UDI1, UDI2, YCSBA2,
-		Robust5050,
+		Robust5050, ScanHeavy,
 	}
 }
 
