@@ -58,12 +58,14 @@
 package casper
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
 
 	"casper/internal/iomodel"
+	"casper/internal/obs"
 	"casper/internal/shard"
 	"casper/internal/solver"
 	"casper/internal/table"
@@ -211,6 +213,11 @@ type Engine struct {
 
 	monMu sync.Mutex
 	mon   *Monitor
+
+	// obsOnce latches metric collection on: the first Metrics (or
+	// EnableMetrics) call enables the registry permanently, so an engine
+	// nobody inspects pays only one atomic load per operation.
+	obsOnce sync.Once
 }
 
 // Open loads keys (any order) into a fresh engine.
@@ -776,7 +783,13 @@ func (t *Tx) Update(old, new int64) error {
 // writes to storage.
 func (t *Tx) Commit() error {
 	if err := t.inner.Commit(); err != nil {
+		if o := t.e.sh.Obs(); o.Enabled() && errors.Is(err, txn.ErrConflict) {
+			o.TxnConflicts.Inc(0)
+		}
 		return err
+	}
+	if o := t.e.sh.Obs(); o.Enabled() {
+		o.TxnCommits.Inc(0)
 	}
 	for _, op := range t.ops {
 		t.e.Execute(op)
@@ -785,7 +798,12 @@ func (t *Tx) Commit() error {
 }
 
 // Abort discards the transaction.
-func (t *Tx) Abort() { t.inner.Abort() }
+func (t *Tx) Abort() {
+	t.inner.Abort()
+	if o := t.e.sh.Obs(); o.Enabled() {
+		o.TxnAborts.Inc(0)
+	}
+}
 
 // ---------------------------------------------------------------------------
 // Misc
@@ -1068,3 +1086,76 @@ func (e *Engine) Rebalances() uint64 { return e.sh.Rebalances() }
 // error; Insert surfaces WAL failures on the next SyncWAL/Checkpoint/Close
 // instead).
 func (e *Engine) Close() error { return e.sh.Close() }
+
+// ---------------------------------------------------------------------------
+// Observability: metrics registry and lifecycle event journal
+// ---------------------------------------------------------------------------
+
+// Snapshot is a point-in-time, JSON-marshalable view of every engine metric.
+// All counts are monotonic, so the rate over an interval is the difference
+// of two snapshots. The schema:
+//
+//   - Enabled: whether metric collection is on (Metrics turns it on).
+//   - Epoch: the engine's global epoch at snapshot time — diffing two
+//     snapshots gives the epoch rate (cross-shard moves + txn commits).
+//   - EventSeq: sequence number of the newest journaled event; pass it to
+//     Events to read only what is new.
+//   - Ops: per-operation counts and latency histograms, keyed by operation
+//     name ("point_query", "range_count", "range_sum", "multi_range",
+//     "scan", "insert", "delete", "update_key", "payload", "len",
+//     "chunks"). Latency histograms are power-of-two bucketed (an entry
+//     with UpperBound u counts observations in (previous bound, u]) and
+//     sampled (every 8th operation by default), so histogram counts are a
+//     fraction of op counts.
+//   - StripeRetries: optimistic gate-stripe revalidation retries (route
+//     moved mid-lock).
+//   - FanSubmits / FanInline: fan-out pool tasks run on workers vs inline
+//     on the caller (pool saturated or single-CPU).
+//   - CursorBatches: per-shard batches yielded to streaming cursors.
+//   - CompensationHits: rows served from the staged-move registry because a
+//     cross-shard move or rebalance had them in flight.
+//   - Txn: commits, write-write conflicts, and explicit aborts at the Tx
+//     API.
+//   - WAL: appends, bytes, segment rolls, fsync latency histogram, and
+//     group-commit batch-size histogram across all shard logs.
+//   - Retrain / Rebalance: lifecycle durations — retrain wall time,
+//     publish-window pause, rows migrated.
+//   - Checkpoints: checkpoint cuts across all shards.
+type Snapshot = obs.Snapshot
+
+// Event is one engine lifecycle event from the bounded in-memory journal:
+// retrain start/swap, rebalance propose/stage/publish/install, cross-shard
+// move stage/publish/rollback, checkpoint cut/prune, WAL segment roll, and
+// the recovery replay summary emitted during Open. Fields: Seq (monotonic,
+// 1-based), UnixNano, Kind (e.g. "rebalance.publish"), Shard (-1 =
+// engine-wide), and optional Epoch, Rows, DurNs, Note. The journal keeps
+// the newest 1024 events; events are always recorded, even with metrics
+// disabled, so Open-time history (recovery replay) is never lost.
+type Event = obs.Event
+
+// OpStats is one operation's count and latency histogram in a Snapshot.
+type OpStats = obs.OpStats
+
+// HistStats is a histogram snapshot: Count, Sum, and sparse power-of-two
+// buckets, with Mean and Quantile helpers (Quantile returns a bucket
+// upper bound — an overestimate of at most 2x).
+type HistStats = obs.HistStats
+
+// Metrics snapshots the engine's metrics registry. The first call (or
+// EnableMetrics) permanently enables collection; before that the engine
+// pays a single atomic check per operation and records nothing. The
+// returned Snapshot marshals to JSON and is served over HTTP by
+// obs/httpdebug (casperbench -http).
+func (e *Engine) Metrics() Snapshot {
+	e.obsOnce.Do(e.sh.EnableObs)
+	return e.sh.Metrics()
+}
+
+// EnableMetrics turns metric collection on without taking a snapshot — call
+// it at startup so the first Metrics diff covers the whole interval.
+func (e *Engine) EnableMetrics() { e.obsOnce.Do(e.sh.EnableObs) }
+
+// Events returns the journaled lifecycle events with Seq > since, oldest
+// first — pass 0 for everything retained, or the EventSeq of the last
+// Snapshot (or the Seq of the last Event seen) to tail incrementally.
+func (e *Engine) Events(since uint64) []Event { return e.sh.Events(since) }

@@ -7,6 +7,9 @@
 //	casperbench [-fig N | -table N | -all | -throughput | -durable | -rebalance | -scan] [-rows N] [-ops N] [-workers N]
 //	casperbench -throughput -cpus 1,2,4,8 [-out BENCH_throughput.json]
 //	casperbench -scan [-rows N] [-out BENCH_scan.json]
+//	casperbench -http :8080               # live /metrics (JSON + Prometheus) and /events
+//	casperbench -validate-metrics http://localhost:8080
+//	casperbench -obsbench [-out BENCH_obs.json]
 //
 // Examples:
 //
@@ -72,6 +75,9 @@ func main() {
 		durable = flag.Bool("durable", false, "measure durable ingest throughput per WAL sync policy and recovery time")
 		rebal   = flag.Bool("rebalance", false, "run the skewed-drift shard rebalancing scenario")
 		scan    = flag.Bool("scan", false, "run the streaming-scan sweep (LIMIT x result size); emits a JSON artifact")
+		httpOn  = flag.String("http", "", "serve live /metrics and /events on this address (e.g. :8080) over a loaded engine")
+		valMet  = flag.String("validate-metrics", "", "validate a running metrics endpoint (base URL, e.g. http://localhost:8080)")
+		obench  = flag.Bool("obsbench", false, "measure metric-collection overhead (disabled vs enabled); emits BENCH_obs.json")
 		shards  = flag.String("shards", "1,2,4,8", "shard counts for -throughput (comma separated)")
 		cpus    = flag.String("cpus", "", "worker/GOMAXPROCS sweep for -throughput (comma separated); emits a JSON artifact")
 		out     = flag.String("out", "BENCH_throughput.json", "artifact path for the -cpus sweep")
@@ -94,6 +100,25 @@ func main() {
 	}
 
 	switch {
+	case *httpOn != "":
+		if err := runHTTPServe(*httpOn, sc.Rows, sc.Seed); err != nil {
+			fmt.Fprintf(os.Stderr, "casperbench: %v\n", err)
+			os.Exit(1)
+		}
+	case *valMet != "":
+		if err := runValidateMetrics(*valMet); err != nil {
+			fmt.Fprintf(os.Stderr, "casperbench: %v\n", err)
+			os.Exit(1)
+		}
+	case *obench:
+		outPath := *out
+		if !flagWasSet("out") {
+			outPath = "BENCH_obs.json"
+		}
+		if err := runObsBench(sc.Rows, *ops, sc.Seed, outPath); err != nil {
+			fmt.Fprintf(os.Stderr, "casperbench: %v\n", err)
+			os.Exit(1)
+		}
 	case *thr && *cpus != "":
 		if err := runThroughputSweep(*cpus, sc.Rows, *ops, sc.Seed, *out); err != nil {
 			fmt.Fprintf(os.Stderr, "casperbench: %v\n", err)

@@ -1,0 +1,140 @@
+// Package httpdebug serves an engine's observability data over HTTP for
+// live introspection: /metrics (JSON by default, Prometheus text exposition
+// with ?format=prometheus) and /events (the ring-buffer lifecycle journal,
+// incrementally readable with ?since=SEQ).
+//
+// It depends only on net/http and internal/obs; mount it with
+// casperbench -http :PORT or from the hybrid_dashboard example:
+//
+//	mux := http.NewServeMux()
+//	mux.Handle("/", httpdebug.Handler(engine))
+//	http.ListenAndServe(addr, mux)
+package httpdebug
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"casper/internal/obs"
+)
+
+// Source is anything that can report metrics and journal events.
+// casper.Engine satisfies it.
+type Source interface {
+	Metrics() obs.Snapshot
+	Events(since uint64) []obs.Event
+}
+
+// Handler returns an http.Handler serving /metrics and /events from src.
+func Handler(src Source) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := src.Metrics()
+		if strings.EqualFold(r.URL.Query().Get("format"), "prometheus") {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			writePrometheus(w, snap)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snap)
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		var since uint64
+		if s := r.URL.Query().Get("since"); s != "" {
+			v, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since parameter", http.StatusBadRequest)
+				return
+			}
+			since = v
+		}
+		evs := src.Events(since)
+		if evs == nil {
+			evs = []obs.Event{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(evs)
+	})
+	return mux
+}
+
+// writePrometheus renders the snapshot in Prometheus text exposition
+// format. Histogram buckets are emitted cumulatively with a trailing +Inf,
+// as the format requires.
+func writePrometheus(w http.ResponseWriter, s obs.Snapshot) {
+	fmt.Fprintf(w, "# TYPE casper_epoch counter\ncasper_epoch %d\n", s.Epoch)
+	fmt.Fprintf(w, "# TYPE casper_event_seq counter\ncasper_event_seq %d\n", s.EventSeq)
+
+	fmt.Fprintf(w, "# TYPE casper_ops_total counter\n")
+	ops := make([]string, 0, len(s.Ops))
+	for name := range s.Ops {
+		ops = append(ops, name)
+	}
+	sort.Strings(ops)
+	for _, name := range ops {
+		fmt.Fprintf(w, "casper_ops_total{op=%q} %d\n", name, s.Ops[name].Count)
+	}
+	fmt.Fprintf(w, "# TYPE casper_op_latency_ns histogram\n")
+	for _, name := range ops {
+		writeHist(w, "casper_op_latency_ns", fmt.Sprintf("op=%q,", name), s.Ops[name].LatencyNs)
+	}
+
+	counters := []struct {
+		name string
+		v    uint64
+	}{
+		{"casper_stripe_retries_total", s.StripeRetries},
+		{"casper_fan_submits_total", s.FanSubmits},
+		{"casper_fan_inline_total", s.FanInline},
+		{"casper_cursor_batches_total", s.CursorBatches},
+		{"casper_compensation_hits_total", s.CompensationHits},
+		{"casper_txn_commits_total", s.Txn.Commits},
+		{"casper_txn_conflicts_total", s.Txn.Conflicts},
+		{"casper_txn_aborts_total", s.Txn.Aborts},
+		{"casper_wal_appends_total", s.WAL.Appends},
+		{"casper_wal_bytes_total", s.WAL.Bytes},
+		{"casper_wal_segment_rolls_total", s.WAL.SegmentRolls},
+		{"casper_rebalance_rows_moved_total", s.Rebalance.RowsMoved},
+		{"casper_checkpoints_total", s.Checkpoints},
+	}
+	for _, c := range counters {
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.name, c.name, c.v)
+	}
+
+	hists := []struct {
+		name string
+		h    obs.HistStats
+	}{
+		{"casper_wal_fsync_ns", s.WAL.FsyncNs},
+		{"casper_wal_group_batch", s.WAL.GroupBatch},
+		{"casper_retrain_dur_ns", s.Retrain.DurNs},
+		{"casper_rebalance_pause_ns", s.Rebalance.PauseNs},
+	}
+	for _, h := range hists {
+		fmt.Fprintf(w, "# TYPE %s histogram\n", h.name)
+		writeHist(w, h.name, "", h.h)
+	}
+}
+
+func writeHist(w http.ResponseWriter, name, labelPrefix string, h obs.HistStats) {
+	var cum uint64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		fmt.Fprintf(w, "%s_bucket{%sle=\"%d\"} %d\n", name, labelPrefix, b.Le, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labelPrefix, h.Count)
+	if labelPrefix == "" {
+		fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, h.Sum, name, h.Count)
+	} else {
+		lbl := "{" + strings.TrimSuffix(labelPrefix, ",") + "}"
+		fmt.Fprintf(w, "%s_sum%s %d\n%s_count%s %d\n", name, lbl, h.Sum, name, lbl, h.Count)
+	}
+}

@@ -1,0 +1,568 @@
+// Package obs is the engine's observability layer: a lock-free metrics
+// registry (striped atomic counters and fixed-bucket power-of-two latency
+// histograms, no allocation on the hot path) plus a bounded ring-buffer
+// event journal recording structured lifecycle events (retrain swaps,
+// rebalance phases, checkpoint cuts, WAL segment rolls, recovery replay,
+// cross-shard move stage/publish/rollback).
+//
+// Recording is safe from any goroutine. Counter and histogram recording is
+// pure atomics — no locks — so it may be called while holding gate stripes,
+// but by contract (see internal/shard's package comment) never while holding
+// shard.mu or shard.jmu. Journal appends take only the journal's own leaf
+// mutex and are likewise safe anywhere except under shard.mu/jmu.
+//
+// Metric recording is gated by a refcounted enable switch mirroring the
+// shard engine's monitoring() pattern: when disabled, every hot-path hook
+// is a single atomic load and a branch. Event journal appends are NOT
+// gated — lifecycle events are rare (retrains, rebalances, checkpoints)
+// and must be captured even before any reader calls Enable (e.g. the
+// recovery replay summary emitted during Open).
+package obs
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Op enumerates the public engine operations tracked per-kind.
+type Op int
+
+const (
+	OpPointQuery Op = iota
+	OpRangeCount
+	OpRangeSum
+	OpMultiRange
+	OpScan
+	OpInsert
+	OpDelete
+	OpUpdateKey
+	OpPayload
+	OpLen
+	OpChunks
+	NumOps
+)
+
+var opNames = [NumOps]string{
+	"point_query", "range_count", "range_sum", "multi_range", "scan",
+	"insert", "delete", "update_key", "payload", "len", "chunks",
+}
+
+// String returns the stable snake_case name used in Snapshot.Ops keys and
+// Prometheus label values.
+func (o Op) String() string {
+	if o < 0 || o >= NumOps {
+		return "unknown"
+	}
+	return opNames[o]
+}
+
+// NumBuckets is the fixed histogram width. Bucket i (i >= 1) holds values v
+// with 2^(i-1) <= v < 2^i, i.e. upper bound le(i) = 2^i - 1; bucket 0 holds
+// v <= 0. math.MaxInt64 lands in bucket 63.
+const NumBuckets = 64
+
+// bucketOf maps a value to its histogram bucket. Negative and zero values
+// clamp to bucket 0 (durations should never be negative, but a clock step
+// must not index out of range or wrap through uint64 conversion).
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v)) // 1..63 for v in [1, MaxInt64]
+}
+
+// BucketUpperBound returns the inclusive upper bound of bucket i.
+func BucketUpperBound(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return 1<<63 - 1
+	}
+	return 1<<uint(i) - 1
+}
+
+// cell is a cache-line padded atomic counter cell, one per stripe, so
+// concurrent recorders on different shards do not false-share.
+type cell struct {
+	v atomic.Uint64
+	_ [120]byte
+}
+
+// Counter is a striped monotonic counter. The stripe argument is a cheap
+// contention-avoidance hint (typically the shard index); correctness only
+// requires that Total() sums all stripes.
+type Counter struct {
+	cells []cell
+}
+
+func newCounter(stripes int) Counter {
+	if stripes < 1 {
+		stripes = 1
+	}
+	return Counter{cells: make([]cell, stripes)}
+}
+
+// Inc adds 1 on the given stripe hint.
+func (c *Counter) Inc(stripe int) { c.Add(stripe, 1) }
+
+// Add adds n on the given stripe hint.
+func (c *Counter) Add(stripe int, n uint64) {
+	if len(c.cells) == 0 {
+		return
+	}
+	c.cells[uint(stripe)%uint(len(c.cells))].v.Add(n)
+}
+
+// Total sums all stripes.
+func (c *Counter) Total() uint64 {
+	var t uint64
+	for i := range c.cells {
+		t += c.cells[i].v.Load()
+	}
+	return t
+}
+
+// histStripe is one stripe of a Histogram: 64 buckets plus count and sum.
+// Padding between stripes comes from the buckets array being a multiple of
+// the cache line; the trailing pad separates count/sum of adjacent stripes.
+type histStripe struct {
+	buckets [NumBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	_       [112]byte
+}
+
+// Histogram is a striped fixed-bucket histogram with power-of-two bounds.
+// Observe is wait-free (three atomic adds).
+type Histogram struct {
+	stripes []histStripe
+}
+
+func newHistogram(stripes int) Histogram {
+	if stripes < 1 {
+		stripes = 1
+	}
+	return Histogram{stripes: make([]histStripe, stripes)}
+}
+
+// Observe records one value (typically nanoseconds) on the stripe hint.
+func (h *Histogram) Observe(stripe int, v int64) {
+	if len(h.stripes) == 0 {
+		return
+	}
+	s := &h.stripes[uint(stripe)%uint(len(h.stripes))]
+	s.buckets[bucketOf(v)].Add(1)
+	s.count.Add(1)
+	if v > 0 {
+		s.sum.Add(uint64(v))
+	}
+}
+
+// stats folds all stripes into a HistStats snapshot.
+func (h *Histogram) stats() HistStats {
+	var out HistStats
+	var merged [NumBuckets]uint64
+	for i := range h.stripes {
+		s := &h.stripes[i]
+		out.Count += s.count.Load()
+		out.Sum += s.sum.Load()
+		for b := 0; b < NumBuckets; b++ {
+			merged[b] += s.buckets[b].Load()
+		}
+	}
+	for b := 0; b < NumBuckets; b++ {
+		if merged[b] != 0 {
+			out.Buckets = append(out.Buckets, HistBucket{Le: BucketUpperBound(b), Count: merged[b]})
+		}
+	}
+	return out
+}
+
+// HistBucket is one non-empty histogram bucket. Le is the inclusive upper
+// bound; Count is the number of observations in this bucket alone (not
+// cumulative — exporters that need cumulative counts, e.g. Prometheus,
+// accumulate in order).
+type HistBucket struct {
+	Le    uint64 `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// HistStats is a JSON-marshalable histogram snapshot. Count and Sum are
+// monotonic; Buckets lists only non-empty buckets in ascending Le order.
+type HistStats struct {
+	Count   uint64       `json:"count"`
+	Sum     uint64       `json:"sum"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Mean returns the average observed value, or 0 when empty.
+func (h HistStats) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0 <= q <= 1)
+// from the bucket boundaries: the Le of the first bucket whose cumulative
+// count reaches q*Count. Because buckets are power-of-two wide the estimate
+// is at most 2x the true value.
+func (h HistStats) Quantile(q float64) uint64 {
+	if h.Count == 0 || len(h.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(h.Count))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		if cum >= target {
+			return b.Le
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1].Le
+}
+
+// OpStats is the per-operation slice of a Snapshot. Count covers every call
+// (attempted, including not-found deletes); LatencyNs covers the sampled
+// subset (1 in Registry's sample interval; tests can set it to 1).
+type OpStats struct {
+	Count     uint64    `json:"count"`
+	LatencyNs HistStats `json:"latency_ns"`
+}
+
+// TxnStats counts transaction outcomes at the public API.
+type TxnStats struct {
+	Commits   uint64 `json:"commits"`
+	Conflicts uint64 `json:"conflicts"`
+	Aborts    uint64 `json:"aborts"`
+}
+
+// WALStats aggregates write-ahead-log activity across all shards.
+type WALStats struct {
+	Appends      uint64    `json:"appends"`
+	Bytes        uint64    `json:"bytes"`
+	SegmentRolls uint64    `json:"segment_rolls"`
+	FsyncNs      HistStats `json:"fsync_ns"`
+	GroupBatch   HistStats `json:"group_batch"`
+}
+
+// RetrainStats aggregates background layout retraining.
+type RetrainStats struct {
+	DurNs HistStats `json:"dur_ns"`
+}
+
+// RebalanceStats aggregates shard-boundary rebalancing.
+type RebalanceStats struct {
+	RowsMoved uint64    `json:"rows_moved"`
+	PauseNs   HistStats `json:"pause_ns"`
+}
+
+// Snapshot is a point-in-time, JSON-marshalable view of every metric in a
+// Registry. All counts are monotonic, so two snapshots can be diffed to get
+// rates. Ops keys are Op.String() names.
+type Snapshot struct {
+	Enabled          bool               `json:"enabled"`
+	Epoch            uint64             `json:"epoch"`
+	EventSeq         uint64             `json:"event_seq"`
+	Ops              map[string]OpStats `json:"ops"`
+	StripeRetries    uint64             `json:"stripe_retries"`
+	FanSubmits       uint64             `json:"fan_submits"`
+	FanInline        uint64             `json:"fan_inline"`
+	CursorBatches    uint64             `json:"cursor_batches"`
+	CompensationHits uint64             `json:"compensation_hits"`
+	Txn              TxnStats           `json:"txn"`
+	WAL              WALStats           `json:"wal"`
+	Retrain          RetrainStats       `json:"retrain"`
+	Rebalance        RebalanceStats     `json:"rebalance"`
+	Checkpoints      uint64             `json:"checkpoints"`
+}
+
+// Event is one structured lifecycle event from the ring-buffer journal.
+// Seq is monotonic and 1-based; Shard is -1 for engine-wide events.
+type Event struct {
+	Seq      uint64 `json:"seq"`
+	UnixNano int64  `json:"unix_nano"`
+	Kind     string `json:"kind"`
+	Shard    int    `json:"shard"`
+	Epoch    uint64 `json:"epoch,omitempty"`
+	Rows     int    `json:"rows,omitempty"`
+	DurNs    int64  `json:"dur_ns,omitempty"`
+	Note     string `json:"note,omitempty"`
+}
+
+// Event kinds emitted by the engine.
+const (
+	EvRetrainStart     = "retrain.start"
+	EvRetrainSwap      = "retrain.swap"
+	EvRebalancePropose = "rebalance.propose"
+	EvRebalanceStage   = "rebalance.stage"
+	EvRebalancePublish = "rebalance.publish"
+	EvRebalanceInstall = "rebalance.install"
+	EvCheckpointCut    = "checkpoint.cut"
+	EvCheckpointPrune  = "checkpoint.prune"
+	EvWALRoll          = "wal.roll"
+	EvRecoveryReplay   = "recovery.replay"
+	EvMoveStage        = "move.stage"
+	EvMovePublish      = "move.publish"
+	EvMoveRollback     = "move.rollback"
+)
+
+// JournalCap is the number of events the ring journal retains.
+const JournalCap = 1024
+
+// Journal is a bounded ring buffer of lifecycle events with monotonic
+// sequence numbers. Appends take one short mutex; readers copy out.
+type Journal struct {
+	mu   sync.Mutex
+	ring [JournalCap]Event
+	next uint64 // next Seq to assign, 1-based; also total appended
+}
+
+// Append stamps and stores ev, returning its assigned Seq.
+func (j *Journal) Append(ev Event) uint64 {
+	j.mu.Lock()
+	j.next++
+	ev.Seq = j.next
+	if ev.UnixNano == 0 {
+		ev.UnixNano = time.Now().UnixNano()
+	}
+	j.ring[(j.next-1)%JournalCap] = ev
+	seq := j.next
+	j.mu.Unlock()
+	return seq
+}
+
+// Seq returns the latest assigned sequence number (0 if empty).
+func (j *Journal) Seq() uint64 {
+	j.mu.Lock()
+	s := j.next
+	j.mu.Unlock()
+	return s
+}
+
+// Events returns all retained events with Seq > since, oldest first.
+// Events older than the ring capacity are gone; callers detect loss when
+// the first returned Seq is > since+1.
+func (j *Journal) Events(since uint64) []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.next == 0 || since >= j.next {
+		return nil
+	}
+	lo := uint64(1)
+	if j.next > JournalCap {
+		lo = j.next - JournalCap + 1
+	}
+	if since+1 > lo {
+		lo = since + 1
+	}
+	out := make([]Event, 0, j.next-lo+1)
+	for s := lo; s <= j.next; s++ {
+		out = append(out, j.ring[(s-1)%JournalCap])
+	}
+	return out
+}
+
+// opMetric pairs a per-op counter with its latency histogram.
+type opMetric struct {
+	count Counter
+	lat   Histogram
+}
+
+// DefaultSampleEvery is the default latency sampling interval: counts are
+// exact, but only one in every 8 calls pays the two time.Now() reads.
+const DefaultSampleEvery = 8
+
+// Registry holds every engine metric plus the event journal. One Registry
+// per shard.Engine, created at engine construction with stripes == shard
+// count. Zero-value is not usable; call New.
+type Registry struct {
+	on         atomic.Int32  // refcount; metrics recorded when > 0
+	sampleMask atomic.Uint64 // sample latency when seq&mask == 0
+
+	ops [NumOps]opMetric
+
+	StripeRetries Counter
+	FanSubmits    Counter
+	FanInline     Counter
+	CursorBatches Counter
+	CompHits      Counter
+	TxnCommits    Counter
+	TxnConflicts  Counter
+	TxnAborts     Counter
+	WALAppends    Counter
+	WALBytes      Counter
+	WALRolls      Counter
+	RebalanceRows Counter
+	Checkpoints   Counter
+
+	WALFsyncNs       Histogram
+	WALGroupBatch    Histogram
+	RetrainNs        Histogram
+	RebalancePauseNs Histogram
+
+	sampleSeq atomic.Uint64 // global op sequence for latency sampling
+
+	journal Journal
+}
+
+// New returns a Registry striped for the given shard count.
+func New(stripes int) *Registry {
+	r := &Registry{}
+	for i := range r.ops {
+		r.ops[i].count = newCounter(stripes)
+		r.ops[i].lat = newHistogram(stripes)
+	}
+	r.StripeRetries = newCounter(stripes)
+	r.FanSubmits = newCounter(stripes)
+	r.FanInline = newCounter(stripes)
+	r.CursorBatches = newCounter(stripes)
+	r.CompHits = newCounter(stripes)
+	r.TxnCommits = newCounter(1)
+	r.TxnConflicts = newCounter(1)
+	r.TxnAborts = newCounter(1)
+	r.WALAppends = newCounter(stripes)
+	r.WALBytes = newCounter(stripes)
+	r.WALRolls = newCounter(stripes)
+	r.RebalanceRows = newCounter(1)
+	r.Checkpoints = newCounter(stripes)
+	r.WALFsyncNs = newHistogram(stripes)
+	r.WALGroupBatch = newHistogram(stripes)
+	r.RetrainNs = newHistogram(stripes)
+	r.RebalancePauseNs = newHistogram(1)
+	r.sampleMask.Store(DefaultSampleEvery - 1)
+	return r
+}
+
+// Enabled reports whether metric recording is on. This is the single
+// hot-path check: one atomic load.
+func (r *Registry) Enabled() bool { return r.on.Load() > 0 }
+
+// Enable turns metric recording on (refcounted, like the shard engine's
+// drift monitor).
+func (r *Registry) Enable() { r.on.Add(1) }
+
+// Disable decrements the enable refcount.
+func (r *Registry) Disable() { r.on.Add(-1) }
+
+// SetLatencySampleEvery sets the latency sampling interval to n, which must
+// be a power of two (counts are always exact; only timing is sampled).
+// Tests set 1 so histogram counts equal op counts.
+func (r *Registry) SetLatencySampleEvery(n uint64) {
+	if n == 0 || n&(n-1) != 0 {
+		panic("obs: sample interval must be a power of two")
+	}
+	r.sampleMask.Store(n - 1)
+}
+
+// Track carries an in-flight operation's start time between OpBegin and
+// OpEnd. Zero value means "not sampled / not enabled".
+type Track struct {
+	start int64
+}
+
+// OpBegin records one call of op on the given stripe hint and, for the
+// sampled subset, captures a start time. Call OpEnd with the returned Track
+// when the operation finishes. No-op when the registry is disabled.
+func (r *Registry) OpBegin(op Op, stripe int) Track {
+	if r == nil || !r.Enabled() {
+		return Track{}
+	}
+	m := &r.ops[op]
+	m.count.Inc(stripe)
+	if r.sampleSeq.Add(1)&r.sampleMask.Load() == 0 {
+		return Track{start: time.Now().UnixNano()}
+	}
+	return Track{}
+}
+
+// OpEnd completes a tracked operation, observing its latency if it was
+// sampled by OpBegin.
+func (r *Registry) OpEnd(op Op, stripe int, t Track) {
+	if t.start == 0 {
+		return
+	}
+	r.ops[op].lat.Observe(stripe, time.Now().UnixNano()-t.start)
+}
+
+// Timer measures one duration for the unified lifecycle timings (retrain,
+// rebalance pause) so the journal, histograms, and returned result structs
+// all report the same number.
+type Timer struct{ start time.Time }
+
+// StartTimer begins a duration measurement. Unlike OpBegin this is not
+// gated on Enabled: lifecycle timings are rare and always measured.
+func StartTimer() Timer { return Timer{start: time.Now()} }
+
+// Elapsed returns the time since the timer started.
+func (t Timer) Elapsed() time.Duration { return time.Since(t.start) }
+
+// Event appends a lifecycle event to the ring journal. Never gated on
+// Enabled — lifecycle events are rare and must survive from before the
+// first reader attaches (e.g. recovery replay during Open).
+func (r *Registry) Event(ev Event) {
+	if r == nil {
+		return
+	}
+	r.journal.Append(ev)
+}
+
+// Events returns retained journal events with Seq > since, oldest first.
+func (r *Registry) Events(since uint64) []Event {
+	if r == nil {
+		return nil
+	}
+	return r.journal.Events(since)
+}
+
+// OpCount returns the total recorded calls for op (test helper).
+func (r *Registry) OpCount(op Op) uint64 { return r.ops[op].count.Total() }
+
+// Snapshot folds every metric into a JSON-marshalable Snapshot. Epoch is
+// zero here; the engine layer stamps it from its oracle.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Enabled:          r.Enabled(),
+		EventSeq:         r.journal.Seq(),
+		Ops:              make(map[string]OpStats, NumOps),
+		StripeRetries:    r.StripeRetries.Total(),
+		FanSubmits:       r.FanSubmits.Total(),
+		FanInline:        r.FanInline.Total(),
+		CursorBatches:    r.CursorBatches.Total(),
+		CompensationHits: r.CompHits.Total(),
+		Txn: TxnStats{
+			Commits:   r.TxnCommits.Total(),
+			Conflicts: r.TxnConflicts.Total(),
+			Aborts:    r.TxnAborts.Total(),
+		},
+		WAL: WALStats{
+			Appends:      r.WALAppends.Total(),
+			Bytes:        r.WALBytes.Total(),
+			SegmentRolls: r.WALRolls.Total(),
+			FsyncNs:      r.WALFsyncNs.stats(),
+			GroupBatch:   r.WALGroupBatch.stats(),
+		},
+		Retrain:     RetrainStats{DurNs: r.RetrainNs.stats()},
+		Rebalance:   RebalanceStats{RowsMoved: r.RebalanceRows.Total(), PauseNs: r.RebalancePauseNs.stats()},
+		Checkpoints: r.Checkpoints.Total(),
+	}
+	for op := Op(0); op < NumOps; op++ {
+		s.Ops[op.String()] = OpStats{
+			Count:     r.ops[op].count.Total(),
+			LatencyNs: r.ops[op].lat.stats(),
+		}
+	}
+	return s
+}

@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestBucketBoundaries pins the power-of-two bucket layout at int64
+// extremes: negatives and zero clamp to bucket 0, 1 starts bucket 1,
+// exact powers of two start new buckets, and MaxInt64 lands in bucket 63.
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{math.MinInt64, 0},
+		{-1, 0},
+		{0, 0},
+		{1, 1},
+		{2, 2},
+		{3, 2},
+		{4, 3},
+		{7, 3},
+		{8, 4},
+		{1023, 10},
+		{1024, 11},
+		{1 << 62, 63},
+		{math.MaxInt64, 63},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Upper bounds: le(i) = 2^i - 1, and bucketOf(le(i)) == i for i >= 1.
+	if BucketUpperBound(0) != 0 {
+		t.Errorf("BucketUpperBound(0) = %d, want 0", BucketUpperBound(0))
+	}
+	for i := 1; i < NumBuckets; i++ {
+		le := BucketUpperBound(i)
+		if got := bucketOf(int64(le)); got != i {
+			t.Errorf("bucketOf(le(%d)=%d) = %d, want %d", i, le, got, i)
+		}
+		if i < 63 {
+			if got := bucketOf(int64(le) + 1); got != i+1 {
+				t.Errorf("bucketOf(le(%d)+1) = %d, want %d", i, got, i+1)
+			}
+		}
+	}
+	if BucketUpperBound(63) != math.MaxInt64 {
+		t.Errorf("BucketUpperBound(63) = %d, want MaxInt64", BucketUpperBound(63))
+	}
+}
+
+func TestHistogramObserveAndStats(t *testing.T) {
+	h := newHistogram(4)
+	h.Observe(0, 1)
+	h.Observe(1, 1)
+	h.Observe(2, 100)
+	h.Observe(3, math.MaxInt64)
+	h.Observe(0, -5) // clamps to bucket 0, excluded from sum
+	st := h.stats()
+	if st.Count != 5 {
+		t.Fatalf("Count = %d, want 5", st.Count)
+	}
+	wantSum := uint64(1) + 1 + 100 + uint64(math.MaxInt64)
+	if st.Sum != wantSum {
+		t.Fatalf("Sum = %d, want %d", st.Sum, wantSum)
+	}
+	// Buckets must be non-empty only, ascending by Le.
+	var prev uint64
+	var total uint64
+	for i, b := range st.Buckets {
+		if b.Count == 0 {
+			t.Errorf("bucket %d empty but present", i)
+		}
+		if i > 0 && b.Le <= prev {
+			t.Errorf("buckets not ascending: %d after %d", b.Le, prev)
+		}
+		prev = b.Le
+		total += b.Count
+	}
+	if total != st.Count {
+		t.Fatalf("bucket counts sum to %d, want %d", total, st.Count)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	h := newHistogram(1)
+	for i := 0; i < 90; i++ {
+		h.Observe(0, 100) // bucket 7, le=127
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0, 10000) // bucket 14, le=16383
+	}
+	st := h.stats()
+	if got := st.Quantile(0.5); got != 127 {
+		t.Errorf("p50 = %d, want 127", got)
+	}
+	if got := st.Quantile(0.99); got != 16383 {
+		t.Errorf("p99 = %d, want 16383", got)
+	}
+	if got := (HistStats{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %d, want 0", got)
+	}
+}
+
+// TestJournalWraparound fills the ring past capacity and checks that Seq
+// stays monotonic, old events are dropped, and Events(since) slices
+// correctly across the wrap point.
+func TestJournalWraparound(t *testing.T) {
+	var j Journal
+	total := JournalCap*2 + 37
+	for i := 0; i < total; i++ {
+		seq := j.Append(Event{Kind: EvWALRoll, Shard: i})
+		if seq != uint64(i+1) {
+			t.Fatalf("Append %d returned seq %d", i, seq)
+		}
+	}
+	if j.Seq() != uint64(total) {
+		t.Fatalf("Seq() = %d, want %d", j.Seq(), total)
+	}
+	// Full read: only the newest JournalCap events survive.
+	evs := j.Events(0)
+	if len(evs) != JournalCap {
+		t.Fatalf("Events(0) returned %d, want %d", len(evs), JournalCap)
+	}
+	if evs[0].Seq != uint64(total-JournalCap+1) {
+		t.Fatalf("oldest retained seq = %d, want %d", evs[0].Seq, total-JournalCap+1)
+	}
+	if evs[len(evs)-1].Seq != uint64(total) {
+		t.Fatalf("newest seq = %d, want %d", evs[len(evs)-1].Seq, total)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("gap at %d: %d after %d", i, evs[i].Seq, evs[i-1].Seq)
+		}
+	}
+	// Incremental read from the middle of the retained window.
+	mid := uint64(total) - 10
+	tail := j.Events(mid)
+	if len(tail) != 10 {
+		t.Fatalf("Events(%d) returned %d, want 10", mid, len(tail))
+	}
+	if tail[0].Seq != mid+1 {
+		t.Fatalf("tail starts at %d, want %d", tail[0].Seq, mid+1)
+	}
+	// since >= newest → nil.
+	if got := j.Events(uint64(total)); got != nil {
+		t.Fatalf("Events(newest) = %v, want nil", got)
+	}
+	// Shard payload rides along through the wrap.
+	if tail[0].Shard != int(mid) {
+		t.Fatalf("payload mismatch: Shard=%d, want %d", tail[0].Shard, mid)
+	}
+}
+
+func TestRegistryEnableGating(t *testing.T) {
+	r := New(4)
+	if r.Enabled() {
+		t.Fatal("fresh registry should be disabled")
+	}
+	tr := r.OpBegin(OpPointQuery, 0)
+	r.OpEnd(OpPointQuery, 0, tr)
+	if got := r.OpCount(OpPointQuery); got != 0 {
+		t.Fatalf("disabled registry counted %d ops", got)
+	}
+	r.Enable()
+	r.SetLatencySampleEvery(1)
+	tr = r.OpBegin(OpPointQuery, 1)
+	r.OpEnd(OpPointQuery, 1, tr)
+	if got := r.OpCount(OpPointQuery); got != 1 {
+		t.Fatalf("enabled registry counted %d ops, want 1", got)
+	}
+	s := r.Snapshot()
+	if s.Ops["point_query"].Count != 1 {
+		t.Fatalf("snapshot count = %d, want 1", s.Ops["point_query"].Count)
+	}
+	if s.Ops["point_query"].LatencyNs.Count != 1 {
+		t.Fatalf("sampled latency count = %d, want 1 (sample interval 1)", s.Ops["point_query"].LatencyNs.Count)
+	}
+	// Events are journaled even while disabled.
+	r.Disable()
+	r.Event(Event{Kind: EvRetrainSwap, Shard: 2})
+	if evs := r.Events(0); len(evs) != 1 || evs[0].Kind != EvRetrainSwap {
+		t.Fatalf("disabled registry lost event: %v", evs)
+	}
+}
+
+func TestCounterStripingSum(t *testing.T) {
+	c := newCounter(8)
+	var wg sync.WaitGroup
+	const per = 1000
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc(g) // stripe hint beyond len is fine (mod)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.Total(); got != 16*per {
+		t.Fatalf("Total = %d, want %d", got, 16*per)
+	}
+	// Negative stripe hints must not panic or drop.
+	c.Inc(-3)
+	if got := c.Total(); got != 16*per+1 {
+		t.Fatalf("Total after negative-stripe Inc = %d", got)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := New(2)
+	r.Enable()
+	r.SetLatencySampleEvery(1)
+	for i := 0; i < 10; i++ {
+		tr := r.OpBegin(OpInsert, i)
+		r.OpEnd(OpInsert, i, tr)
+	}
+	r.WALFsyncNs.Observe(0, 1500)
+	r.WALBytes.Add(0, 4096)
+	r.Event(Event{Kind: EvCheckpointCut, Shard: 0, Rows: 42})
+	s := r.Snapshot()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Ops["insert"].Count != 10 {
+		t.Fatalf("round-trip insert count = %d, want 10", back.Ops["insert"].Count)
+	}
+	if back.WAL.Bytes != 4096 {
+		t.Fatalf("round-trip WAL bytes = %d", back.WAL.Bytes)
+	}
+	if back.WAL.FsyncNs.Count != 1 {
+		t.Fatalf("round-trip fsync count = %d", back.WAL.FsyncNs.Count)
+	}
+	if back.EventSeq != 1 {
+		t.Fatalf("round-trip event seq = %d", back.EventSeq)
+	}
+}
+
+func TestSampleEveryValidation(t *testing.T) {
+	r := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two sample interval should panic")
+		}
+	}()
+	r.SetLatencySampleEvery(3)
+}

@@ -42,6 +42,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"casper/internal/obs"
 	"casper/internal/table"
 	"casper/internal/txn"
 	"casper/internal/wal"
@@ -90,7 +91,9 @@ func bootstrapDurable(keys []int64, cfg Config) (*Engine, error) {
 		if err := os.MkdirAll(s.sdir, 0o755); err != nil {
 			return nil, fmt.Errorf("shard: creating %s: %w", s.sdir, err)
 		}
-		s.log, err = wal.OpenLog(s.sdir, 1, e.wopts)
+		opts := e.wopts
+		opts.Obs, opts.ObsShard = e.obs, i
+		s.log, err = wal.OpenLog(s.sdir, 1, opts)
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
@@ -248,12 +251,19 @@ func recoverDurable(cfg Config, man *wal.Manifest) (*Engine, error) {
 	ep.AdvanceTo(maxEpoch)
 	e.moveSeq.Store(maxMove)
 	for i, s := range e.shards {
-		log, err := wal.OpenLog(s.sdir, newSeqs[i], e.wopts)
+		opts := e.wopts
+		opts.Obs, opts.ObsShard = e.obs, i
+		log, err := wal.OpenLog(s.sdir, newSeqs[i], opts)
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
 		s.log = log
 	}
+	// The replay summary is journaled unconditionally (events are not gated
+	// on Enabled) so the first reader to attach still sees how this engine
+	// came up.
+	e.obs.Event(obs.Event{Kind: obs.EvRecoveryReplay, Shard: -1, Epoch: maxEpoch, Rows: len(all),
+		Note: fmt.Sprintf("%d shards, %d move traces reconciled", man.Shards, len(moves))})
 	return e, nil
 }
 
@@ -537,6 +547,15 @@ func (e *Engine) checkpointShard(i int) error {
 	}
 	s.nextCkpt = seq + 1
 	wal.Prune(s.sdir, seq, newSeq)
+	// Lifecycle events are emitted here, after every shard/journal lock has
+	// dropped, per the lock-order contract in the package comment.
+	if e.obs.Enabled() {
+		e.obs.Checkpoints.Inc(i)
+	}
+	e.obs.Event(obs.Event{Kind: obs.EvWALRoll, Shard: i, Note: fmt.Sprintf("segment %d opened", newSeq)})
+	e.obs.Event(obs.Event{Kind: obs.EvCheckpointCut, Shard: i, Epoch: cp.Epoch, Rows: len(cp.Keys)})
+	e.obs.Event(obs.Event{Kind: obs.EvCheckpointPrune, Shard: i,
+		Note: fmt.Sprintf("checkpoint %d, segments < %d pruned", seq, newSeq)})
 	return nil
 }
 

@@ -1,0 +1,190 @@
+package shard_test
+
+// Observability consistency suite, meant for `go test -race`: hammers the
+// engine with concurrent readers, writers, cross-shard movers, rebalance
+// installs, and View-pinned scans while every caller tallies its own ops
+// into a shared oracle, then asserts the metrics registry agrees exactly —
+// the per-op counters are striped atomics, so any lost or double count is a
+// bug in the striping or in an instrumentation site, and with latency
+// sampling forced to every-op the histograms must agree with the counters
+// too (every begun op reaches its matching end).
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"casper/internal/obs"
+	"casper/internal/shard"
+)
+
+const (
+	obsKeySpan   = int64(64_000) // initial keys: 8·i for i < 8000
+	obsReaders   = 3
+	obsReaderOps = 400
+	obsMovers    = 2
+	obsMoverOps  = 200
+	obsScans     = 60
+	obsInstalls  = 30
+)
+
+func obsRaceEngine(t *testing.T) *shard.Engine {
+	t.Helper()
+	keys := make([]int64, 8_000)
+	for i := range keys {
+		keys[i] = 8 * int64(i)
+	}
+	cfg := oracleConfig()
+	cfg.ChunkValues = 1_024
+	e, err := shard.New(keys, shard.Config{Shards: 4, ByRange: true, Table: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.EnableObs()
+	// Sample every op so the latency histogram count must equal the op
+	// counter: any op that begins without ending (or vice versa) fails.
+	e.Obs().SetLatencySampleEvery(1)
+	return e
+}
+
+func TestObsOpCountConsistency(t *testing.T) {
+	e := obsRaceEngine(t)
+
+	var oracle [obs.NumOps]atomic.Uint64
+	tally := func(op obs.Op) { oracle[op].Add(1) }
+
+	var wg sync.WaitGroup
+
+	// Rebalance installs: flip between two boundary sets so every install
+	// migrates rows while readers and movers are mid-flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		a := []int64{16_000, 32_000, 48_000}
+		b := []int64{10_000, 30_000, 54_000}
+		for i := 0; i < obsInstalls; i++ {
+			bounds := a
+			if i%2 == 1 {
+				bounds = b
+			}
+			if _, err := e.RebalanceTo(bounds); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	// Movers: each toggles a private key (≡ w+1 mod 8, never an initial
+	// key) across the fleet with UpdateKey. Inserts, deletes, and update
+	// attempts — including failed ones — are all metered per attempt.
+	for w := 0; w < obsMovers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo := int64(w + 1)
+			hi := lo + (obsKeySpan/8)*8 // same residue class, far shard
+			e.Insert(lo)
+			tally(obs.OpInsert)
+			cur, other := lo, hi
+			for i := 0; i < obsMoverOps; i++ {
+				_ = e.UpdateKey(cur, other)
+				tally(obs.OpUpdateKey)
+				cur, other = other, cur
+			}
+			_ = e.Delete(cur)
+			tally(obs.OpDelete)
+		}(w)
+	}
+
+	// Readers: point, range-count, and range-sum traffic plus the counted
+	// fleet snapshots (Len, Chunks).
+	for r := 0; r < obsReaders; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < obsReaderOps; i++ {
+				k := 8 * int64((r*obsReaderOps+i)%8_000)
+				e.PointQuery(k)
+				tally(obs.OpPointQuery)
+				e.RangeCount(k, k+1_024)
+				tally(obs.OpRangeCount)
+				e.RangeSum(k, k+1_024)
+				tally(obs.OpRangeSum)
+				if i%64 == 0 {
+					e.Len()
+					tally(obs.OpLen)
+					e.Chunks()
+					tally(obs.OpChunks)
+				}
+			}
+		}(r)
+	}
+
+	// Scans: alternate engine cursors (stripe-per-batch) and View-pinned
+	// cursors (frozen snapshot). Each open counts one OpScan; Close ends
+	// the latency sample, so every cursor must be closed exactly once.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < obsScans; i++ {
+			lo := 8 * int64((i*97)%4_000)
+			hi := lo + 8_192
+			if i%2 == 0 {
+				c := e.Scan(lo, hi, shard.ScanOptions{Batch: 256})
+				for c.Next() {
+				}
+				c.Close()
+				c.Close() // idempotent: must not double-count the latency
+				tally(obs.OpScan)
+			} else {
+				e.View(func(v *shard.View) {
+					c := v.Scan(lo, hi, shard.ScanOptions{Limit: 512})
+					for c.Next() {
+					}
+					c.Close()
+					tally(obs.OpScan)
+					v.PointQuery(lo)
+					tally(obs.OpPointQuery)
+				})
+			}
+		}
+	}()
+
+	wg.Wait()
+
+	s := e.Metrics()
+	if !s.Enabled {
+		t.Fatal("snapshot reports metrics disabled")
+	}
+	for op := obs.Op(0); op < obs.NumOps; op++ {
+		want := oracle[op].Load()
+		got, ok := s.Ops[op.String()]
+		if !ok {
+			t.Fatalf("snapshot missing op %q", op)
+		}
+		if got.Count != want {
+			t.Errorf("op %q: counter %d, oracle %d", op, got.Count, want)
+		}
+		if got.LatencyNs.Count != want {
+			t.Errorf("op %q: latency samples %d, oracle %d (sample-every-1: every op must be timed)", op, got.LatencyNs.Count, want)
+		}
+	}
+	if s.Rebalance.RowsMoved == 0 {
+		t.Error("rebalance installs migrated rows but RowsMoved == 0")
+	}
+	if s.Rebalance.PauseNs.Count == 0 {
+		t.Error("rebalance pause histogram empty after installs")
+	}
+	if s.CursorBatches == 0 {
+		t.Error("cursor scans drained batches but CursorBatches == 0")
+	}
+	if ev := e.Events(0); len(ev) == 0 {
+		t.Error("no lifecycle events journaled despite rebalances")
+	} else {
+		for i := 1; i < len(ev); i++ {
+			if ev[i].Seq <= ev[i-1].Seq {
+				t.Fatalf("event seq not monotonic: %d after %d", ev[i].Seq, ev[i-1].Seq)
+			}
+		}
+	}
+}

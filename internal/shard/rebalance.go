@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"time"
 
+	"casper/internal/obs"
 	"casper/internal/table"
 	"casper/internal/wal"
 )
@@ -241,6 +242,21 @@ func (e *Engine) RebalanceTo(bounds []int64) (RebalanceResult, error) {
 	return e.rebalanceLocked(append([]int64(nil), bounds...))
 }
 
+// changedBounds counts the boundary entries that differ between two
+// equal-length bound sets (journal-event detail for minimal proposals).
+func changedBounds(a, b []int64) int {
+	if len(a) != len(b) {
+		return len(b)
+	}
+	n := 0
+	for i := range a {
+		if a[i] != b[i] {
+			n++
+		}
+	}
+	return n
+}
+
 func boundsEqual(a, b []int64) bool {
 	if len(a) != len(b) {
 		return false
@@ -270,6 +286,8 @@ func (e *Engine) rebalanceLocked(newBounds []int64) (RebalanceResult, error) {
 	if newPart.Shards() != len(e.shards) {
 		return res, fmt.Errorf("shard: proposed bounds yield %d shards, engine has %d", newPart.Shards(), len(e.shards))
 	}
+	e.obs.Event(obs.Event{Kind: obs.EvRebalancePropose, Shard: -1,
+		Note: fmt.Sprintf("skew %.2f, %d of %d bounds changing", res.SkewBefore, changedBounds(res.OldBounds, newBounds), len(newBounds))})
 
 	// The migration plan is the ownership delta: the key intervals whose
 	// owner differs between the old and new bounds, grouped by the shard
@@ -337,6 +355,8 @@ func (e *Engine) rebalanceLocked(newBounds []int64) (RebalanceResult, error) {
 		}
 	}
 
+	e.obs.Event(obs.Event{Kind: obs.EvRebalanceStage, Shard: -1, Rows: len(staged)})
+
 	// Publish + install: one exclusive window holding the move gate and
 	// every shard's swap lock, so no reader, writer, move, retrain swap, or
 	// checkpoint can interleave. Staged rows land at their destinations, the
@@ -378,8 +398,10 @@ func (e *Engine) rebalanceLocked(newBounds []int64) (RebalanceResult, error) {
 		e.lockAll()
 	}
 	// The pause clock starts only now: during the drain above, the gate was
-	// repeatedly released and reads/writes flowed normally.
-	start := time.Now()
+	// repeatedly released and reads/writes flowed normally. The one obs
+	// timer feeds res.Pause, the RebalancePauseNs histogram, and the
+	// install event, so bench reporting and the journal cannot disagree.
+	pauseTimer := obs.StartTimer()
 	for _, s := range e.shards {
 		s.mu.Lock()
 	}
@@ -487,8 +509,16 @@ func (e *Engine) rebalanceLocked(newBounds []int64) (RebalanceResult, error) {
 		e.shards[i].mu.Unlock()
 	}
 	e.unlockAll()
-	res.Pause = time.Since(start)
+	res.Pause = pauseTimer.Elapsed()
 	res.Moved = len(moved)
+	if e.obs.Enabled() {
+		e.obs.RebalancePauseNs.Observe(0, res.Pause.Nanoseconds())
+		e.obs.RebalanceRows.Add(0, uint64(res.Moved))
+	}
+	e.obs.Event(obs.Event{Kind: obs.EvRebalancePublish, Shard: -1, Epoch: pub, Rows: res.Moved,
+		Note: fmt.Sprintf("%d stragglers", res.Stragglers)})
+	e.obs.Event(obs.Event{Kind: obs.EvRebalanceInstall, Shard: -1, Epoch: pub, DurNs: res.Pause.Nanoseconds(),
+		Note: fmt.Sprintf("%d bounds installed", len(newBounds))})
 
 	var werr error
 	if e.durable {

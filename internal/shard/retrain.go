@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"casper/internal/obs"
 	"casper/internal/table"
 	"casper/internal/workload"
 )
@@ -237,6 +238,12 @@ func (e *Engine) retrainShard(i int, train func(*table.Table) error) error {
 	s.layoutMu.Lock()
 	defer s.layoutMu.Unlock()
 
+	// One timer covers snapshot → shadow build/train → journal drain →
+	// swap; the same measurement feeds the RetrainNs histogram and the
+	// retrain.swap event so the two can never disagree.
+	timer := obs.StartTimer()
+	e.obs.Event(obs.Event{Kind: obs.EvRetrainStart, Shard: i})
+
 	// Snapshot under the exclusive lock: no writer can slip a mutation
 	// between the snapshot and the journal turning on.
 	s.mu.Lock()
@@ -288,6 +295,11 @@ func (e *Engine) retrainShard(i int, train func(*table.Table) error) error {
 	s.tbl = shadow
 	s.mu.Unlock()
 	e.retrains.Add(1)
+	dur := timer.Elapsed()
+	if e.obs.Enabled() {
+		e.obs.RetrainNs.Observe(i, dur.Nanoseconds())
+	}
+	e.obs.Event(obs.Event{Kind: obs.EvRetrainSwap, Shard: i, Rows: len(keys), DurNs: dur.Nanoseconds()})
 	if e.durable {
 		// Persist the freshly trained layout and truncate the WAL at the
 		// swap: recovery then restores the new layout from the checkpoint

@@ -76,6 +76,17 @@
 // shard or table locks. The fan-out worker pool executes read closures
 // that take shard.mu only, so pool workers obey the same order.
 //
+// Observability (internal/obs) sits outside this order entirely: metric
+// recording is lock-free (atomic counters and histogram buckets) and must
+// never be called while holding shard.mu or jmu — recording under gate
+// stripes is allowed, and the one sanctioned exception is WAL byte/append
+// accounting inside wal.Log, which runs under the log's own mutex while
+// the caller holds mu.RLock+jmu (atomics only, so no order edge is
+// created). Event-journal appends take only the journal's leaf mutex and
+// follow the same rule: emit lifecycle events after shard.mu/jmu windows
+// close (checkpoints, retrains) or under gate stripes alone (move
+// publish).
+//
 // Streaming scans (stream.go) follow the same order with one extra rule:
 // a cursor-mode shardSource acquires its shard's gate stripe shared only
 // for the duration of ONE batch fill — stripe → shard.mu → chunk locks,
@@ -151,6 +162,7 @@ import (
 	"time"
 	"unsafe"
 
+	"casper/internal/obs"
 	"casper/internal/table"
 	"casper/internal/txn"
 	"casper/internal/wal"
@@ -364,6 +376,13 @@ type Engine struct {
 	// checkpoint-during-move coverage).
 	betweenMoveWindows func()
 
+	// obs is the engine's metrics registry and event journal, created in
+	// initRoute with one stripe per shard. Metric recording is gated on
+	// obs.Enabled() (refcounted, like monOn); journal events are recorded
+	// unconditionally. See the lock-order section of the package comment
+	// for where recording is allowed.
+	obs *obs.Registry
+
 	// monOn counts the background workers (retrainer, rebalancer) that want
 	// per-operation monitor recording, so the unmonitored fast path costs
 	// one atomic load and the workers can start and stop independently.
@@ -461,8 +480,9 @@ type gateStripe struct {
 // stripes and the fan-out pool; called once per constructed engine, before
 // it is shared.
 func (e *Engine) initRoute(part Partitioner) {
+	e.obs = obs.New(part.Shards())
 	e.stripes = make([]gateStripe, part.Shards())
-	e.pool = newFanPool()
+	e.pool = newFanPool(e.obs)
 	e.route.Store(&routeSnap{part: part, moves: emptyMoves})
 }
 
@@ -511,6 +531,9 @@ func (e *Engine) lockKey(key int64) (*routeSnap, int) {
 			return w, s
 		}
 		e.stripes[s].mu.RUnlock()
+		if e.obs.Enabled() {
+			e.obs.StripeRetries.Inc(s)
+		}
 	}
 }
 
@@ -532,6 +555,9 @@ func (e *Engine) lockSpan(lo, hi int64) (*routeSnap, int, int) {
 		}
 		for i := b; i >= a; i-- {
 			e.stripes[i].mu.RUnlock()
+		}
+		if e.obs.Enabled() {
+			e.obs.StripeRetries.Inc(a)
 		}
 	}
 }
@@ -583,11 +609,12 @@ type fanPool struct {
 	size  int
 	tasks chan func()
 	once  sync.Once
+	obs   *obs.Registry // submit-vs-inline accounting; counts pooled paths only
 }
 
-func newFanPool() *fanPool {
+func newFanPool(o *obs.Registry) *fanPool {
 	n := runtime.GOMAXPROCS(0)
-	return &fanPool{size: n, tasks: make(chan func(), 4*n)}
+	return &fanPool{size: n, tasks: make(chan func(), 4*n), obs: o}
 }
 
 // run executes fn(0..n-1), distributing across the pool's workers. When
@@ -602,6 +629,7 @@ func (p *fanPool) run(n int, fn func(int)) {
 		return
 	}
 	p.start()
+	rec := p.obs != nil && p.obs.Enabled()
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for i := 0; i < n; i++ {
@@ -610,7 +638,13 @@ func (p *fanPool) run(n int, fn func(int)) {
 		}(i)
 		select {
 		case p.tasks <- t:
+			if rec {
+				p.obs.FanSubmits.Inc(i)
+			}
 		default:
+			if rec {
+				p.obs.FanInline.Inc(i)
+			}
 			t()
 		}
 	}
@@ -643,7 +677,13 @@ func (p *fanPool) submit(fn func()) {
 	p.start()
 	select {
 	case p.tasks <- fn:
+		if p.obs != nil && p.obs.Enabled() {
+			p.obs.FanSubmits.Inc(0)
+		}
 	default:
+		if p.obs != nil && p.obs.Enabled() {
+			p.obs.FanInline.Inc(0)
+		}
 		fn()
 	}
 }
@@ -651,6 +691,40 @@ func (p *fanPool) submit(fn func()) {
 // monitoring reports whether any background worker wants per-operation
 // monitor recording.
 func (e *Engine) monitoring() bool { return e.monOn.Load() > 0 }
+
+// Obs returns the engine's metrics registry (never nil once constructed).
+// Tests use it to tighten latency sampling; normal consumers go through
+// Metrics/Events.
+func (e *Engine) Obs() *obs.Registry { return e.obs }
+
+// EnableObs turns on metric recording (refcounted). Lifecycle events are
+// journaled regardless.
+func (e *Engine) EnableObs() { e.obs.Enable() }
+
+// DisableObs decrements the metric-recording refcount.
+func (e *Engine) DisableObs() { e.obs.Disable() }
+
+// Metrics returns a point-in-time snapshot of every engine metric, stamped
+// with the current global epoch so two snapshots diff into rates (epoch
+// advances per published cross-shard move and, with a shared oracle, per
+// transaction commit).
+func (e *Engine) Metrics() obs.Snapshot {
+	s := e.obs.Snapshot()
+	s.Epoch = e.epoch.Now()
+	return s
+}
+
+// Events returns journaled lifecycle events with Seq > since, oldest first.
+func (e *Engine) Events(since uint64) []obs.Event { return e.obs.Events(since) }
+
+// compHit records n staged-move compensation hits on a read path — rows a
+// reader served from the registry instead of a table because a cross-shard
+// move or rebalance had them staged.
+func (e *Engine) compHit(stripe, n int) {
+	if n > 0 && e.obs.Enabled() {
+		e.obs.CompHits.Add(stripe, uint64(n))
+	}
+}
 
 // New loads keys (any order) into a sharded engine. With Config.Dir set the
 // engine is durable: if the directory already holds committed state New
@@ -909,6 +983,8 @@ func (s *shard) read(fn func(*table.Table)) {
 
 // PointQuery returns the number of live rows with the given key (Q1).
 func (e *Engine) PointQuery(key int64) int {
+	tr := e.obs.OpBegin(obs.OpPointQuery, int(key))
+	defer e.obs.OpEnd(obs.OpPointQuery, int(key), tr)
 	if e.monitoring() {
 		e.record(workload.Op{Kind: workload.Q1PointQuery, Key: key})
 	}
@@ -923,7 +999,9 @@ func (e *Engine) PointQuery(key int64) int {
 func (e *Engine) pointQueryAt(v *routeSnap, key int64) int {
 	n := 0
 	e.shards[v.part.Shard(key)].read(func(t *table.Table) { n = t.PointQuery(key) })
-	v.moves.forRange(key, key, func(*pendingMove) { n++ })
+	hits := 0
+	v.moves.forRange(key, key, func(*pendingMove) { n++; hits++ })
+	e.compHit(int(key), hits)
 	return n
 }
 
@@ -955,6 +1033,8 @@ func (e *Engine) RangeCount(lo, hi int64) int {
 	if hi < lo {
 		return 0
 	}
+	tr := e.obs.OpBegin(obs.OpRangeCount, int(lo))
+	defer e.obs.OpEnd(obs.OpRangeCount, int(lo), tr)
 	if e.monitoring() {
 		e.record(workload.Op{Kind: workload.Q2RangeCount, Key: lo, Key2: hi})
 	}
@@ -967,7 +1047,9 @@ func (e *Engine) rangeCountAt(v *routeSnap, lo, hi int64) int {
 	n := int(e.streamFold(v, lo, hi, false, func(keys []int64, _ [][]int32) (int64, bool) {
 		return int64(len(keys)), false
 	}))
-	v.moves.forRange(lo, hi, func(*pendingMove) { n++ })
+	hits := 0
+	v.moves.forRange(lo, hi, func(*pendingMove) { n++; hits++ })
+	e.compHit(int(lo), hits)
 	return n
 }
 
@@ -976,6 +1058,8 @@ func (e *Engine) RangeSum(lo, hi int64) int64 {
 	if hi < lo {
 		return 0
 	}
+	tr := e.obs.OpBegin(obs.OpRangeSum, int(lo))
+	defer e.obs.OpEnd(obs.OpRangeSum, int(lo), tr)
 	if e.monitoring() {
 		e.record(workload.Op{Kind: workload.Q3RangeSum, Key: lo, Key2: hi})
 	}
@@ -992,7 +1076,9 @@ func (e *Engine) rangeSumAt(v *routeSnap, lo, hi int64) int64 {
 		}
 		return s, false
 	})
-	v.moves.forRange(lo, hi, func(m *pendingMove) { sum += m.old })
+	hits := 0
+	v.moves.forRange(lo, hi, func(m *pendingMove) { sum += m.old; hits++ })
+	e.compHit(int(lo), hits)
 	return sum
 }
 
@@ -1001,6 +1087,8 @@ func (e *Engine) MultiRangeSum(lo, hi int64, filters []table.PayloadFilter, sumC
 	if hi < lo {
 		return 0
 	}
+	tr := e.obs.OpBegin(obs.OpMultiRange, int(lo))
+	defer e.obs.OpEnd(obs.OpMultiRange, int(lo), tr)
 	if e.monitoring() {
 		e.record(workload.Op{Kind: workload.Q7MultiRange, Key: lo, Key2: hi})
 	}
@@ -1023,7 +1111,9 @@ func (e *Engine) multiRangeSumAt(v *routeSnap, lo, hi int64, filters []table.Pay
 		}
 		return s, false
 	})
+	hits := 0
 	v.moves.forRange(lo, hi, func(m *pendingMove) {
+		hits++
 		for _, f := range filters {
 			if x := m.row[f.Col]; x < f.Lo || x > f.Hi {
 				return
@@ -1031,6 +1121,7 @@ func (e *Engine) multiRangeSumAt(v *routeSnap, lo, hi int64, filters []table.Pay
 		}
 		sum += int64(m.row[sumCol])
 	})
+	e.compHit(int(lo), hits)
 	return sum
 }
 
@@ -1039,6 +1130,8 @@ func (e *Engine) multiRangeSumAt(v *routeSnap, lo, hi int64, filters []table.Pay
 // the same partition a Q1 of the key would), so payload-heavy workloads
 // drive retraining too.
 func (e *Engine) Payload(key int64, col int) (int32, bool) {
+	tr := e.obs.OpBegin(obs.OpPayload, int(key))
+	defer e.obs.OpEnd(obs.OpPayload, int(key), tr)
 	if e.monitoring() {
 		e.record(workload.Op{Kind: workload.Q1PointQuery, Key: key})
 	}
@@ -1052,17 +1145,27 @@ func (e *Engine) payloadAt(v *routeSnap, key int64, col int) (int32, bool) {
 	var ok bool
 	e.shards[v.part.Shard(key)].read(func(t *table.Table) { val, ok = t.Payload(key, col) })
 	if !ok {
+		hits := 0
 		v.moves.forRange(key, key, func(m *pendingMove) {
+			hits++
 			if !ok && col < len(m.row) {
 				val, ok = m.row[col], true
 			}
 		})
+		e.compHit(int(key), hits)
 	}
 	return val, ok
 }
 
-// Len returns the live row count across all shards.
+// Len returns the live row count across all shards. It pins a routing
+// snapshot under the whole-fleet read gate like every other read and is
+// counted in the metrics registry (OpLen); it deliberately does NOT feed
+// the drift monitor — a fleet-wide row count has no key locality, so
+// recording it would only dilute the access-pattern window retraining
+// learns from.
 func (e *Engine) Len() int {
+	tr := e.obs.OpBegin(obs.OpLen, 0)
+	defer e.obs.OpEnd(obs.OpLen, 0, tr)
 	e.rlockAll()
 	defer e.runlockAll()
 	return e.lenAt(e.loadRoute())
@@ -1085,7 +1188,12 @@ func (e *Engine) lenAt(v *routeSnap) int {
 // Per-shard chunk counts are still read one shard at a time under each
 // shard's swap lock, so concurrent single-shard writes and retrain swaps —
 // which do not pass the move gate — may land between shard visits.
+//
+// Like Len, Chunks is metered (OpChunks) but does not feed the drift
+// monitor: it has no key locality to learn from.
 func (e *Engine) Chunks() int {
+	tr := e.obs.OpBegin(obs.OpChunks, 0)
+	defer e.obs.OpEnd(obs.OpChunks, 0, tr)
 	e.rlockAll()
 	defer e.runlockAll()
 	n := 0
@@ -1126,14 +1234,21 @@ func (e *Engine) View(fn func(*View)) {
 // advance it while the view is live.
 func (v *View) Epoch() uint64 { return v.epoch }
 
-// PointQuery is Engine.PointQuery under the view's snapshot.
-func (v *View) PointQuery(key int64) int { return v.e.pointQueryAt(v.v, key) }
+// PointQuery is Engine.PointQuery under the view's snapshot. View queries
+// are metered on the same per-op counters as their Engine counterparts.
+func (v *View) PointQuery(key int64) int {
+	tr := v.e.obs.OpBegin(obs.OpPointQuery, int(key))
+	defer v.e.obs.OpEnd(obs.OpPointQuery, int(key), tr)
+	return v.e.pointQueryAt(v.v, key)
+}
 
 // RangeCount is Engine.RangeCount under the view's snapshot.
 func (v *View) RangeCount(lo, hi int64) int {
 	if hi < lo {
 		return 0
 	}
+	tr := v.e.obs.OpBegin(obs.OpRangeCount, int(lo))
+	defer v.e.obs.OpEnd(obs.OpRangeCount, int(lo), tr)
 	return v.e.rangeCountAt(v.v, lo, hi)
 }
 
@@ -1142,6 +1257,8 @@ func (v *View) RangeSum(lo, hi int64) int64 {
 	if hi < lo {
 		return 0
 	}
+	tr := v.e.obs.OpBegin(obs.OpRangeSum, int(lo))
+	defer v.e.obs.OpEnd(obs.OpRangeSum, int(lo), tr)
 	return v.e.rangeSumAt(v.v, lo, hi)
 }
 
@@ -1150,14 +1267,24 @@ func (v *View) MultiRangeSum(lo, hi int64, filters []table.PayloadFilter, sumCol
 	if hi < lo {
 		return 0
 	}
+	tr := v.e.obs.OpBegin(obs.OpMultiRange, int(lo))
+	defer v.e.obs.OpEnd(obs.OpMultiRange, int(lo), tr)
 	return v.e.multiRangeSumAt(v.v, lo, hi, filters, sumCol)
 }
 
 // Payload is Engine.Payload under the view's snapshot.
-func (v *View) Payload(key int64, col int) (int32, bool) { return v.e.payloadAt(v.v, key, col) }
+func (v *View) Payload(key int64, col int) (int32, bool) {
+	tr := v.e.obs.OpBegin(obs.OpPayload, int(key))
+	defer v.e.obs.OpEnd(obs.OpPayload, int(key), tr)
+	return v.e.payloadAt(v.v, key, col)
+}
 
 // Len is Engine.Len under the view's snapshot.
-func (v *View) Len() int { return v.e.lenAt(v.v) }
+func (v *View) Len() int {
+	tr := v.e.obs.OpBegin(obs.OpLen, 0)
+	defer v.e.obs.OpEnd(obs.OpLen, 0, tr)
+	return v.e.lenAt(v.v)
+}
 
 // ---------------------------------------------------------------------------
 // Writes
@@ -1169,6 +1296,8 @@ func (v *View) Len() int { return v.e.lenAt(v.v) }
 // Checkpoint, or Close — callers needing per-insert durability confirmation
 // should follow the batch with SyncWAL.
 func (e *Engine) Insert(key int64) {
+	tr := e.obs.OpBegin(obs.OpInsert, int(key))
+	defer e.obs.OpEnd(obs.OpInsert, int(key), tr)
 	if e.monitoring() {
 		e.record(workload.Op{Kind: workload.Q4Insert, Key: key})
 	}
@@ -1183,6 +1312,10 @@ func (e *Engine) Insert(key int64) {
 // delete with no payload copy. The operation feeds the drift monitor only
 // when it succeeds.
 func (e *Engine) Delete(key int64) error {
+	// Metered per attempt (a failed delete is still a call an operator
+	// wants counted); the drift monitor below keeps its success-only rule.
+	tr := e.obs.OpBegin(obs.OpDelete, int(key))
+	defer e.obs.OpEnd(obs.OpDelete, int(key), tr)
 	j := &journalOp{kind: jDelete, key: key}
 	err := e.mutate(j, func(t *table.Table, capture bool) error {
 		if !capture {
@@ -1208,6 +1341,8 @@ func (e *Engine) Delete(key int64) error {
 // neither, never on both, and never with a torn payload. The operation feeds
 // the drift monitor only when it succeeds.
 func (e *Engine) UpdateKey(old, new int64) error {
+	tr := e.obs.OpBegin(obs.OpUpdateKey, int(old))
+	defer e.obs.OpEnd(obs.OpUpdateKey, int(old), tr)
 	var err error
 	for {
 		p := e.loadPart()
@@ -1302,6 +1437,8 @@ func (e *Engine) moveCrossShard(old, new int64) (_ error, ok bool) {
 	m := &pendingMove{old: old, new: new, row: j.row}
 	e.addMove(m)
 	e.unlockAll()
+	e.obs.Event(obs.Event{Kind: obs.EvMoveStage, Shard: so, Rows: 1,
+		Note: fmt.Sprintf("key %d -> %d (shard %d -> %d)", old, new, so, sn)})
 
 	// Readers may run here: they serve the staged row from the registry.
 	if e.betweenMoveWindows != nil {
@@ -1336,6 +1473,8 @@ func (e *Engine) moveCrossShard(old, new int64) (_ error, ok bool) {
 			return fmt.Errorf("shard: cross-shard update %d→%d: destination insert: %v; rollback failed, row pinned in staged registry: %w", old, new, ierr, rerr), true
 		}
 		e.dropMove(m)
+		e.obs.Event(obs.Event{Kind: obs.EvMoveRollback, Shard: so, Rows: 1,
+			Note: fmt.Sprintf("key %d -> %d: %v", old, new, ierr)})
 		return fmt.Errorf("shard: cross-shard update %d→%d: destination insert: %w", old, new, ierr), true
 	}
 	pub := e.epoch.Advance() // the single epoch bump publishing the move
@@ -1344,6 +1483,10 @@ func (e *Engine) moveCrossShard(old, new int64) (_ error, ok bool) {
 		werr = e.logMove(so, sn, old, new, m.row, pub)
 	}
 	e.dropMove(m)
+	// Journal appends take only the journal's leaf mutex, so emitting under
+	// the held gate stripes is within the lock-order contract.
+	e.obs.Event(obs.Event{Kind: obs.EvMovePublish, Shard: sn, Epoch: pub, Rows: 1,
+		Note: fmt.Sprintf("key %d -> %d (shard %d -> %d)", old, new, so, sn)})
 	// A WAL error reports lost durability, not a lost move: the move is
 	// committed in memory either way, matching the state a recovery from
 	// the last durable record would reconcile to.

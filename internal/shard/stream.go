@@ -9,6 +9,7 @@ package shard
 import (
 	"fmt"
 
+	"casper/internal/obs"
 	"casper/internal/table"
 	"casper/internal/workload"
 )
@@ -127,6 +128,19 @@ func (s *shardSource) fill(b *sourceBuf) {
 				}
 			}
 		})
+	}
+	// Metrics: a batch yielded toward a cursor consumer (prefetch armed ⇔
+	// s.pre non-nil; folds fill inline and are counted by their own op) and
+	// any staged-move rows compensated into the batch window. Recording here
+	// is atomics-only and, in cursor mode, runs under the shared gate stripe
+	// — both allowed by the lock-order contract.
+	if o := s.e.obs; o.Enabled() {
+		if s.pre != nil && len(b.rb.Keys)+len(s.moveK) > 0 {
+			o.CursorBatches.Inc(s.si)
+		}
+		if len(s.moveK) > 0 {
+			o.CompHits.Add(s.si, uint64(len(s.moveK)))
+		}
 	}
 	if len(s.moveK) == 0 {
 		b.keys, b.rows = b.rb.Keys, b.rb.Rows
@@ -449,6 +463,10 @@ type Cursor struct {
 	done   bool
 	closed bool
 	err    error
+
+	// tr times the scan from open to Close on the OpScan histogram when the
+	// registry sampled it; the zero Track is "not sampled".
+	tr obs.Track
 }
 
 // Scan opens a streaming cursor over [lo, hi]. The scan is recorded in the
@@ -471,6 +489,9 @@ func (v *View) Scan(lo, hi int64, opts ScanOptions) *Cursor {
 
 func (e *Engine) newCursor(lo, hi int64, opts ScanOptions, pinned *routeSnap) *Cursor {
 	c := &Cursor{e: e, pinned: pinned, lo: lo, hi: hi, opts: opts, lastKey: lo}
+	// OpScan counts at open; latency is observed at Close so it covers the
+	// whole consumption window, not just cursor construction.
+	c.tr = e.obs.OpBegin(obs.OpScan, int(lo))
 	skip := 0
 	if opts.PageToken != "" {
 		k, n, err := parsePageToken(opts.PageToken)
@@ -629,6 +650,7 @@ func (c *Cursor) Close() {
 	c.closed = true
 	c.done = true
 	c.closeSources()
+	c.e.obs.OpEnd(obs.OpScan, int(c.lo), c.tr)
 }
 
 func (c *Cursor) closeSources() {

@@ -54,6 +54,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"casper/internal/obs"
 )
 
 // SyncPolicy selects when appended records are fsynced (see package comment).
@@ -86,6 +88,10 @@ type Options struct {
 	Policy SyncPolicy
 	// Interval is the maximum staleness under SyncInterval (default 100ms).
 	Interval time.Duration
+	// Obs, when non-nil, receives append/byte counts, fsync latency, group-
+	// commit batch sizes, and segment-roll counts, striped on ObsShard.
+	Obs      *obs.Registry
+	ObsShard int
 }
 
 func (o Options) withDefaults() Options {
@@ -328,6 +334,10 @@ func (l *Log) Append(r Record) (uint64, error) {
 	}
 	l.wBytes += int64(len(l.buf))
 	l.appendLSN++
+	if o := l.opts.Obs; o != nil && o.Enabled() {
+		o.WALAppends.Inc(l.opts.ObsShard)
+		o.WALBytes.Add(l.opts.ObsShard, uint64(len(l.buf)))
+	}
 	return l.appendLSN, nil
 }
 
@@ -389,9 +399,22 @@ func (l *Log) syncTo(lsn uint64) error {
 		l.syncing = true
 		target := l.appendLSN
 		targetBytes := l.wBytes
+		prior := l.syncLSN
 		f := l.f
 		l.mu.Unlock()
+		o := l.opts.Obs
+		timed := o != nil && o.Enabled()
+		var t0 time.Time
+		if timed {
+			t0 = time.Now()
+		}
 		err := f.Sync()
+		if timed {
+			o.WALFsyncNs.Observe(l.opts.ObsShard, time.Since(t0).Nanoseconds())
+			if target > prior {
+				o.WALGroupBatch.Observe(l.opts.ObsShard, int64(target-prior))
+			}
+		}
 		l.mu.Lock()
 		l.syncing = false
 		if err != nil {
@@ -441,6 +464,9 @@ func (l *Log) Rotate() (uint64, error) {
 	l.f = f
 	l.seq = next
 	l.wBytes, l.syncedBytes = 0, 0 // byte tracking is per segment
+	if o := l.opts.Obs; o != nil && o.Enabled() {
+		o.WALRolls.Inc(l.opts.ObsShard)
+	}
 	return next, nil
 }
 
