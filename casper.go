@@ -233,6 +233,21 @@ type Engine struct {
 // layout-affecting Options (Mode, PayloadCols, ChunkValues, …) across runs:
 // the directory persists data and shard topology, not engine configuration.
 func Open(keys []int64, opts Options) (*Engine, error) {
+	cfg, params, oracle, err := shardConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	sh, err := shard.New(keys, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("casper: %w", err)
+	}
+	return &Engine{sh: sh, params: params, mode: opts.Mode, mgr: txn.NewManagerWithOracle(oracle)}, nil
+}
+
+// shardConfig resolves Options into the shard-layer configuration, shared by
+// Open and OpenFollower so a follower interprets the leader's data under
+// identical table parameters.
+func shardConfig(opts Options) (shard.Config, iomodel.CostParams, *txn.Oracle, error) {
 	params := iomodel.EngineDefaults(opts.BlockBytes)
 	if opts.Calibrate {
 		params = iomodel.Calibrate(opts.BlockBytes)
@@ -250,14 +265,14 @@ func Open(keys []int64, opts Options) (*Engine, error) {
 	if opts.ReadSLA > 0 {
 		mps, err := solver.ReadSLAToMaxBlocks(opts.ReadSLA, params)
 		if err != nil {
-			return nil, fmt.Errorf("casper: read SLA: %w", err)
+			return shard.Config{}, params, nil, fmt.Errorf("casper: read SLA: %w", err)
 		}
 		sopts.MaxPartitionBlocks = mps
 	}
 	if opts.UpdateSLA > 0 {
 		k, err := solver.UpdateSLAToMaxPartitions(opts.UpdateSLA, params)
 		if err != nil {
-			return nil, fmt.Errorf("casper: update SLA: %w", err)
+			return shard.Config{}, params, nil, fmt.Errorf("casper: update SLA: %w", err)
 		}
 		sopts.MaxPartitions = k
 	}
@@ -268,7 +283,7 @@ func Open(keys []int64, opts Options) (*Engine, error) {
 	// One oracle serves transaction commit timestamps and cross-shard move
 	// epochs, putting both in a single totally ordered time domain.
 	oracle := txn.NewOracle()
-	sh, err := shard.New(keys, shard.Config{
+	return shard.Config{
 		Shards:    opts.Shards,
 		ByRange:   opts.ShardByRange,
 		Gen:       gen,
@@ -286,11 +301,7 @@ func Open(keys []int64, opts Options) (*Engine, error) {
 			SolverOpts:     sopts,
 			MergeThreshold: opts.MergeThreshold,
 		},
-	})
-	if err != nil {
-		return nil, fmt.Errorf("casper: %w", err)
-	}
-	return &Engine{sh: sh, params: params, mode: opts.Mode, mgr: txn.NewManagerWithOracle(oracle)}, nil
+	}, params, oracle, nil
 }
 
 // Mode returns the engine's layout mode.

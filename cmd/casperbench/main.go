@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	casperbench [-fig N | -table N | -all | -throughput | -durable | -rebalance | -scan] [-rows N] [-ops N] [-workers N]
+//	casperbench [-fig N | -table N | -all | -throughput | -durable | -rebalance | -scan | -replica] [-rows N] [-ops N] [-workers N]
 //	casperbench -throughput -cpus 1,2,4,8 [-out BENCH_throughput.json]
 //	casperbench -scan [-rows N] [-out BENCH_scan.json]
+//	casperbench -replica [-rows N] [-ops N] [-out BENCH_replica.json]
 //	casperbench -http :8080               # live /metrics (JSON + Prometheus) and /events
 //	casperbench -validate-metrics http://localhost:8080
 //	casperbench -obsbench [-out BENCH_obs.json]
@@ -22,6 +23,7 @@
 //	casperbench -durable -rows 200000     # WAL overhead per fsync policy + recovery time
 //	casperbench -rebalance -rows 200000   # skewed-drift scenario: quantile vs minimal proposer
 //	casperbench -scan -rows 200000        # streaming cursor sweep: LIMIT × result size
+//	casperbench -replica -rows 200000     # follower lag vs ingest rate; asserts lag -> 0 after quiesce
 //
 // The -scan sweep drives streaming cursors over ranges of three result
 // sizes under LIMIT 10, 1000, and unlimited, reporting scans/s, first-row
@@ -74,6 +76,7 @@ func main() {
 		thr     = flag.Bool("throughput", false, "measure sharded-engine throughput across shard counts")
 		durable = flag.Bool("durable", false, "measure durable ingest throughput per WAL sync policy and recovery time")
 		rebal   = flag.Bool("rebalance", false, "run the skewed-drift shard rebalancing scenario")
+		replica = flag.Bool("replica", false, "measure WAL-shipping replication lag vs ingest rate; emits BENCH_replica.json")
 		scan    = flag.Bool("scan", false, "run the streaming-scan sweep (LIMIT x result size); emits a JSON artifact")
 		httpOn  = flag.String("http", "", "serve live /metrics and /events on this address (e.g. :8080) over a loaded engine")
 		valMet  = flag.String("validate-metrics", "", "validate a running metrics endpoint (base URL, e.g. http://localhost:8080)")
@@ -136,6 +139,15 @@ func main() {
 		}
 	case *rebal:
 		if err := runRebalance(sc.Rows, *ops, sc.Seed); err != nil {
+			fmt.Fprintf(os.Stderr, "casperbench: %v\n", err)
+			os.Exit(1)
+		}
+	case *replica:
+		outPath := *out
+		if !flagWasSet("out") {
+			outPath = "BENCH_replica.json"
+		}
+		if err := runReplica(sc.Rows, *ops, sc.Seed, outPath); err != nil {
 			fmt.Fprintf(os.Stderr, "casperbench: %v\n", err)
 			os.Exit(1)
 		}

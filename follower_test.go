@@ -1,0 +1,92 @@
+package casper
+
+// Public follower API: OpenFollower serves the leader's data read-only and
+// converges after ingest quiesces.
+
+import (
+	"testing"
+	"time"
+)
+
+func TestOpenFollower(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOptions(ModeCasper)
+	opts.Shards = 3
+	opts.Dir = dir
+	opts.Sync = SyncModeNone
+	keys := UniformKeys(2000, 20000, 5)
+	leader, err := Open(keys, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer leader.Close()
+
+	f, err := OpenFollower(dir, opts)
+	if err != nil {
+		t.Fatalf("OpenFollower: %v", err)
+	}
+	defer f.Close()
+
+	for i := int64(0); i < 500; i++ {
+		leader.Insert(30000 + i)
+	}
+	if err := leader.Delete(30000); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if !f.WaitCaughtUp(10 * time.Second) {
+		t.Fatalf("follower never caught up: err=%v", f.Err())
+	}
+
+	if lf, ff := leader.Len(), f.Len(); lf != ff {
+		t.Fatalf("Len: leader %d, follower %d", lf, ff)
+	}
+	if got := f.PointQuery(30001); got != 1 {
+		t.Fatalf("PointQuery(30001) = %d; want 1", got)
+	}
+	if got := f.PointQuery(30000); got != 0 {
+		t.Fatalf("PointQuery(30000) = %d; want 0 after delete", got)
+	}
+	if lc, fc := leader.RangeCount(30000, 30500), f.RangeCount(30000, 30500); lc != fc {
+		t.Fatalf("RangeCount: leader %d, follower %d", lc, fc)
+	}
+	if ls, fs := leader.RangeSum(0, 20000), f.RangeSum(0, 20000); ls != fs {
+		t.Fatalf("RangeSum: leader %d, follower %d", ls, fs)
+	}
+
+	// A View pins one applied epoch across queries.
+	f.View(func(v *View) {
+		if v.RangeCount(30001, 30010) != 10 {
+			t.Errorf("View.RangeCount = %d; want 10", v.RangeCount(30001, 30010))
+		}
+	})
+
+	// Scans stream the follower's applied state.
+	c := f.Scan(30001, 30005, ScanOptions{})
+	n := 0
+	for c.Next() {
+		n++
+	}
+	c.Close()
+	if n != 5 {
+		t.Fatalf("Scan yielded %d rows; want 5", n)
+	}
+
+	// Writes are rejected, not silently dropped.
+	if err := f.Insert(1); err != ErrReadOnly {
+		t.Fatalf("Insert = %v; want ErrReadOnly", err)
+	}
+	if err := f.Delete(30001); err != ErrReadOnly {
+		t.Fatalf("Delete = %v; want ErrReadOnly", err)
+	}
+	if err := f.UpdateKey(30001, 1); err != ErrReadOnly {
+		t.Fatalf("UpdateKey = %v; want ErrReadOnly", err)
+	}
+
+	m := f.Metrics()
+	if m.Replica.RecordsApplied == 0 {
+		t.Fatalf("Replica.RecordsApplied = 0; want > 0")
+	}
+	if f.Lag() != 0 {
+		t.Fatalf("Lag = %v after quiesce; want 0", f.Lag())
+	}
+}

@@ -104,10 +104,14 @@ func writePrometheus(w http.ResponseWriter, s obs.Snapshot) {
 		{"casper_wal_segment_rolls_total", s.WAL.SegmentRolls},
 		{"casper_rebalance_rows_moved_total", s.Rebalance.RowsMoved},
 		{"casper_checkpoints_total", s.Checkpoints},
+		{"casper_replica_records_applied_total", s.Replica.RecordsApplied},
 	}
 	for _, c := range counters {
 		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.name, c.name, c.v)
 	}
+
+	fmt.Fprintf(w, "# TYPE casper_replica_applied_epoch gauge\ncasper_replica_applied_epoch %d\n", s.Replica.AppliedEpoch)
+	fmt.Fprintf(w, "# TYPE casper_replica_lag_seconds gauge\ncasper_replica_lag_seconds %g\n", s.Replica.LagSeconds)
 
 	hists := []struct {
 		name string

@@ -20,6 +20,7 @@
 package obs
 
 import (
+	"math"
 	"math/bits"
 	"sync"
 	"sync/atomic"
@@ -124,6 +125,26 @@ func (c *Counter) Total() uint64 {
 	}
 	return t
 }
+
+// Gauge is a last-write-wins atomic value for metrics that go up and down
+// (replica lag) or track a high-water mark (applied epoch). Unlike Counter
+// it is not striped: gauges are written by one goroutine (the follower's
+// apply loop) and read by snapshotters.
+type Gauge struct {
+	v atomic.Uint64
+}
+
+// Set stores an integer gauge value.
+func (g *Gauge) Set(v uint64) { g.v.Store(v) }
+
+// Load returns the integer gauge value.
+func (g *Gauge) Load() uint64 { return g.v.Load() }
+
+// SetFloat stores a float64 gauge value (IEEE bits).
+func (g *Gauge) SetFloat(v float64) { g.v.Store(math.Float64bits(v)) }
+
+// LoadFloat returns the float64 gauge value.
+func (g *Gauge) LoadFloat() float64 { return math.Float64frombits(g.v.Load()) }
 
 // histStripe is one stripe of a Histogram: 64 buckets plus count and sum.
 // Padding between stripes comes from the buckets array being a multiple of
@@ -269,6 +290,17 @@ type RebalanceStats struct {
 	PauseNs   HistStats `json:"pause_ns"`
 }
 
+// ReplicaStats reports WAL-shipping replication progress on a follower
+// engine. All-zero on leaders (and on followers that have not applied
+// anything yet). LagSeconds is time since the follower last observed itself
+// caught up with the leader's visible WAL tail; it returns to zero once
+// ingest stops and the follower drains.
+type ReplicaStats struct {
+	RecordsApplied uint64  `json:"records_applied"`
+	AppliedEpoch   uint64  `json:"applied_epoch"`
+	LagSeconds     float64 `json:"lag_seconds"`
+}
+
 // Snapshot is a point-in-time, JSON-marshalable view of every metric in a
 // Registry. All counts are monotonic, so two snapshots can be diffed to get
 // rates. Ops keys are Op.String() names.
@@ -287,6 +319,7 @@ type Snapshot struct {
 	Retrain          RetrainStats       `json:"retrain"`
 	Rebalance        RebalanceStats     `json:"rebalance"`
 	Checkpoints      uint64             `json:"checkpoints"`
+	Replica          ReplicaStats       `json:"replica"`
 }
 
 // Event is one structured lifecycle event from the ring-buffer journal.
@@ -408,6 +441,13 @@ type Registry struct {
 	RebalanceRows Counter
 	Checkpoints   Counter
 
+	// Replica metrics are recorded ungated (like journal events): a
+	// follower's apply loop starts before any reader calls Enable, and lag
+	// must be observable from the first applied record.
+	ReplicaRecordsApplied Counter
+	ReplicaAppliedEpoch   Gauge
+	ReplicaLagSeconds     Gauge // float64 bits
+
 	WALFsyncNs       Histogram
 	WALGroupBatch    Histogram
 	RetrainNs        Histogram
@@ -438,6 +478,7 @@ func New(stripes int) *Registry {
 	r.WALRolls = newCounter(stripes)
 	r.RebalanceRows = newCounter(1)
 	r.Checkpoints = newCounter(stripes)
+	r.ReplicaRecordsApplied = newCounter(stripes)
 	r.WALFsyncNs = newHistogram(stripes)
 	r.WALGroupBatch = newHistogram(stripes)
 	r.RetrainNs = newHistogram(stripes)
@@ -557,6 +598,11 @@ func (r *Registry) Snapshot() Snapshot {
 		Retrain:     RetrainStats{DurNs: r.RetrainNs.stats()},
 		Rebalance:   RebalanceStats{RowsMoved: r.RebalanceRows.Total(), PauseNs: r.RebalancePauseNs.stats()},
 		Checkpoints: r.Checkpoints.Total(),
+		Replica: ReplicaStats{
+			RecordsApplied: r.ReplicaRecordsApplied.Total(),
+			AppliedEpoch:   r.ReplicaAppliedEpoch.Load(),
+			LagSeconds:     r.ReplicaLagSeconds.LoadFloat(),
+		},
 	}
 	for op := Op(0); op < NumOps; op++ {
 		s.Ops[op.String()] = OpStats{

@@ -1,0 +1,272 @@
+package replica
+
+// Divergence property suite for WAL-shipping replication: a follower tailing
+// a live engine under concurrent writes, cross-shard moves, a rebalance
+// boundary install, and a mid-run checkpoint must converge to the leader's
+// byte-identical per-shard contents once writes quiesce; a follower killed
+// and restarted at an arbitrary point must re-converge the same way.
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"casper/internal/shard"
+	"casper/internal/table"
+	"casper/internal/wal"
+)
+
+// testConfig mirrors the durable-suite engine configuration, range-partitioned
+// so the suite exercises rebalance boundary installs.
+func testConfig(dir string) shard.Config {
+	return shard.Config{
+		Shards:  3,
+		ByRange: true,
+		Table: table.Config{
+			Mode:        table.Casper,
+			PayloadCols: 3,
+			ChunkValues: 128,
+			BlockValues: 16,
+			GhostFrac:   0.01,
+			Partitions:  4,
+		},
+		Dir:  dir,
+		Sync: wal.SyncNone,
+	}
+}
+
+// seedKeys returns n distinct keys spread over [0, 100000).
+func seedKeys(n int, rng *rand.Rand) []int64 {
+	seen := make(map[int64]bool, n)
+	keys := make([]int64, 0, n)
+	for len(keys) < n {
+		k := rng.Int63n(100000)
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// churn runs a writer goroutine over its own key stripe [base, base+span):
+// inserts fresh keys, deletes some of them again, and moves others to the far
+// end of the stripe with UpdateKey — with range partitioning the jump crosses
+// shard boundaries, logging MoveOut/MoveIn pairs on two different WALs.
+func churn(e *shard.Engine, base, span int64, rounds int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < rounds; i++ {
+		k := base + rng.Int63n(span/2)
+		e.Insert(k)
+		switch rng.Intn(3) {
+		case 0:
+			e.Delete(k) // may have landed on a duplicate; either way legal
+		case 1:
+			e.UpdateKey(k, base+span/2+rng.Int63n(span/2)) // cross-stripe move
+		}
+	}
+}
+
+// verifyConverged asserts the follower's applied image equals the leader's:
+// identical per-shard keys and payload rows, identical routing bounds.
+func verifyConverged(t *testing.T, leader *shard.Engine, f *Follower) {
+	t.Helper()
+	ld, fd := leader.DumpShards(), f.Engine().DumpShards()
+	if !reflect.DeepEqual(ld, fd) {
+		for i := range ld {
+			if !reflect.DeepEqual(ld[i], fd[i]) {
+				t.Errorf("shard %d diverged: leader %d keys, follower %d keys",
+					i, len(ld[i].Keys), len(fd[i].Keys))
+			}
+		}
+		t.Fatalf("follower diverged from leader")
+	}
+	lb := leader.Partitioner().(*shard.RangePartitioner).Bounds()
+	fb := f.Engine().Partitioner().(*shard.RangePartitioner).Bounds()
+	if !reflect.DeepEqual(lb, fb) {
+		t.Fatalf("bounds diverged: leader %v follower %v", lb, fb)
+	}
+}
+
+func TestFollowerConvergence(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(1))
+	leader, err := shard.New(seedKeys(500, rng), testConfig(dir))
+	if err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+	defer leader.Close()
+
+	f, err := Open(testConfig(dir), Options{PollEvery: time.Millisecond})
+	if err != nil {
+		t.Fatalf("follower: %v", err)
+	}
+	defer f.Close()
+
+	// Three writers churn disjoint stripes while a fourth goroutine installs
+	// a new boundary set and cuts a checkpoint mid-run.
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int64) {
+			defer wg.Done()
+			churn(leader, 100000+w*10000, 10000, 400, 42+w)
+		}(int64(w))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(5 * time.Millisecond)
+		if _, err := leader.RebalanceTo([]int64{40000, 110000}); err != nil {
+			t.Errorf("RebalanceTo: %v", err)
+		}
+		if err := leader.Checkpoint(); err != nil {
+			t.Errorf("Checkpoint: %v", err)
+		}
+	}()
+	wg.Wait()
+
+	if !f.WaitCaughtUp(10 * time.Second) {
+		t.Fatalf("follower never caught up: err=%v lag=%v", f.Err(), f.Lag())
+	}
+	verifyConverged(t, leader, f)
+	if f.Lag() != 0 {
+		t.Fatalf("Lag = %v after catch-up; want 0", f.Lag())
+	}
+	if got := f.Metrics().Replica.RecordsApplied; got == 0 {
+		t.Fatalf("ReplicaRecordsApplied = 0; want > 0")
+	}
+	if le, fe := leader.Epoch(), f.AppliedEpoch(); fe > le {
+		t.Fatalf("follower applied epoch %d beyond leader epoch %d", fe, le)
+	}
+}
+
+// TestFollowerKillRestart kills followers at arbitrary points during ingest
+// and reopens them; each restart re-bootstraps from the then-newest
+// checkpoint and the final follower still converges exactly.
+func TestFollowerKillRestart(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(2))
+	leader, err := shard.New(seedKeys(300, rng), testConfig(dir))
+	if err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+	defer leader.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		churn(leader, 100000, 30000, 1200, 7)
+	}()
+
+	// Kill/restart cycles racing the ingest; a mid-run checkpoint advances
+	// the bootstrap point so restarts exercise both fresh and caught-up
+	// starting offsets.
+	var f *Follower
+	for i := 0; i < 4; i++ {
+		f, err = Open(testConfig(dir), Options{PollEvery: time.Millisecond})
+		if err != nil {
+			t.Fatalf("follower open %d: %v", i, err)
+		}
+		time.Sleep(time.Duration(1+i*3) * time.Millisecond)
+		if i == 1 {
+			if err := leader.Checkpoint(); err != nil {
+				t.Fatalf("Checkpoint: %v", err)
+			}
+		}
+		if i < 3 {
+			f.Close()
+		}
+	}
+	<-done
+
+	if !f.WaitCaughtUp(10 * time.Second) {
+		t.Fatalf("follower never caught up: err=%v", f.Err())
+	}
+	verifyConverged(t, leader, f)
+	f.Close()
+
+	// A cold follower opened after everything settled converges too.
+	cold, err := Open(testConfig(dir), Options{PollEvery: time.Millisecond})
+	if err != nil {
+		t.Fatalf("cold follower: %v", err)
+	}
+	defer cold.Close()
+	if !cold.WaitCaughtUp(10 * time.Second) {
+		t.Fatalf("cold follower never caught up: err=%v", cold.Err())
+	}
+	verifyConverged(t, leader, cold)
+}
+
+// TestFollowerReadOnly: every mutation path on a follower engine fails with
+// ErrReadOnly — a local write would silently diverge the replica.
+func TestFollowerReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(3))
+	leader, err := shard.New(seedKeys(100, rng), testConfig(dir))
+	if err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+	defer leader.Close()
+	f, err := Open(testConfig(dir), Options{PollEvery: time.Millisecond})
+	if err != nil {
+		t.Fatalf("follower: %v", err)
+	}
+	defer f.Close()
+
+	e := f.Engine()
+	if err := e.Delete(1); err != shard.ErrReadOnly {
+		t.Fatalf("Delete = %v; want ErrReadOnly", err)
+	}
+	if err := e.UpdateKey(1, 2); err != shard.ErrReadOnly {
+		t.Fatalf("UpdateKey = %v; want ErrReadOnly", err)
+	}
+	if _, err := e.RebalanceTo([]int64{10, 20}); err != shard.ErrReadOnly {
+		t.Fatalf("RebalanceTo = %v; want ErrReadOnly", err)
+	}
+	before := e.Len()
+	e.Insert(12345) // no error channel; must be a silent no-op
+	if got := e.Len(); got != before {
+		t.Fatalf("Insert mutated a read-only engine: Len %d -> %d", before, got)
+	}
+}
+
+// TestFollowerLagTracksIngest: the lag gauge rises while the follower is
+// behind and returns to zero once it catches up.
+func TestFollowerLagTracksIngest(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(4))
+	keys := seedKeys(100, rng)
+	leader, err := shard.New(keys, testConfig(dir))
+	if err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+	defer leader.Close()
+	f, err := Open(testConfig(dir), Options{PollEvery: time.Millisecond})
+	if err != nil {
+		t.Fatalf("follower: %v", err)
+	}
+	defer f.Close()
+
+	churn(leader, 100000, 10000, 300, 11)
+	// A move across shard boundaries advances the epoch, so the follower's
+	// applied epoch becomes observable.
+	if err := leader.UpdateKey(keys[0], 500000); err != nil {
+		t.Fatalf("UpdateKey: %v", err)
+	}
+	if !f.WaitCaughtUp(10 * time.Second) {
+		t.Fatalf("follower never caught up: err=%v", f.Err())
+	}
+	if f.Lag() != 0 {
+		t.Fatalf("Lag = %v after quiesce; want 0", f.Lag())
+	}
+	m := f.Metrics().Replica
+	if m.RecordsApplied == 0 {
+		t.Fatalf("RecordsApplied = 0 after ingest; want > 0")
+	}
+	if m.AppliedEpoch == 0 {
+		t.Fatalf("AppliedEpoch = 0 after ingest; want > 0")
+	}
+}

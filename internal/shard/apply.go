@@ -1,0 +1,373 @@
+package shard
+
+// The epoch-ordered WAL applier shared by crash recovery (durable.go) and
+// live WAL-shipping replication (internal/replica): both consume a stream of
+// per-shard WAL records merged into one epoch order, and both apply each
+// record to the shard whose WAL carried it — physical placement history, not
+// routing — so per-shard append order is preserved and the replayed image is
+// byte-identical to the table the records were logged against.
+//
+// The two consumers differ only in pair repair. Recovery sees a stream cut
+// by a crash, so a MoveOut/MoveIn pair can be torn mid-pair; it traces pairs
+// and reconciles stragglers against checkpoint move horizons. A live
+// follower's stream is never torn — a missing pair half only happens when
+// the bootstrap checkpoint already covers it, which needs no repair — so it
+// applies with tracing disabled.
+
+import (
+	"fmt"
+	"sort"
+
+	"casper/internal/table"
+	"casper/internal/txn"
+	"casper/internal/wal"
+)
+
+// applier applies one epoch-ordered record stream to the engine's shards.
+// Single-threaded; the caller provides any locking the engine's liveness
+// requires (none during recovery, the move gate during live replication).
+type applier struct {
+	e     *Engine
+	moves map[uint64]*moveTrace // MoveOut/MoveIn pair traces; nil disables tracing
+	// mismatches counts row-identity deletes that failed during apply: the
+	// record named a (key, payload) the replayed timeline never produced, so
+	// the rebuilt image has silently diverged from the WAL. Surfaced, not
+	// fatal — the one row is lost either way, and the rest of the replay is
+	// still the best available image.
+	mismatches int
+	maxEpoch   uint64
+	maxMove    uint64
+}
+
+// apply replays one WAL record onto shard si. Deletes and updates resolve
+// duplicate keys by payload (row identity), so replay order across
+// non-conflicting writers is immaterial.
+func (a *applier) apply(si int, r wal.Record) {
+	if r.Epoch > a.maxEpoch {
+		a.maxEpoch = r.Epoch
+	}
+	if r.MoveID > a.maxMove {
+		a.maxMove = r.MoveID
+	}
+	s := a.e.shards[si]
+	insert := func(key int64, row []int32) {
+		switch {
+		case s.tbl == nil:
+			s.seedRecovered(key, row)
+		case row == nil:
+			s.tbl.Insert(key)
+		default:
+			s.tbl.InsertRow(key, row)
+		}
+	}
+	del := func(key int64, row []int32) bool {
+		if s.tbl == nil || s.tbl.DeleteRowExact(key, row) != nil {
+			a.mismatches++
+			return false
+		}
+		return true
+	}
+	switch r.Kind {
+	case wal.RecInsert:
+		insert(r.Key, nil)
+	case wal.RecInsertRow:
+		insert(r.Key, r.Row)
+	case wal.RecDelete:
+		del(r.Key, r.Row)
+	case wal.RecUpdate:
+		if del(r.Key, r.Row) {
+			s.tbl.InsertRow(r.Key2, r.Row)
+		}
+	case wal.RecMoveOut:
+		if a.moves != nil {
+			a.traceFor(r).out = true
+		}
+		del(r.Key, r.Row)
+	case wal.RecMoveIn:
+		if a.moves != nil {
+			a.traceFor(r).in = true
+		}
+		insert(r.Key2, r.Row)
+	}
+}
+
+func (a *applier) traceFor(r wal.Record) *moveTrace {
+	mv := a.moves[r.MoveID]
+	if mv == nil {
+		mv = &moveTrace{old: r.Key, new: r.Key2, row: r.Row}
+		a.moves[r.MoveID] = mv
+	}
+	return mv
+}
+
+// reconcile repairs cross-shard moves whose record pair did not survive the
+// crash intact, so every moved row lands on exactly one shard:
+//
+//   - MoveOut without MoveIn: if the destination shard checkpointed past
+//     this move ID, the insert is inside its checkpoint and the MoveIn was
+//     pruned — nothing to do. Otherwise the crash lost the destination half:
+//     the move never became durable, so the row returns to its old key.
+//   - MoveIn without MoveOut: if the source shard checkpointed past this
+//     move ID, its checkpoint already excludes the row — nothing to do.
+//     Otherwise the crash lost the source half: the move IS durable (the
+//     destination insert survived), so the stale copy at the old key is
+//     removed.
+//
+// The horizon test is sound because move IDs are allocated inside the
+// publish window, which holds the move gate exclusively: a checkpoint (gate
+// shared) with horizon >= id can only be cut after move id fully published.
+//
+// Rebalance bulk moves (Key == Key2) reconcile through the same table: their
+// src and dst collapse onto the key's owner under the recovered bounds, so a
+// half-pair repair may touch the "wrong" physical shard — row-identity
+// deletes remove at most the one stale copy, and the re-homing sweep that
+// follows moves whichever copy survived onto its owner, so every row still
+// lands on exactly one shard. For the same reason a failed finish-the-move
+// delete on a bulk move is expected (the stale copy may already be gone) and
+// only genuine moves (old != new) count as mismatches.
+func (a *applier) reconcile(horizons []uint64) {
+	e := a.e
+	p := e.loadPart()
+	for id, mv := range a.moves {
+		if mv.out == mv.in {
+			continue // intact pair (or impossible empty trace)
+		}
+		src := p.Shard(mv.old)
+		dst := p.Shard(mv.new)
+		if mv.out && id > horizons[dst] {
+			// Destination half lost in the crash: undo the move.
+			if s := e.shards[src]; s.tbl == nil {
+				s.seedRecovered(mv.old, mv.row)
+			} else {
+				s.tbl.InsertRow(mv.old, mv.row)
+			}
+		}
+		if mv.in && id > horizons[src] {
+			// Source half lost in the crash: finish the move.
+			s := e.shards[src]
+			if s.tbl == nil || s.tbl.DeleteRowExact(mv.old, mv.row) != nil {
+				if mv.old != mv.new {
+					a.mismatches++
+				}
+			}
+		}
+	}
+}
+
+// ReplayMismatches returns the number of WAL records whose row-identity
+// delete failed during this engine's recovery replay — silent divergence
+// between the WAL and the rebuilt image, also surfaced in the
+// recovery.replay journal event's note. Zero on cleanly recovered and
+// in-memory engines.
+func (e *Engine) ReplayMismatches() int { return e.replayMismatches }
+
+// ReplicatedRecord is one WAL record tagged with the shard whose WAL carried
+// it, the unit a replication stream ships.
+type ReplicatedRecord struct {
+	Shard int
+	Rec   wal.Record
+}
+
+// Replicator applies a live replication stream to a follower engine. Create
+// one with NewReplicator on an engine built by NewFollower; Apply is not
+// safe for concurrent use (one apply loop per follower).
+type Replicator struct {
+	e           *Engine
+	boundsEpoch uint64
+	ap          applier
+}
+
+// NewReplicator returns a Replicator for e. boundsEpoch is the epoch of the
+// boundary set currently installed (FollowerBoot.BoundsEpoch); RecRebalance
+// records at or below it are already reflected in the routing and are
+// skipped.
+func (e *Engine) NewReplicator(boundsEpoch uint64) *Replicator {
+	return &Replicator{e: e, boundsEpoch: boundsEpoch, ap: applier{e: e}}
+}
+
+// applyWindow bounds how many records one exclusive move-gate window
+// applies, so a follower catching up on a deep backlog still lets readers
+// through between windows.
+const applyWindow = 8192
+
+// Apply merges recs into epoch order and applies them to the engine's
+// shards, installing RecRebalance boundary sets newer than the one already
+// routed. It holds every gate stripe exclusively while applying (in bounded
+// windows), so View-consistent readers never observe a half-applied window,
+// and advances the engine's epoch oracle to the highest epoch applied.
+// Returns the number of records applied.
+func (r *Replicator) Apply(recs []ReplicatedRecord) int {
+	if len(recs) == 0 {
+		return 0
+	}
+	e := r.e
+	// Epoch stamps are non-decreasing within one shard's WAL, so a stable
+	// sort preserves per-shard append order while merging the polled tails
+	// into one epoch-ordered stream (exactly recovery's merge).
+	sort.SliceStable(recs, func(a, b int) bool { return recs[a].Rec.Epoch < recs[b].Rec.Epoch })
+	applied := 0
+	for len(recs) > 0 {
+		window := recs
+		if len(window) > applyWindow {
+			window = window[:applyWindow]
+		}
+		recs = recs[len(window):]
+		e.lockAll()
+		for _, sr := range window {
+			if sr.Rec.Kind == wal.RecRebalance {
+				if len(sr.Rec.Bounds) > 0 && sr.Rec.Epoch > r.boundsEpoch {
+					if _, ok := e.loadPart().(*RangePartitioner); ok {
+						e.publishRoute(RangePartitionerFromBounds(sr.Rec.Bounds), emptyMoves)
+						r.boundsEpoch = sr.Rec.Epoch
+					}
+				}
+				if sr.Rec.Epoch > r.ap.maxEpoch {
+					r.ap.maxEpoch = sr.Rec.Epoch
+				}
+				continue
+			}
+			r.ap.apply(sr.Shard, sr.Rec)
+		}
+		e.epoch.AdvanceTo(r.ap.maxEpoch)
+		if r.ap.maxMove > e.moveSeq.Load() {
+			e.moveSeq.Store(r.ap.maxMove)
+		}
+		e.unlockAll()
+		applied += len(window)
+		// Replica metrics are ungated (see obs.Registry): lag and progress
+		// must be observable before any reader calls Enable.
+		e.obs.ReplicaRecordsApplied.Add(0, uint64(len(window)))
+		e.obs.ReplicaAppliedEpoch.Set(r.ap.maxEpoch)
+	}
+	return applied
+}
+
+// Mismatches returns the count of records whose row-identity delete failed
+// during live apply — divergence between the stream and the follower image.
+func (r *Replicator) Mismatches() int { return r.ap.mismatches }
+
+// FollowerBoot is the result of bootstrapping a follower engine from a
+// leader's directory: the read-only engine, the WAL segment each shard's
+// tailer must start from, and the epoch of the boundary set installed.
+type FollowerBoot struct {
+	Engine      *Engine
+	FromSeqs    []uint64
+	BoundsEpoch uint64
+}
+
+// NewFollower builds a read-only engine from the newest checkpoint of every
+// shard in cfg.Dir, which may belong to a live leader — it reads the
+// manifest and checkpoint files only, never opens a WAL for writing, and
+// never truncates or deletes anything. The engine starts at the checkpoints'
+// state; the caller catches it up by tailing each shard's segments from
+// FromSeqs[i] (wal.OpenTailer) and feeding a Replicator.
+//
+// Unlike recovery it does not replay WAL tails, reconcile move pairs, or
+// re-home rows: the tail replay is the follower's steady state, and applying
+// it by physical placement converges the image without repair (see the file
+// comment). Between bootstrap and catch-up a row that moved shards may be
+// transiently visible on zero or two shards; convergence holds once the
+// tailers drain.
+func NewFollower(cfg Config) (*FollowerBoot, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("shard: follower requires a directory")
+	}
+	man, err := wal.LoadManifest(cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	if man == nil {
+		return nil, fmt.Errorf("shard: no manifest in %s (nothing to follow)", cfg.Dir)
+	}
+	monCap := cfg.MonitorCap
+	if monCap <= 0 {
+		monCap = 8192
+	}
+	ep := cfg.Epoch
+	if ep == nil {
+		ep = txn.NewOracle()
+	}
+	e := &Engine{
+		cfg: cfg.Table, epoch: ep,
+		keyLo: man.KeyLo, keyHi: man.KeyHi,
+		dir: cfg.Dir, readonly: true,
+	}
+	bounds := man.Bounds
+	var boundsEpoch uint64
+	var maxEpoch, maxMove uint64
+	fromSeqs := make([]uint64, man.Shards)
+	for i := 0; i < man.Shards; i++ {
+		s := &shard{idx: i, eng: e, cfg: cfg.Table, mon: newMonitor(monCap), ep: ep, sdir: shardDir(cfg.Dir, i)}
+		cp, _, err := wal.LoadNewestCheckpoint(s.sdir)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		if cp == nil {
+			return nil, fmt.Errorf("shard %d: no valid checkpoint in %s", i, s.sdir)
+		}
+		fromSeqs[i] = cp.WALSeq
+		if cp.Epoch > maxEpoch {
+			maxEpoch = cp.Epoch
+		}
+		if cp.MoveHorizon > maxMove {
+			maxMove = cp.MoveHorizon
+		}
+		if man.ByRange && len(cp.Bounds) > 0 && cp.Epoch >= boundsEpoch {
+			bounds, boundsEpoch = cp.Bounds, cp.Epoch
+		}
+		if len(cp.Keys) > 0 {
+			tbl, err := table.NewFromRows(cp.Keys, cp.Rows, cfg.Table)
+			if err != nil {
+				return nil, fmt.Errorf("shard %d: checkpoint load: %w", i, err)
+			}
+			if err := tbl.RestoreLayouts(toTableLayouts(cp.Layouts)); err != nil {
+				return nil, fmt.Errorf("shard %d: %w", i, err)
+			}
+			s.tbl = tbl
+		}
+		e.shards = append(e.shards, s)
+	}
+	var part Partitioner
+	if man.ByRange {
+		part = RangePartitionerFromBounds(bounds)
+	} else {
+		part = NewHashPartitioner(man.Shards)
+	}
+	if part.Shards() != man.Shards {
+		return nil, fmt.Errorf("shard: follower bounds yield %d shards, manifest declares %d", part.Shards(), man.Shards)
+	}
+	e.initRoute(part)
+	ep.AdvanceTo(maxEpoch)
+	e.moveSeq.Store(maxMove)
+	e.obs.ReplicaAppliedEpoch.Set(maxEpoch)
+	return &FollowerBoot{Engine: e, FromSeqs: fromSeqs, BoundsEpoch: boundsEpoch}, nil
+}
+
+// WALDir returns shard i's WAL directory under an engine directory — the
+// path a replication tailer (wal.OpenTailer) reads from.
+func WALDir(dir string, i int) string { return shardDir(dir, i) }
+
+// ShardDump is one shard's physical contents, keys ascending with parallel
+// payload rows.
+type ShardDump struct {
+	Keys []int64
+	Rows [][]int32
+}
+
+// DumpShards snapshots every shard's physical contents — the divergence
+// suites' ground truth for comparing a leader and a caught-up follower.
+// Staged cross-shard moves are not folded in, so compare only after writes
+// quiesce and pending moves drain.
+func (e *Engine) DumpShards() []ShardDump {
+	e.rlockAll()
+	defer e.runlockAll()
+	out := make([]ShardDump, len(e.shards))
+	for i, s := range e.shards {
+		s.mu.Lock()
+		if s.tbl != nil {
+			out[i].Keys, out[i].Rows = s.tbl.Snapshot()
+		}
+		s.mu.Unlock()
+	}
+	return out
+}

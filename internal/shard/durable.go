@@ -88,6 +88,14 @@ func bootstrapDurable(keys []int64, cfg Config) (*Engine, error) {
 	e.wopts = walOptions(cfg)
 	for i, s := range e.shards {
 		s.sdir = shardDir(cfg.Dir, i)
+		// The manifest is the commit point, and it does not exist yet (its
+		// presence routes to recovery instead), so anything already under the
+		// shard directory is debris from a bootstrap that crashed before
+		// committing. Clear it: OpenLog refuses to overwrite an existing
+		// segment, and a stale one would otherwise wedge every re-bootstrap.
+		if err := os.RemoveAll(s.sdir); err != nil {
+			return nil, fmt.Errorf("shard: clearing %s: %w", s.sdir, err)
+		}
 		if err := os.MkdirAll(s.sdir, 0o755); err != nil {
 			return nil, fmt.Errorf("shard: creating %s: %w", s.sdir, err)
 		}
@@ -241,12 +249,13 @@ func recoverDurable(cfg Config, man *wal.Manifest) (*Engine, error) {
 	// stamps share jmu), so a stable sort preserves per-shard append order
 	// while merging the tails into one epoch-ordered global replay.
 	sort.SliceStable(all, func(a, b int) bool { return all[a].rec.Epoch < all[b].rec.Epoch })
-	moves := make(map[uint64]*moveTrace)
+	ap := &applier{e: e, moves: make(map[uint64]*moveTrace)}
 	for _, sr := range all {
-		e.applyRecovered(sr.shard, sr.rec, moves)
+		ap.apply(sr.shard, sr.rec)
 	}
-	e.reconcileMoves(moves, horizons)
+	ap.reconcile(horizons)
 	e.rehomeRecovered()
+	e.replayMismatches = ap.mismatches
 
 	ep.AdvanceTo(maxEpoch)
 	e.moveSeq.Store(maxMove)
@@ -261,9 +270,12 @@ func recoverDurable(cfg Config, man *wal.Manifest) (*Engine, error) {
 	}
 	// The replay summary is journaled unconditionally (events are not gated
 	// on Enabled) so the first reader to attach still sees how this engine
-	// came up.
+	// came up. A non-zero mismatch count means some records named rows this
+	// replay timeline never produced — the image silently diverged from the
+	// WAL; ReplayMismatches exposes the same count programmatically.
 	e.obs.Event(obs.Event{Kind: obs.EvRecoveryReplay, Shard: -1, Epoch: maxEpoch, Rows: len(all),
-		Note: fmt.Sprintf("%d shards, %d move traces reconciled", man.Shards, len(moves))})
+		Note: fmt.Sprintf("%d shards, %d move traces reconciled, %d replay mismatches",
+			man.Shards, len(ap.moves), ap.mismatches)})
 	return e, nil
 }
 
@@ -276,50 +288,6 @@ func toTableLayouts(in []wal.ChunkLayout) []table.ChunkLayout {
 	return out
 }
 
-// applyRecovered replays one WAL record onto shard si during recovery
-// (single-threaded; no locks). Deletes and updates resolve duplicate keys by
-// payload (row identity), so replay order across non-conflicting writers is
-// immaterial. Failed row-identity deletes are skipped exactly as a journal
-// replay skips them: the corresponding runtime op targeted a row this replay
-// timeline never produced.
-func (e *Engine) applyRecovered(si int, r wal.Record, moves map[uint64]*moveTrace) {
-	s := e.shards[si]
-	insert := func(key int64, row []int32) {
-		switch {
-		case s.tbl == nil:
-			s.seedRecovered(key, row)
-		case row == nil:
-			s.tbl.Insert(key)
-		default:
-			s.tbl.InsertRow(key, row)
-		}
-	}
-	switch r.Kind {
-	case wal.RecInsert:
-		insert(r.Key, nil)
-	case wal.RecInsertRow:
-		insert(r.Key, r.Row)
-	case wal.RecDelete:
-		if s.tbl != nil {
-			_ = s.tbl.DeleteRowExact(r.Key, r.Row)
-		}
-	case wal.RecUpdate:
-		if s.tbl != nil && s.tbl.DeleteRowExact(r.Key, r.Row) == nil {
-			s.tbl.InsertRow(r.Key2, r.Row)
-		}
-	case wal.RecMoveOut:
-		mv := traceFor(moves, r)
-		mv.out = true
-		if s.tbl != nil {
-			_ = s.tbl.DeleteRowExact(r.Key, r.Row)
-		}
-	case wal.RecMoveIn:
-		mv := traceFor(moves, r)
-		mv.in = true
-		insert(r.Key2, r.Row)
-	}
-}
-
 // seedRecovered builds the shard's table from the first recovered row; the
 // recovery-time counterpart of shard.seed (single-threaded, no locks, no
 // WAL — the row came from the WAL).
@@ -329,63 +297,6 @@ func (s *shard) seedRecovered(key int64, row []int32) {
 		panic(fmt.Sprintf("shard: recovery seeding one-row table: %v", err))
 	}
 	s.tbl = tbl
-}
-
-func traceFor(moves map[uint64]*moveTrace, r wal.Record) *moveTrace {
-	mv := moves[r.MoveID]
-	if mv == nil {
-		mv = &moveTrace{old: r.Key, new: r.Key2, row: r.Row}
-		moves[r.MoveID] = mv
-	}
-	return mv
-}
-
-// reconcileMoves repairs cross-shard moves whose record pair did not survive
-// the crash intact, so every moved row lands on exactly one shard:
-//
-//   - MoveOut without MoveIn: if the destination shard checkpointed past
-//     this move ID, the insert is inside its checkpoint and the MoveIn was
-//     pruned — nothing to do. Otherwise the crash lost the destination half:
-//     the move never became durable, so the row returns to its old key.
-//   - MoveIn without MoveOut: if the source shard checkpointed past this
-//     move ID, its checkpoint already excludes the row — nothing to do.
-//     Otherwise the crash lost the source half: the move IS durable (the
-//     destination insert survived), so the stale copy at the old key is
-//     removed.
-//
-// The horizon test is sound because move IDs are allocated inside the
-// publish window, which holds the move gate exclusively: a checkpoint (gate
-// shared) with horizon >= id can only be cut after move id fully published.
-//
-// Rebalance bulk moves (Key == Key2) reconcile through the same table: their
-// src and dst collapse onto the key's owner under the recovered bounds, so a
-// half-pair repair may touch the "wrong" physical shard — row-identity
-// deletes remove at most the one stale copy, and the re-homing sweep that
-// follows moves whichever copy survived onto its owner, so every row still
-// lands on exactly one shard.
-func (e *Engine) reconcileMoves(moves map[uint64]*moveTrace, horizons []uint64) {
-	p := e.loadPart()
-	for id, mv := range moves {
-		if mv.out == mv.in {
-			continue // intact pair (or impossible empty trace)
-		}
-		src := p.Shard(mv.old)
-		dst := p.Shard(mv.new)
-		if mv.out && id > horizons[dst] {
-			// Destination half lost in the crash: undo the move.
-			if s := e.shards[src]; s.tbl == nil {
-				s.seedRecovered(mv.old, mv.row)
-			} else {
-				s.tbl.InsertRow(mv.old, mv.row)
-			}
-		}
-		if mv.in && id > horizons[src] {
-			// Source half lost in the crash: finish the move.
-			if s := e.shards[src]; s.tbl != nil {
-				_ = s.tbl.DeleteRowExact(mv.old, mv.row)
-			}
-		}
-	}
 }
 
 // rehomeRecovered moves every recovered row onto the shard that owns its key

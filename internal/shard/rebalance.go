@@ -196,6 +196,9 @@ func (e *Engine) RebalanceWith(strategy RebalanceStrategy) (RebalanceResult, err
 // defaultMaxSkew (the auto-rebalance worker passes its policy's threshold so
 // the proposer and the trigger agree on what "breaching" means).
 func (e *Engine) rebalanceStrategy(strategy RebalanceStrategy, maxSkew float64) (RebalanceResult, error) {
+	if e.readonly {
+		return RebalanceResult{}, ErrReadOnly
+	}
 	if _, ok := e.loadPart().(*RangePartitioner); !ok {
 		return RebalanceResult{}, fmt.Errorf("shard: rebalance requires range partitioning")
 	}
@@ -224,6 +227,9 @@ func (e *Engine) rebalanceStrategy(strategy RebalanceStrategy, maxSkew float64) 
 // deterministic entry point the test suites drive. Requires range
 // partitioning.
 func (e *Engine) RebalanceTo(bounds []int64) (RebalanceResult, error) {
+	if e.readonly {
+		return RebalanceResult{}, ErrReadOnly
+	}
 	if _, ok := e.loadPart().(*RangePartitioner); !ok {
 		return RebalanceResult{}, fmt.Errorf("shard: rebalance requires range partitioning")
 	}

@@ -1,0 +1,122 @@
+package shard
+
+// Recovery replay mismatch surfacing: a WAL record whose row-identity delete
+// fails names a row the replay timeline never produced — the rebuilt image
+// has silently diverged from the WAL, and recovery must count it and surface
+// it through the recovery.replay journal event and ReplayMismatches.
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"casper/internal/obs"
+	"casper/internal/wal"
+)
+
+// replayEvent returns the engine's recovery.replay journal event.
+func replayEvent(t *testing.T, e *Engine) obs.Event {
+	t.Helper()
+	for _, ev := range e.Events(0) {
+		if ev.Kind == obs.EvRecoveryReplay {
+			return ev
+		}
+	}
+	t.Fatalf("no %s event journaled", obs.EvRecoveryReplay)
+	return obs.Event{}
+}
+
+func TestReplayMismatchSurfaced(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(7))
+	e, err := New(durableKeys(200, rng), durableConfig(dir))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Log a few real writes so the WAL tail is non-trivial.
+	for k := int64(2000); k < 2010; k++ {
+		e.Insert(k)
+	}
+	want := engineState(e)
+	epoch := e.Epoch()
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Append a delete whose payload no replay timeline can produce to shard
+	// 0's WAL, past its current final segment — the shape of a divergence
+	// bug (or targeted corruption) recovery must not swallow.
+	sdir := shardDir(dir, 0)
+	_, lastSeq, err := wal.ReplaySegments(sdir, 1)
+	if err != nil {
+		t.Fatalf("ReplaySegments: %v", err)
+	}
+	l, err := wal.OpenLog(sdir, lastSeq+1, wal.Options{Policy: wal.SyncNone})
+	if err != nil {
+		t.Fatalf("OpenLog: %v", err)
+	}
+	if _, err := l.Append(wal.Record{
+		Kind: wal.RecDelete, Epoch: epoch + 1, Key: 2000,
+		Row: []int32{-123, -456, -789},
+	}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	r, err := New(nil, durableConfig(dir))
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer r.Close()
+	if got := r.ReplayMismatches(); got != 1 {
+		t.Fatalf("ReplayMismatches = %d; want 1", got)
+	}
+	ev := replayEvent(t, r)
+	if !strings.Contains(ev.Note, "1 replay mismatches") {
+		t.Fatalf("recovery.replay note = %q; want it to surface 1 replay mismatch", ev.Note)
+	}
+	// The bogus delete matched nothing, so the recovered state is still the
+	// pre-crash state.
+	if got := engineState(r); !reflect.DeepEqual(got, want) {
+		t.Fatalf("state diverged beyond the surfaced mismatch")
+	}
+}
+
+// TestReplayCleanHasNoMismatches: an ordinary shutdown/recover cycle reports
+// zero mismatches, so the counter is a real signal, not noise.
+func TestReplayCleanHasNoMismatches(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(8))
+	e, err := New(durableKeys(200, rng), durableConfig(dir))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for k := int64(3000); k < 3040; k++ {
+		e.Insert(k)
+	}
+	for k := int64(3000); k < 3010; k++ {
+		if err := e.Delete(k); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+	}
+	if err := e.UpdateKey(3010, 9010); err != nil {
+		t.Fatalf("UpdateKey: %v", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	r, err := New(nil, durableConfig(dir))
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer r.Close()
+	if got := r.ReplayMismatches(); got != 0 {
+		t.Fatalf("ReplayMismatches = %d; want 0 on clean recovery", got)
+	}
+	if !strings.Contains(replayEvent(t, r).Note, "0 replay mismatches") {
+		t.Fatalf("recovery.replay note = %q; want 0 replay mismatches", replayEvent(t, r).Note)
+	}
+}

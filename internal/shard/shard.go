@@ -154,6 +154,7 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -371,6 +372,14 @@ type Engine struct {
 	dir     string
 	wopts   wal.Options
 	moveSeq atomic.Uint64
+	// readonly marks a follower engine (NewFollower): every public mutation
+	// fails with ErrReadOnly, and only its Replicator — which bypasses the
+	// public write path entirely — changes table state.
+	readonly bool
+	// replayMismatches is the count of WAL records whose row-identity delete
+	// failed during recovery replay (set once in recoverDurable, before the
+	// engine is shared; see ReplayMismatches).
+	replayMismatches int
 	// betweenMoveWindows, when non-nil, runs between the stage and publish
 	// windows of a cross-shard move with no locks held (test seam for
 	// checkpoint-during-move coverage).
@@ -854,10 +863,18 @@ func (s *shard) routed(j *journalOp) bool {
 	return j.kind != jUpdate || p.Shard(j.key2) == s.idx
 }
 
+// ErrReadOnly is returned by every mutation on a follower engine: a
+// follower's state is the replicated image of its leader, and a local write
+// would silently diverge it.
+var ErrReadOnly = errors.New("shard: engine is read-only (follower)")
+
 // mutate routes j to its owning shard and runs it there, re-routing if a
 // concurrent rebalance moved the key's owner while the write waited on the
 // shard lock.
 func (e *Engine) mutate(j *journalOp, fn func(t *table.Table, capture bool) error) error {
+	if e.readonly {
+		return ErrReadOnly
+	}
 	for {
 		if err, ok := e.shardFor(j.key).run(j, fn); ok {
 			return err
@@ -1341,6 +1358,9 @@ func (e *Engine) Delete(key int64) error {
 // neither, never on both, and never with a torn payload. The operation feeds
 // the drift monitor only when it succeeds.
 func (e *Engine) UpdateKey(old, new int64) error {
+	if e.readonly {
+		return ErrReadOnly
+	}
 	tr := e.obs.OpBegin(obs.OpUpdateKey, int(old))
 	defer e.obs.OpEnd(obs.OpUpdateKey, int(old), tr)
 	var err error

@@ -1,0 +1,198 @@
+package wal
+
+// Segment tailing: the concurrent read mode behind WAL-shipping
+// replication. A Tailer incrementally reads one shard's segment chain while
+// the owning Log keeps appending, distinguishing "incomplete frame, more may
+// come" from torn-tail corruption and following Rotate boundaries by
+// watching for the next segment file. See the package comment's "Segment
+// tailing" section for the visibility contract it relies on.
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"encoding/binary"
+)
+
+// ErrSegmentGone reports that the segment the tailer must read next was
+// pruned by a checkpoint before the tailer could open it. The reader's only
+// recovery is a full re-bootstrap from the newest checkpoint, which — having
+// pruned the segment — covers everything it contained.
+var ErrSegmentGone = errors.New("wal: tailed segment pruned by a checkpoint")
+
+// IsSegmentGone reports whether err wraps ErrSegmentGone.
+func IsSegmentGone(err error) bool { return errors.Is(err, ErrSegmentGone) }
+
+// Tailer incrementally reads the segments of one WAL directory, concurrently
+// with the writing Log. Poll returns the complete records appended since the
+// previous Poll; an incomplete or CRC-bad frame at the tail of the newest
+// segment is treated as in-flight data (re-poll), not corruption, unless the
+// next segment already exists — Rotate finalizes a segment before creating
+// its successor, so a bad tail that persists past a rotation is real.
+//
+// The tailer keeps the current segment's file handle open, so a checkpoint
+// pruning (unlinking) it mid-read is harmless; only a segment pruned before
+// the tailer reached it surfaces as ErrSegmentGone. Not safe for concurrent
+// use by multiple goroutines.
+type Tailer struct {
+	dir string
+	seq uint64   // segment currently being read
+	f   *os.File // nil until the segment exists
+	off int64    // parse offset: end of the last complete frame
+}
+
+// OpenTailer starts tailing dir at segment fromSeq (typically a checkpoint's
+// WALSeq). The segment need not exist yet; Poll waits for it — unless later
+// segments already exist without it, which means it was pruned
+// (ErrSegmentGone).
+func OpenTailer(dir string, fromSeq uint64) (*Tailer, error) {
+	if fromSeq < 1 {
+		fromSeq = 1
+	}
+	if _, err := os.ReadDir(dir); err != nil {
+		return nil, fmt.Errorf("wal: tailing %s: %w", dir, err)
+	}
+	return &Tailer{dir: dir, seq: fromSeq}, nil
+}
+
+// Seq returns the sequence number of the segment the tailer is reading.
+func (t *Tailer) Seq() uint64 { return t.seq }
+
+// Close releases the current segment's file handle.
+func (t *Tailer) Close() error {
+	if t.f == nil {
+		return nil
+	}
+	err := t.f.Close()
+	t.f = nil
+	return err
+}
+
+// Poll reads every complete record appended since the previous Poll, across
+// any number of finished segments, and returns them. An empty result with a
+// nil error means the tailer is caught up with everything visible. Errors
+// are terminal for the tailer: ErrSegmentGone asks the caller to re-bootstrap
+// from the newest checkpoint; anything else is corruption or I/O failure.
+func (t *Tailer) Poll() ([]Record, error) {
+	var out []Record
+	for {
+		if t.f == nil {
+			f, err := os.Open(filepath.Join(t.dir, segmentName(t.seq)))
+			if os.IsNotExist(err) {
+				later, lerr := t.laterSegmentExists()
+				if lerr != nil {
+					return out, lerr
+				}
+				if later {
+					return out, fmt.Errorf("%w (segment %d)", ErrSegmentGone, t.seq)
+				}
+				return out, nil // segment not created yet; re-poll
+			}
+			if err != nil {
+				return out, fmt.Errorf("wal: tailing segment: %w", err)
+			}
+			t.f, t.off = f, 0
+		}
+		recs, _, err := t.readAvailable()
+		out = append(out, recs...)
+		if err != nil {
+			return out, err
+		}
+		succ, err := t.successorExists()
+		if err != nil {
+			return out, err
+		}
+		if !succ {
+			return out, nil // newest segment; bad or missing tail means re-poll
+		}
+		// The successor exists, so this segment's content is final (Rotate
+		// closes a segment before creating its successor) — but the read
+		// above may have raced appends that landed just before the rotation,
+		// or caught the tail frame half-written. Re-read up to the final
+		// size; a tail that is still bad now is real corruption.
+		recs, clean, err := t.readAvailable()
+		out = append(out, recs...)
+		if err != nil {
+			return out, err
+		}
+		if !clean {
+			return out, fmt.Errorf("wal: corrupt frame at offset %d of rotated segment %s",
+				t.off, segmentName(t.seq))
+		}
+		// Segment finished cleanly and a successor exists: advance.
+		t.f.Close()
+		t.f = nil
+		t.seq++
+	}
+}
+
+// readAvailable parses complete frames from t.off to the current end of the
+// segment, advancing t.off past each. clean reports whether parsing consumed
+// the file exactly (no partial or CRC-bad frame at the tail).
+func (t *Tailer) readAvailable() (recs []Record, clean bool, err error) {
+	fi, err := t.f.Stat()
+	if err != nil {
+		return nil, false, fmt.Errorf("wal: tailing stat: %w", err)
+	}
+	size := fi.Size()
+	if size <= t.off {
+		return nil, size == t.off, nil
+	}
+	data := make([]byte, size-t.off)
+	if _, err := t.f.ReadAt(data, t.off); err != nil && err != io.EOF {
+		return nil, false, fmt.Errorf("wal: tailing read: %w", err)
+	}
+	off := 0
+	for off+frameHeader <= len(data) {
+		plen := binary.LittleEndian.Uint32(data[off:])
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		end := off + frameHeader + int(plen)
+		if plen > maxPayload || end > len(data) {
+			break
+		}
+		payload := data[off+frameHeader : end]
+		if crc32.ChecksumIEEE(payload) != crc {
+			break
+		}
+		rec, derr := decodePayload(payload)
+		if derr != nil {
+			break
+		}
+		recs = append(recs, rec)
+		off = end
+	}
+	t.off += int64(off)
+	return recs, off == len(data), nil
+}
+
+// successorExists reports whether the next segment file exists, marking the
+// current one final.
+func (t *Tailer) successorExists() (bool, error) {
+	_, err := os.Stat(filepath.Join(t.dir, segmentName(t.seq+1)))
+	if err == nil {
+		return true, nil
+	}
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	return false, fmt.Errorf("wal: tailing stat: %w", err)
+}
+
+// laterSegmentExists reports whether any segment with seq > t.seq exists —
+// the signature of t.seq having been pruned before the tailer opened it.
+func (t *Tailer) laterSegmentExists() (bool, error) {
+	entries, err := os.ReadDir(t.dir)
+	if err != nil {
+		return false, fmt.Errorf("wal: tailing %s: %w", t.dir, err)
+	}
+	for _, e := range entries {
+		if seq, ok := parseSeq(e.Name()); ok && seq > t.seq {
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,255 @@
+package wal
+
+// Tailer coverage: live incremental reads, partial-frame waiting, rotation
+// following, pruned-segment detection, and corruption in a finished segment.
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// frameBytes encodes r as one on-disk frame.
+func frameBytes(r Record) []byte {
+	buf := make([]byte, frameHeader)
+	buf = encodePayload(buf, r)
+	payload := buf[frameHeader:]
+	binary.LittleEndian.PutUint32(buf[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(payload))
+	return buf
+}
+
+func mustPoll(t *testing.T, tl *Tailer) []Record {
+	t.Helper()
+	recs, err := tl.Poll()
+	if err != nil {
+		t.Fatalf("Poll: %v", err)
+	}
+	return recs
+}
+
+func TestTailerLiveAppends(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, 1, Options{Policy: SyncNone})
+	if err != nil {
+		t.Fatalf("OpenLog: %v", err)
+	}
+	defer l.Close()
+	tl, err := OpenTailer(dir, 1)
+	if err != nil {
+		t.Fatalf("OpenTailer: %v", err)
+	}
+	defer tl.Close()
+
+	want := testRecords()
+	appendAll(t, l, want[:3])
+	if got := mustPoll(t, tl); !reflect.DeepEqual(got, want[:3]) {
+		t.Fatalf("first poll:\ngot  %+v\nwant %+v", got, want[:3])
+	}
+	if got := mustPoll(t, tl); len(got) != 0 {
+		t.Fatalf("caught-up poll returned %d records", len(got))
+	}
+	appendAll(t, l, want[3:])
+	if got := mustPoll(t, tl); !reflect.DeepEqual(got, want[3:]) {
+		t.Fatalf("second poll:\ngot  %+v\nwant %+v", got, want[3:])
+	}
+}
+
+// TestTailerPartialFrameWaits: an incomplete frame at the tail of the newest
+// segment means "more may come", not corruption — the tailer returns what is
+// complete and picks the frame up once its remaining bytes land.
+func TestTailerPartialFrameWaits(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, 1, Options{Policy: SyncNone})
+	if err != nil {
+		t.Fatalf("OpenLog: %v", err)
+	}
+	want := testRecords()
+	appendAll(t, l, want[:2])
+	l.Close()
+
+	tl, err := OpenTailer(dir, 1)
+	if err != nil {
+		t.Fatalf("OpenTailer: %v", err)
+	}
+	defer tl.Close()
+	if got := mustPoll(t, tl); !reflect.DeepEqual(got, want[:2]) {
+		t.Fatalf("poll:\ngot  %+v\nwant %+v", got, want[:2])
+	}
+
+	// Land a frame in two halves, as a concurrent writer mid-Append would.
+	frame := frameBytes(want[2])
+	f, err := os.OpenFile(filepath.Join(dir, segmentName(1)), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(frame[:len(frame)-3]); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustPoll(t, tl); len(got) != 0 {
+		t.Fatalf("poll over partial frame returned %d records", len(got))
+	}
+	if _, err := f.Write(frame[len(frame)-3:]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if got := mustPoll(t, tl); !reflect.DeepEqual(got, want[2:3]) {
+		t.Fatalf("poll after frame completed:\ngot  %+v\nwant %+v", got, want[2:3])
+	}
+}
+
+func TestTailerFollowsRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, 1, Options{Policy: SyncNone})
+	if err != nil {
+		t.Fatalf("OpenLog: %v", err)
+	}
+	defer l.Close()
+	tl, err := OpenTailer(dir, 1)
+	if err != nil {
+		t.Fatalf("OpenTailer: %v", err)
+	}
+	defer tl.Close()
+
+	want := testRecords()
+	appendAll(t, l, want[:2])
+	if _, err := l.Rotate(); err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	appendAll(t, l, want[2:4])
+	if got := mustPoll(t, tl); !reflect.DeepEqual(got, want[:4]) {
+		t.Fatalf("poll across rotation:\ngot  %+v\nwant %+v", got, want[:4])
+	}
+	if tl.Seq() != 2 {
+		t.Fatalf("Seq() = %d; want 2", tl.Seq())
+	}
+	// A second rotation with nothing appended in between: the tailer crosses
+	// the empty boundary cleanly.
+	if _, err := l.Rotate(); err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	appendAll(t, l, want[4:5])
+	if got := mustPoll(t, tl); !reflect.DeepEqual(got, want[4:5]) {
+		t.Fatalf("poll across second rotation:\ngot  %+v\nwant %+v", got, want[4:5])
+	}
+}
+
+// TestTailerWaitsForFutureSegment: tailing a segment that does not exist yet
+// (a checkpoint's WALSeq pointing at a segment about to be created) is a
+// quiet wait, not an error.
+func TestTailerWaitsForFutureSegment(t *testing.T) {
+	dir := t.TempDir()
+	tl, err := OpenTailer(dir, 1)
+	if err != nil {
+		t.Fatalf("OpenTailer: %v", err)
+	}
+	defer tl.Close()
+	if got := mustPoll(t, tl); len(got) != 0 {
+		t.Fatalf("poll of empty dir returned %d records", len(got))
+	}
+	l, err := OpenLog(dir, 1, Options{Policy: SyncNone})
+	if err != nil {
+		t.Fatalf("OpenLog: %v", err)
+	}
+	defer l.Close()
+	want := testRecords()[:1]
+	appendAll(t, l, want)
+	if got := mustPoll(t, tl); !reflect.DeepEqual(got, want) {
+		t.Fatalf("poll after segment appeared:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestTailerSegmentGone: the target segment missing while later ones exist
+// means a checkpoint pruned it — the tailer reports ErrSegmentGone so its
+// owner re-bootstraps from that checkpoint.
+func TestTailerSegmentGone(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, 3, Options{Policy: SyncNone})
+	if err != nil {
+		t.Fatalf("OpenLog: %v", err)
+	}
+	l.Close()
+	tl, err := OpenTailer(dir, 1)
+	if err != nil {
+		t.Fatalf("OpenTailer: %v", err)
+	}
+	defer tl.Close()
+	if _, err := tl.Poll(); !IsSegmentGone(err) {
+		t.Fatalf("Poll = %v; want ErrSegmentGone", err)
+	}
+}
+
+// TestTailerCorruptRotatedSegment: a bad tail in a segment that already has
+// a successor is real corruption — Rotate finalized the segment, so no more
+// bytes can come.
+func TestTailerCorruptRotatedSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, 1, Options{Policy: SyncNone})
+	if err != nil {
+		t.Fatalf("OpenLog: %v", err)
+	}
+	want := testRecords()
+	appendAll(t, l, want[:2])
+	l.Close()
+	garbage := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3}
+	seg := filepath.Join(dir, segmentName(1))
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(garbage)
+	f.Close()
+	if err := os.WriteFile(filepath.Join(dir, segmentName(2)), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tl, err := OpenTailer(dir, 1)
+	if err != nil {
+		t.Fatalf("OpenTailer: %v", err)
+	}
+	defer tl.Close()
+	recs, perr := tl.Poll()
+	if perr == nil || IsSegmentGone(perr) {
+		t.Fatalf("Poll = %v; want corruption error", perr)
+	}
+	if !reflect.DeepEqual(recs, want[:2]) {
+		t.Fatalf("records before corruption:\ngot  %+v\nwant %+v", recs, want[:2])
+	}
+}
+
+// TestTailerSurvivesPruneOfOpenSegment: unlinking the segment the tailer is
+// mid-way through (checkpoint prune) is harmless — the held descriptor keeps
+// the data readable, and the successor carries on.
+func TestTailerSurvivesPruneOfOpenSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, 1, Options{Policy: SyncNone})
+	if err != nil {
+		t.Fatalf("OpenLog: %v", err)
+	}
+	defer l.Close()
+	tl, err := OpenTailer(dir, 1)
+	if err != nil {
+		t.Fatalf("OpenTailer: %v", err)
+	}
+	defer tl.Close()
+
+	want := testRecords()
+	appendAll(t, l, want[:1])
+	if got := mustPoll(t, tl); !reflect.DeepEqual(got, want[:1]) {
+		t.Fatalf("first poll:\ngot  %+v\nwant %+v", got, want[:1])
+	}
+	appendAll(t, l, want[1:3])
+	if _, err := l.Rotate(); err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	if err := os.Remove(filepath.Join(dir, segmentName(1))); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, want[3:4])
+	if got := mustPoll(t, tl); !reflect.DeepEqual(got, want[1:4]) {
+		t.Fatalf("poll across pruned open segment:\ngot  %+v\nwant %+v", got, want[1:4])
+	}
+}

@@ -43,6 +43,34 @@
 //	              every waiter whose record that covers returns without
 //	              issuing its own fsync.
 //	SyncNone      never fsync except on Rotate/Sync/Close.
+//
+// # Segment tailing
+//
+// A Tailer reads a shard's segments concurrently with the writing Log —
+// the replication substrate behind internal/replica. The contract a
+// same-host concurrent reader may assume:
+//
+//   - Appends become visible to readers through the shared page cache as
+//     soon as Append's write returns; fsync policy affects durability,
+//     never reader visibility. A tailer therefore sees records before they
+//     are durable — followers replicate the leader's in-memory history,
+//     which recovery of the leader may truncate after a power loss.
+//   - A reader can observe a partially written final frame (reads are not
+//     atomic with respect to an in-flight write). An incomplete or
+//     CRC-mismatched frame at the tail of the newest segment means "more
+//     may come", not corruption: re-poll.
+//   - Rotate fsyncs and closes segment N before creating segment N+1, so
+//     once wal-(N+1) exists, segment N's content is final. A bad tail
+//     frame that persists in segment N after its successor exists (and
+//     after one re-read to close the race with the final appends) is real
+//     corruption, as is any bad frame in a non-final segment.
+//   - Checkpoints prune segments below their cut. A tailer that holds the
+//     current segment open keeps reading it after an unlink; when it must
+//     advance to a segment that was pruned before it could open it, Poll
+//     returns ErrSegmentGone and the reader re-bootstraps from the newest
+//     checkpoint (which, having pruned the segment, covers it).
+//   - A tailer never mutates the directory: it does not truncate torn
+//     tails (only ReplaySegments, run by the owning engine, does).
 package wal
 
 import (
@@ -251,14 +279,24 @@ type Log struct {
 	flushDone chan struct{}
 }
 
-// OpenLog creates (or truncates) segment seq in dir and returns an appending
-// handle. Existing segments are left untouched — recovery reads them with
-// ReplaySegments before opening a fresh segment past the highest one.
+// createSegment creates a brand-new segment file for seq, failing loudly if
+// one already exists: a seq collision would silently truncate durable data
+// out from under recovery or a tailing follower, so it is never resolved by
+// overwriting.
+func createSegment(dir string, seq uint64) (*os.File, error) {
+	return os.OpenFile(filepath.Join(dir, segmentName(seq)), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+}
+
+// OpenLog creates segment seq in dir and returns an appending handle. The
+// segment must not already exist (callers derive seq from ReplaySegments'
+// highest-seen sequence, so a collision means a bug, and truncating the
+// existing segment would destroy durable records); existing segments are
+// left untouched.
 func OpenLog(dir string, seq uint64, opts Options) (*Log, error) {
 	if seq < 1 {
 		seq = 1
 	}
-	f, err := os.Create(filepath.Join(dir, segmentName(seq)))
+	f, err := createSegment(dir, seq)
 	if err != nil {
 		return nil, fmt.Errorf("wal: opening segment: %w", err)
 	}
@@ -450,14 +488,23 @@ func (l *Log) Rotate() (uint64, error) {
 		return l.seq, l.err
 	}
 	if err := l.f.Close(); err != nil {
+		// The handle's state is unknown after a failed close: invalidate it
+		// so no later path (Append, Sync, Close) can touch it — they all
+		// surface the rotate error instead.
+		l.f = nil
 		l.err = fmt.Errorf("wal: rotate close: %w", err)
 		return l.seq, l.err
 	}
 	l.syncLSN = l.appendLSN
 	l.lastSync = time.Now()
 	next := l.seq + 1
-	f, err := os.Create(filepath.Join(l.dir, segmentName(next)))
+	f, err := createSegment(l.dir, next)
 	if err != nil {
+		// The old segment is already closed; without a new one the log has
+		// no valid file. Invalidate the handle explicitly so Append/Sync/
+		// Close return this rotate error rather than a confusing "file
+		// already closed" (or a nil dereference).
+		l.f = nil
 		l.err = fmt.Errorf("wal: rotate open: %w", err)
 		return l.seq, l.err
 	}
@@ -489,6 +536,11 @@ func (l *Log) Close() error {
 	defer l.mu.Unlock()
 	for l.syncing {
 		l.cond.Wait()
+	}
+	if l.f == nil {
+		// A failed Rotate already closed (or invalidated) the segment; the
+		// sticky error it recorded is the whole story.
+		return l.err
 	}
 	if serr := l.f.Sync(); serr != nil {
 		if l.err == nil {

@@ -1,0 +1,183 @@
+package wal
+
+// Error-path coverage: segment-collision refusal, rotate-failure state
+// invalidation, fsync-error stickiness, flush-loop shutdown durability, and
+// replay over an empty final segment.
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestOpenLogRefusesExistingSegment: a seq collision must fail loudly, never
+// truncate the durable records already in the segment.
+func TestOpenLogRefusesExistingSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, 1, Options{Policy: SyncNone})
+	if err != nil {
+		t.Fatalf("OpenLog: %v", err)
+	}
+	want := testRecords()
+	appendAll(t, l, want)
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	if _, err := OpenLog(dir, 1, Options{Policy: SyncNone}); err == nil {
+		t.Fatalf("OpenLog over existing segment succeeded; want error")
+	}
+
+	got, lastSeq, err := ReplaySegments(dir, 1)
+	if err != nil {
+		t.Fatalf("ReplaySegments: %v", err)
+	}
+	if lastSeq != 1 || !reflect.DeepEqual(got, want) {
+		t.Fatalf("records damaged by refused OpenLog: lastSeq=%d got %+v", lastSeq, got)
+	}
+}
+
+// TestRotateFailureInvalidatesLog: when Rotate closes the old segment but
+// cannot create the next one, the log must invalidate its handle and surface
+// the rotate error from every later call — not "file already closed", and
+// never a nil dereference.
+func TestRotateFailureInvalidatesLog(t *testing.T) {
+	base := t.TempDir()
+	dir := filepath.Join(base, "wal")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	l, err := OpenLog(dir, 1, Options{Policy: SyncNone})
+	if err != nil {
+		t.Fatalf("OpenLog: %v", err)
+	}
+	if _, err := l.Append(testRecords()[0]); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	// Removing the directory makes createSegment(next) fail after the old
+	// segment has already been fsynced and closed — exactly the post-close
+	// failure window.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Rotate(); err == nil {
+		t.Fatalf("Rotate with removed directory succeeded; want error")
+	} else if !strings.Contains(err.Error(), "rotate open") {
+		t.Fatalf("Rotate error = %v; want the rotate open failure", err)
+	}
+	rerr := l.Err()
+	if rerr == nil {
+		t.Fatalf("sticky error not set after failed Rotate")
+	}
+	if _, err := l.Append(testRecords()[1]); err != rerr {
+		t.Fatalf("Append after failed Rotate = %v; want sticky %v", err, rerr)
+	}
+	if err := l.Sync(); err != rerr {
+		t.Fatalf("Sync after failed Rotate = %v; want sticky %v", err, rerr)
+	}
+	if _, err := l.Rotate(); err != rerr {
+		t.Fatalf("second Rotate = %v; want sticky %v", err, rerr)
+	}
+	if err := l.Close(); err != rerr {
+		t.Fatalf("Close after failed Rotate = %v; want sticky %v", err, rerr)
+	}
+}
+
+// TestFsyncErrorSticky: a failed fsync must poison the log — Sync, Commit,
+// and Append all return the same sticky error ever after, so no caller can
+// mistake a log with un-durable data for a healthy one.
+func TestFsyncErrorSticky(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, 1, Options{Policy: SyncAlways})
+	if err != nil {
+		t.Fatalf("OpenLog: %v", err)
+	}
+	lsn, err := l.Append(testRecords()[0])
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l.Commit(lsn); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	lsn, err = l.Append(testRecords()[1])
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	// Close the descriptor underneath the log: the next fsync fails (EBADF).
+	l.mu.Lock()
+	l.f.Close()
+	l.mu.Unlock()
+
+	serr := l.Sync()
+	if serr == nil {
+		t.Fatalf("Sync on closed descriptor succeeded; want error")
+	}
+	if got := l.Err(); got != serr {
+		t.Fatalf("Err() = %v; want sticky %v", got, serr)
+	}
+	if err := l.Commit(lsn); err != serr {
+		t.Fatalf("Commit after fsync failure = %v; want sticky %v", err, serr)
+	}
+	if _, err := l.Append(testRecords()[2]); err != serr {
+		t.Fatalf("Append after fsync failure = %v; want sticky %v", err, serr)
+	}
+	if err := l.Sync(); err != serr {
+		t.Fatalf("second Sync = %v; want sticky %v", err, serr)
+	}
+}
+
+// TestCloseFlushesUnsynced: under SyncInterval with a long interval, commits
+// never trigger an fsync — Close is what makes the tail durable, and must.
+func TestCloseFlushesUnsynced(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, 1, Options{Policy: SyncInterval, Interval: time.Hour})
+	if err != nil {
+		t.Fatalf("OpenLog: %v", err)
+	}
+	want := testRecords()
+	appendAll(t, l, want)
+	if off := l.DurableOffset(); off != 0 {
+		t.Fatalf("DurableOffset before Close = %d; want 0 (interval not due)", off)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got, _, err := ReplaySegments(dir, 1)
+	if err != nil {
+		t.Fatalf("ReplaySegments: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("records lost across flush-loop shutdown:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestReplayEmptyFinalSegment: a zero-byte final segment (created by a crash
+// between Rotate's create and the first append) is not corruption.
+func TestReplayEmptyFinalSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, 1, Options{Policy: SyncNone})
+	if err != nil {
+		t.Fatalf("OpenLog: %v", err)
+	}
+	want := testRecords()
+	appendAll(t, l, want)
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, segmentName(2)), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, lastSeq, err := ReplaySegments(dir, 1)
+	if err != nil {
+		t.Fatalf("ReplaySegments with empty final segment: %v", err)
+	}
+	if lastSeq != 2 {
+		t.Fatalf("lastSeq = %d; want 2", lastSeq)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replay mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
