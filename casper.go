@@ -176,7 +176,22 @@ type Options struct {
 	// SyncEvery bounds WAL staleness under SyncModeInterval (default
 	// 100ms).
 	SyncEvery time.Duration
+	// Admission configures the write admission controller: a token-bucket
+	// write limiter with per-tenant fairness lanes whose refill rate is
+	// governed by the drift monitors, so a write burst cannot outrun
+	// background retraining. Gated writes shed with ErrOverload or block
+	// up to AdmissionPolicy.MaxWait; see Engine.Writer for tenant-scoped
+	// handles. The zero value disables admission control.
+	Admission AdmissionPolicy
 }
+
+// AdmissionPolicy configures the write admission controller; see
+// shard.AdmissionPolicy for field semantics. The zero value disables it.
+type AdmissionPolicy = shard.AdmissionPolicy
+
+// ErrOverload is returned by admission-gated writes when the engine is
+// shedding write load; the op was not applied. See Options.Admission.
+var ErrOverload = shard.ErrOverload
 
 // SyncMode selects when a durable engine fsyncs its write-ahead logs.
 type SyncMode int
@@ -291,6 +306,7 @@ func shardConfig(opts Options) (shard.Config, iomodel.CostParams, *txn.Oracle, e
 		Dir:       opts.Dir,
 		Sync:      walPolicy(opts.Sync),
 		SyncEvery: opts.SyncEvery,
+		Admission: opts.Admission,
 		Table: table.Config{
 			Mode:           tableMode(opts.Mode),
 			PayloadCols:    payloadCols,
@@ -369,6 +385,16 @@ func (e *Engine) Delete(key int64) error { return e.sh.Delete(key) }
 // the row on exactly one shard at all times — never on neither, never on
 // both, and never with a torn payload.
 func (e *Engine) UpdateKey(old, new int64) error { return e.sh.UpdateKey(old, new) }
+
+// Writer is a tenant-scoped write handle: writes submitted through it pass
+// admission control (Options.Admission) on that tenant's fairness lane and
+// may return ErrOverload per the policy. On an engine without admission
+// control it behaves like the plain write methods, with Insert additionally
+// returning the write path's error.
+type Writer = shard.Writer
+
+// Writer returns a write handle bound to the given tenant lane.
+func (e *Engine) Writer(tenant int) *Writer { return e.sh.Writer(tenant) }
 
 // Payload returns payload column col of one row with the given key.
 func (e *Engine) Payload(key int64, col int) (int32, bool) { return e.sh.Payload(key, col) }

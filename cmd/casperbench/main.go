@@ -8,6 +8,7 @@
 //	casperbench -throughput -cpus 1,2,4,8 [-out BENCH_throughput.json]
 //	casperbench -scan [-rows N] [-out BENCH_scan.json]
 //	casperbench -replica [-rows N] [-ops N] [-out BENCH_replica.json]
+//	casperbench -scenario NAME [-rows N] [-ops N] [-out BENCH_scenarios.json]
 //	casperbench -http :8080               # live /metrics (JSON + Prometheus) and /events
 //	casperbench -validate-metrics http://localhost:8080
 //	casperbench -obsbench [-out BENCH_obs.json]
@@ -24,6 +25,21 @@
 //	casperbench -rebalance -rows 200000   # skewed-drift scenario: quantile vs minimal proposer
 //	casperbench -scan -rows 200000        # streaming cursor sweep: LIMIT × result size
 //	casperbench -replica -rows 200000     # follower lag vs ingest rate; asserts lag -> 0 after quiesce
+//	casperbench -scenario flashcrowd      # 50x write spike, uncontrolled vs admission-controlled
+//	casperbench -scenario all             # every adversarial scenario
+//
+// The -scenario mode replays a time-phased adversarial workload (zipf-hot,
+// flashcrowd, diurnal, tenant-skew, htap-sweep, or "all") against a durable
+// range-sharded engine with the full background cast running concurrently:
+// auto-retrainer, auto-rebalancer, a periodic checkpointer, and a follower
+// tailing the WAL. Each phase is offered at its spec rate (a Rate-1 phase
+// offers 4k ops/s; flashcrowd's crowd phase 50x that). The artifact
+// (default BENCH_scenarios.json) records per-phase and per-run ops/s,
+// client-observed p99, rows moved by rebalancing, admission counters and
+// shed fraction, and follower lag. flashcrowd runs twice — uncontrolled,
+// then with admission control — so the artifact shows the token bucket
+// bounding p99 during the spike at the cost of shedding the crowd's excess
+// writes with ErrOverload.
 //
 // The -scan sweep drives streaming cursors over ranges of three result
 // sizes under LIMIT 10, 1000, and unlimited, reporting scans/s, first-row
@@ -77,6 +93,7 @@ func main() {
 		durable = flag.Bool("durable", false, "measure durable ingest throughput per WAL sync policy and recovery time")
 		rebal   = flag.Bool("rebalance", false, "run the skewed-drift shard rebalancing scenario")
 		replica = flag.Bool("replica", false, "measure WAL-shipping replication lag vs ingest rate; emits BENCH_replica.json")
+		scen    = flag.String("scenario", "", "replay an adversarial scenario (zipf-hot, flashcrowd, diurnal, tenant-skew, htap-sweep, or 'all') with the full background cast live; emits BENCH_scenarios.json")
 		scan    = flag.Bool("scan", false, "run the streaming-scan sweep (LIMIT x result size); emits a JSON artifact")
 		httpOn  = flag.String("http", "", "serve live /metrics and /events on this address (e.g. :8080) over a loaded engine")
 		valMet  = flag.String("validate-metrics", "", "validate a running metrics endpoint (base URL, e.g. http://localhost:8080)")
@@ -148,6 +165,15 @@ func main() {
 			outPath = "BENCH_replica.json"
 		}
 		if err := runReplica(sc.Rows, *ops, sc.Seed, outPath); err != nil {
+			fmt.Fprintf(os.Stderr, "casperbench: %v\n", err)
+			os.Exit(1)
+		}
+	case *scen != "":
+		outPath := *out
+		if !flagWasSet("out") {
+			outPath = "BENCH_scenarios.json"
+		}
+		if err := runScenario(*scen, *rows, *ops, sc.Seed, outPath); err != nil {
 			fmt.Fprintf(os.Stderr, "casperbench: %v\n", err)
 			os.Exit(1)
 		}

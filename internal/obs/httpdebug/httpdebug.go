@@ -104,6 +104,9 @@ func writePrometheus(w http.ResponseWriter, s obs.Snapshot) {
 		{"casper_wal_segment_rolls_total", s.WAL.SegmentRolls},
 		{"casper_rebalance_rows_moved_total", s.Rebalance.RowsMoved},
 		{"casper_checkpoints_total", s.Checkpoints},
+		{"casper_admission_admitted_total", s.Admission.Admitted},
+		{"casper_admission_shed_total", s.Admission.Shed},
+		{"casper_admission_queued_total", s.Admission.Queued},
 		{"casper_replica_records_applied_total", s.Replica.RecordsApplied},
 	}
 	for _, c := range counters {
@@ -112,6 +115,7 @@ func writePrometheus(w http.ResponseWriter, s obs.Snapshot) {
 
 	fmt.Fprintf(w, "# TYPE casper_replica_applied_epoch gauge\ncasper_replica_applied_epoch %d\n", s.Replica.AppliedEpoch)
 	fmt.Fprintf(w, "# TYPE casper_replica_lag_seconds gauge\ncasper_replica_lag_seconds %g\n", s.Replica.LagSeconds)
+	fmt.Fprintf(w, "# TYPE casper_admission_rate_limit gauge\ncasper_admission_rate_limit %g\n", s.Admission.RateLimit)
 
 	hists := []struct {
 		name string
@@ -121,6 +125,7 @@ func writePrometheus(w http.ResponseWriter, s obs.Snapshot) {
 		{"casper_wal_group_batch", s.WAL.GroupBatch},
 		{"casper_retrain_dur_ns", s.Retrain.DurNs},
 		{"casper_rebalance_pause_ns", s.Rebalance.PauseNs},
+		{"casper_admission_wait_ns", s.Admission.WaitNs},
 	}
 	for _, h := range hists {
 		fmt.Fprintf(w, "# TYPE %s histogram\n", h.name)

@@ -290,6 +290,20 @@ type RebalanceStats struct {
 	PauseNs   HistStats `json:"pause_ns"`
 }
 
+// AdmissionStats reports the write admission controller's traffic split and
+// queueing. All-zero when admission control is off. Admitted+Shed equals the
+// writes submitted through admission-gated entry points; Queued counts the
+// subset that waited for a token before resolving, and WaitNs is their
+// queue-wait distribution. RateLimit is the current adaptive refill rate in
+// writes/sec (the drift/retrain-lag governor's output).
+type AdmissionStats struct {
+	Admitted  uint64    `json:"admitted"`
+	Shed      uint64    `json:"shed"`
+	Queued    uint64    `json:"queued"`
+	WaitNs    HistStats `json:"wait_ns"`
+	RateLimit float64   `json:"rate_limit"`
+}
+
 // ReplicaStats reports WAL-shipping replication progress on a follower
 // engine. All-zero on leaders (and on followers that have not applied
 // anything yet). LagSeconds is time since the follower last observed itself
@@ -319,6 +333,7 @@ type Snapshot struct {
 	Retrain          RetrainStats       `json:"retrain"`
 	Rebalance        RebalanceStats     `json:"rebalance"`
 	Checkpoints      uint64             `json:"checkpoints"`
+	Admission        AdmissionStats     `json:"admission"`
 	Replica          ReplicaStats       `json:"replica"`
 }
 
@@ -441,6 +456,18 @@ type Registry struct {
 	RebalanceRows Counter
 	Checkpoints   Counter
 
+	// Admission metrics are recorded ungated (like replica metrics): the
+	// controller is itself opt-in, shed traffic must be accountable from
+	// the first gated write, and admitted+shed == submitted is a
+	// load-bearing invariant that cannot tolerate a late Enable. The
+	// stripe hint is the tenant lane. AdmissionRate holds the governor's
+	// current refill limit (float64 bits, writes/sec).
+	AdmissionAdmitted Counter
+	AdmissionShed     Counter
+	AdmissionQueued   Counter
+	AdmissionWaitNs   Histogram
+	AdmissionRate     Gauge
+
 	// Replica metrics are recorded ungated (like journal events): a
 	// follower's apply loop starts before any reader calls Enable, and lag
 	// must be observable from the first applied record.
@@ -478,6 +505,10 @@ func New(stripes int) *Registry {
 	r.WALRolls = newCounter(stripes)
 	r.RebalanceRows = newCounter(1)
 	r.Checkpoints = newCounter(stripes)
+	r.AdmissionAdmitted = newCounter(stripes)
+	r.AdmissionShed = newCounter(stripes)
+	r.AdmissionQueued = newCounter(stripes)
+	r.AdmissionWaitNs = newHistogram(stripes)
 	r.ReplicaRecordsApplied = newCounter(stripes)
 	r.WALFsyncNs = newHistogram(stripes)
 	r.WALGroupBatch = newHistogram(stripes)
@@ -598,6 +629,13 @@ func (r *Registry) Snapshot() Snapshot {
 		Retrain:     RetrainStats{DurNs: r.RetrainNs.stats()},
 		Rebalance:   RebalanceStats{RowsMoved: r.RebalanceRows.Total(), PauseNs: r.RebalancePauseNs.stats()},
 		Checkpoints: r.Checkpoints.Total(),
+		Admission: AdmissionStats{
+			Admitted:  r.AdmissionAdmitted.Total(),
+			Shed:      r.AdmissionShed.Total(),
+			Queued:    r.AdmissionQueued.Total(),
+			WaitNs:    r.AdmissionWaitNs.stats(),
+			RateLimit: r.AdmissionRate.LoadFloat(),
+		},
 		Replica: ReplicaStats{
 			RecordsApplied: r.ReplicaRecordsApplied.Total(),
 			AppliedEpoch:   r.ReplicaAppliedEpoch.Load(),

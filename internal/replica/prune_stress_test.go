@@ -1,0 +1,95 @@
+package replica
+
+// Regression stress for the pruned-chain tailer hole (wal.Tailer
+// TestTailerPrunedChainBreak is the deterministic twin): a follower tailing a
+// leader that runs auto-retrain, auto-rebalance, AND a fast checkpoint loop
+// used to silently lose every record in segments pruned while its tailer
+// lagged more than one checkpoint behind — reporting lag 0 with rows missing.
+// The bulk MoveOut/MoveIn bursts a rebalance appends are what push the tailer
+// far enough behind for two prune cycles to pass it, so this suite keeps all
+// three background workers live, exactly like `casperbench -scenario`.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"casper/internal/shard"
+)
+
+func TestFollowerConvergenceUnderCheckpointPressure(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		seed := seed
+		dir := t.TempDir()
+		rng := rand.New(rand.NewSource(seed))
+		cfg := testConfig(dir)
+		cfg.Shards = 4
+		leader, err := shard.New(seedKeys(2000, rng), cfg)
+		if err != nil {
+			t.Fatalf("leader: %v", err)
+		}
+
+		f, err := Open(cfg, Options{PollEvery: time.Millisecond})
+		if err != nil {
+			t.Fatalf("follower: %v", err)
+		}
+
+		if err := leader.StartAutoRetrain(shard.RetrainPolicy{CheckEvery: 5 * time.Millisecond, MinOps: 100}); err != nil {
+			t.Fatalf("retrain: %v", err)
+		}
+		if err := leader.StartAutoRebalance(shard.RebalancePolicy{CheckEvery: 10 * time.Millisecond, MaxSkew: 1.2, MinRows: 256, MinOps: 64}); err != nil {
+			t.Fatalf("rebalance: %v", err)
+		}
+		ckptDone := make(chan struct{})
+		var ckptWG sync.WaitGroup
+		ckptWG.Add(1)
+		go func() {
+			defer ckptWG.Done()
+			tick := time.NewTicker(20 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ckptDone:
+					return
+				case <-tick.C:
+					if err := leader.Checkpoint(); err != nil {
+						t.Errorf("checkpoint: %v", err)
+						return
+					}
+				}
+			}
+		}()
+
+		var wg sync.WaitGroup
+		for w := 0; w < 3; w++ {
+			wg.Add(1)
+			go func(w int64) {
+				defer wg.Done()
+				churn(leader, 100000+w*10000, 10000, 1500, 42+w)
+			}(int64(w))
+		}
+		wg.Wait()
+
+		leader.StopAutoRetrain()
+		leader.StopAutoRebalance()
+		close(ckptDone)
+		ckptWG.Wait()
+		if err := leader.SyncWAL(); err != nil {
+			t.Fatalf("SyncWAL: %v", err)
+		}
+		if !f.WaitCaughtUp(20 * time.Second) {
+			t.Fatalf("seed %d: follower never caught up: err=%v lag=%v", seed, f.Err(), f.Lag())
+		}
+
+		verifyConverged(t, leader, f)
+		f.mu.RLock()
+		mism := f.rep.Mismatches()
+		f.mu.RUnlock()
+		if mism != 0 {
+			t.Fatalf("seed %d: %d apply mismatches (stream/image divergence)", seed, mism)
+		}
+		f.Close()
+		leader.Close()
+	}
+}

@@ -171,14 +171,17 @@ func (f *Follower) pollOnce() error {
 
 // rebootstrap replaces the engine after a tailed segment was pruned out from
 // under the follower. The old tailers are closed; the old engine needs no
-// teardown (no logs, no workers).
+// teardown (no logs, no workers). The records-applied counter carries over —
+// it is cumulative per follower, not per engine incarnation.
 func (f *Follower) rebootstrap() error {
 	for _, t := range f.tails {
 		t.Close()
 	}
+	applied := f.eng.Obs().ReplicaRecordsApplied.Total()
 	if err := f.bootstrap(); err != nil {
 		return err
 	}
+	f.eng.Obs().ReplicaRecordsApplied.Add(0, applied)
 	return nil
 }
 

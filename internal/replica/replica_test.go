@@ -3,12 +3,18 @@ package replica
 // Divergence property suite for WAL-shipping replication: a follower tailing
 // a live engine under concurrent writes, cross-shard moves, a rebalance
 // boundary install, and a mid-run checkpoint must converge to the leader's
-// byte-identical per-shard contents once writes quiesce; a follower killed
-// and restarted at an arbitrary point must re-converge the same way.
+// exact per-shard (key, payload) multiset once writes quiesce; a follower
+// killed and restarted at an arbitrary point must re-converge the same way.
+// Multiset, not byte-identical dump: a follower that (re)bootstrapped from a
+// checkpoint rebuilds its tables in checkpoint order, so the relative
+// physical order of duplicate keys with distinct payloads can legally differ
+// from the leader's insertion order.
 
 import (
+	"fmt"
 	"math/rand"
 	"reflect"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -69,16 +75,34 @@ func churn(e *shard.Engine, base, span int64, rounds int, seed int64) {
 	}
 }
 
+// canonDump canonicalizes one shard dump into (key,row) strings sorted
+// lexicographically, so comparisons assert multiset equality independent of
+// physical duplicate order.
+func canonDump(d shard.ShardDump) []string {
+	out := make([]string, len(d.Keys))
+	for i, k := range d.Keys {
+		out[i] = fmt.Sprintf("%d|%v", k, d.Rows[i])
+	}
+	sort.Strings(out)
+	return out
+}
+
 // verifyConverged asserts the follower's applied image equals the leader's:
-// identical per-shard keys and payload rows, identical routing bounds.
+// identical per-shard (key, payload) multisets, identical routing bounds.
 func verifyConverged(t *testing.T, leader *shard.Engine, f *Follower) {
 	t.Helper()
 	ld, fd := leader.DumpShards(), f.Engine().DumpShards()
-	if !reflect.DeepEqual(ld, fd) {
-		for i := range ld {
-			if !reflect.DeepEqual(ld[i], fd[i]) {
-				t.Errorf("shard %d diverged: leader %d keys, follower %d keys",
-					i, len(ld[i].Keys), len(fd[i].Keys))
+	for i := range ld {
+		lc, fc := canonDump(ld[i]), canonDump(fd[i])
+		if reflect.DeepEqual(lc, fc) {
+			continue
+		}
+		t.Errorf("shard %d diverged: leader %d rows, follower %d rows",
+			i, len(lc), len(fc))
+		for j := 0; j < len(lc) && j < len(fc); j++ {
+			if lc[j] != fc[j] {
+				t.Errorf("  first mismatch at %d: leader %q, follower %q", j, lc[j], fc[j])
+				break
 			}
 		}
 		t.Fatalf("follower diverged from leader")

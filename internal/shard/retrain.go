@@ -110,6 +110,24 @@ func (m *monitor) rebase() {
 	m.sinceTrain = 0
 }
 
+// rebaseToSample re-bases the drift baseline on the key distribution of a
+// training sample rather than the live window; called after a full
+// Engine.Train so the governor and retrainer measure drift against the
+// distribution the layouts were actually solved for. sinceTrain resets: the
+// retrain-lag backlog is defined as ops since the layouts last matched the
+// workload.
+func (m *monitor) rebaseToSample(sample []workload.Op, bucketOf func(int64) int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var base [driftBuckets]float64
+	for _, op := range sample {
+		base[bucketOf(op.Key)]++
+	}
+	m.baseline = base
+	m.hasBase = true
+	m.sinceTrain = 0
+}
+
 // RetrainPolicy tunes the background retrainer.
 type RetrainPolicy struct {
 	// CheckEvery is the drift check cadence (default 100ms).

@@ -313,6 +313,10 @@ type Config struct {
 	// SyncEvery is the fsync interval under wal.SyncInterval (default
 	// 100ms).
 	SyncEvery time.Duration
+	// Admission configures the write admission controller (admission.go):
+	// a token-bucket write limiter with per-tenant fairness whose refill
+	// rate the drift monitors govern. The zero value disables it.
+	Admission AdmissionPolicy
 }
 
 // pendingMove is a cross-shard UpdateKey whose take half has executed but
@@ -392,9 +396,15 @@ type Engine struct {
 	// for where recording is allowed.
 	obs *obs.Registry
 
-	// monOn counts the background workers (retrainer, rebalancer) that want
-	// per-operation monitor recording, so the unmonitored fast path costs
-	// one atomic load and the workers can start and stop independently.
+	// adm is the write admission controller (admission.go); nil when
+	// Config.Admission is zero. Set once in New before the engine is
+	// shared, cleared only by Close.
+	adm *admission
+
+	// monOn counts the background workers (retrainer, rebalancer,
+	// admission governor) that want per-operation monitor recording, so
+	// the unmonitored fast path costs one atomic load and the workers can
+	// start and stop independently.
 	monOn        atomic.Int32
 	keyLo, keyHi int64 // initial key extremes, for drift bucketing
 
@@ -740,10 +750,18 @@ func (e *Engine) compHit(stripe, n int) {
 // recovers it (keys is ignored), otherwise the keys are loaded and the
 // initial state persisted; see durable.go for the recovery protocol.
 func New(keys []int64, cfg Config) (*Engine, error) {
+	var e *Engine
+	var err error
 	if cfg.Dir != "" {
-		return openDurable(keys, cfg)
+		e, err = openDurable(keys, cfg)
+	} else {
+		e, err = newInMemory(keys, cfg)
 	}
-	return newInMemory(keys, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.startAdmission(cfg.Admission)
+	return e, nil
 }
 
 // newInMemory is the original fully in-memory constructor.
@@ -1311,14 +1329,22 @@ func (v *View) Len() int {
 // return, so on a durable engine a failed WAL append/fsync is held as the
 // log's sticky error and surfaces on the next Delete/UpdateKey, SyncWAL,
 // Checkpoint, or Close — callers needing per-insert durability confirmation
-// should follow the batch with SyncWAL.
+// should follow the batch with SyncWAL. For the same reason Insert never
+// sheds under admission control: it blocks until admitted (tenant lane 0).
+// Use Engine.Writer for per-tenant lanes and ErrOverload-style shedding.
 func (e *Engine) Insert(key int64) {
+	_ = e.admit(0, false)
+	_ = e.insertAdmitted(key)
+}
+
+// insertAdmitted is the write path below admission.
+func (e *Engine) insertAdmitted(key int64) error {
 	tr := e.obs.OpBegin(obs.OpInsert, int(key))
 	defer e.obs.OpEnd(obs.OpInsert, int(key), tr)
 	if e.monitoring() {
 		e.record(workload.Op{Kind: workload.Q4Insert, Key: key})
 	}
-	_ = e.mutate(&journalOp{kind: jInsert, key: key},
+	return e.mutate(&journalOp{kind: jInsert, key: key},
 		func(t *table.Table, _ bool) error { t.Insert(key); return nil })
 }
 
@@ -1327,8 +1353,17 @@ func (e *Engine) Insert(key int64) {
 // for the journal/WAL record, so the replayed delete removes the same
 // duplicate the live table dropped; the uncaptured fast path stays a plain
 // delete with no payload copy. The operation feeds the drift monitor only
-// when it succeeds.
+// when it succeeds. Under admission control the op is gated on tenant lane
+// 0 and may return ErrOverload without having been applied.
 func (e *Engine) Delete(key int64) error {
+	if err := e.admit(0, true); err != nil {
+		return err
+	}
+	return e.deleteAdmitted(key)
+}
+
+// deleteAdmitted is the write path below admission.
+func (e *Engine) deleteAdmitted(key int64) error {
 	// Metered per attempt (a failed delete is still a call an operator
 	// wants counted); the drift monitor below keeps its success-only rule.
 	tr := e.obs.OpBegin(obs.OpDelete, int(key))
@@ -1356,8 +1391,18 @@ func (e *Engine) Delete(key int64) error {
 // epoch-based cross-shard protocol (see the package comment): a concurrent
 // reader observes the row on exactly one shard at all times — never on
 // neither, never on both, and never with a torn payload. The operation feeds
-// the drift monitor only when it succeeds.
+// the drift monitor only when it succeeds. Under admission control the op
+// is gated on tenant lane 0 and may return ErrOverload without having been
+// applied.
 func (e *Engine) UpdateKey(old, new int64) error {
+	if err := e.admit(0, true); err != nil {
+		return err
+	}
+	return e.updateKeyAdmitted(old, new)
+}
+
+// updateKeyAdmitted is the write path below admission.
+func (e *Engine) updateKeyAdmitted(old, new int64) error {
 	if e.readonly {
 		return ErrReadOnly
 	}
@@ -1746,6 +1791,17 @@ func (e *Engine) Train(sample []workload.Op, parallelism int) error {
 			return fmt.Errorf("shard %d: %w", i, err)
 		}
 	}
+	// The layouts now match the sample's distribution: rebase each trained
+	// shard's drift monitor onto its slice of the sample so the retrainer
+	// and the admission governor measure drift (and retrain lag) against
+	// what was actually trained. Shards the sample never touched keep their
+	// no-baseline state — they still count as fully drifted, preserving
+	// the retrainer's first-train trigger.
+	for i, s := range e.shards {
+		if len(per[i]) > 0 {
+			s.mon.rebaseToSample(per[i], e.bucket)
+		}
+	}
 	// In-place training changes no logical rows, so nothing reaches the
 	// WAL; checkpointing persists the learned layouts so recovery restores
 	// them without re-running the solver.
@@ -1798,6 +1854,7 @@ func (e *Engine) Layouts() []LayoutSummary {
 // durable engine keeps serving reads; further writes fail their durability
 // commit.
 func (e *Engine) Close() error {
+	e.stopAdmission()
 	e.StopAutoRetrain()
 	e.StopAutoRebalance()
 	var first error

@@ -107,6 +107,21 @@ func (t *Tailer) Poll() ([]Record, error) {
 			return out, err
 		}
 		if !succ {
+			// No successor usually means this is the newest segment — but if
+			// the segment we hold open has been unlinked, a checkpoint pruned
+			// it, and prune only ever removes segments below a rotation point:
+			// a successor was created before the prune and is itself already
+			// pruned. Treating that as "caught up" would silently skip every
+			// pruned segment's records, so it must surface as ErrSegmentGone
+			// (the pruning checkpoint covers them; re-bootstrap recovers).
+			gone, gerr := t.segmentUnlinked()
+			if gerr != nil {
+				return out, gerr
+			}
+			if gone {
+				return out, fmt.Errorf("%w (segment %d pruned mid-tail, successor chain broken)",
+					ErrSegmentGone, t.seq)
+			}
 			return out, nil // newest segment; bad or missing tail means re-poll
 		}
 		// The successor exists, so this segment's content is final (Rotate
@@ -167,6 +182,25 @@ func (t *Tailer) readAvailable() (recs []Record, clean bool, err error) {
 	}
 	t.off += int64(off)
 	return recs, off == len(data), nil
+}
+
+// segmentUnlinked reports whether the segment held open by the tailer has
+// been removed from the directory (pruned by a checkpoint). Segment names are
+// never reused (createSegment is O_EXCL), so a name that is missing or
+// resolves to a different file than the held handle means ours was unlinked.
+func (t *Tailer) segmentUnlinked() (bool, error) {
+	held, err := t.f.Stat()
+	if err != nil {
+		return false, fmt.Errorf("wal: tailing stat: %w", err)
+	}
+	named, err := os.Stat(filepath.Join(t.dir, segmentName(t.seq)))
+	if os.IsNotExist(err) {
+		return true, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("wal: tailing stat: %w", err)
+	}
+	return !os.SameFile(held, named), nil
 }
 
 // successorExists reports whether the next segment file exists, marking the

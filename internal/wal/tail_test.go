@@ -220,6 +220,54 @@ func TestTailerCorruptRotatedSegment(t *testing.T) {
 	}
 }
 
+// TestTailerPrunedChainBreak: if the tailer lags more than one checkpoint
+// behind, both its open segment AND that segment's successor can be pruned
+// before it advances. With no successor file to find, the tailer must not
+// mistake its unlinked segment for the newest one and report caught-up — that
+// would silently skip every pruned segment's records forever (the exact
+// failure mode: follower reports lag 0 while missing rows). It must surface
+// ErrSegmentGone so the owner re-bootstraps from the pruning checkpoint.
+func TestTailerPrunedChainBreak(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, 1, Options{Policy: SyncNone})
+	if err != nil {
+		t.Fatalf("OpenLog: %v", err)
+	}
+	defer l.Close()
+	tl, err := OpenTailer(dir, 1)
+	if err != nil {
+		t.Fatalf("OpenTailer: %v", err)
+	}
+	defer tl.Close()
+
+	want := testRecords()
+	appendAll(t, l, want[:2])
+	if got := mustPoll(t, tl); !reflect.DeepEqual(got, want[:2]) {
+		t.Fatalf("first poll:\ngot  %+v\nwant %+v", got, want[:2])
+	}
+	// Two checkpoint cycles while the tailer sits on segment 1: rotate to 2,
+	// rotate to 3, prune everything below 3 (segments 1 and 2).
+	appendAll(t, l, want[2:3])
+	if _, err := l.Rotate(); err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	appendAll(t, l, want[3:4])
+	if _, err := l.Rotate(); err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	Prune(dir, 0, 3)
+
+	recs, perr := tl.Poll()
+	if !IsSegmentGone(perr) {
+		t.Fatalf("Poll = %v; want ErrSegmentGone (chain broken by prune)", perr)
+	}
+	// Records still readable through the held descriptor arrive with the
+	// error; the re-bootstrap the error demands covers them either way.
+	if !reflect.DeepEqual(recs, want[2:3]) {
+		t.Fatalf("records before chain break:\ngot  %+v\nwant %+v", recs, want[2:3])
+	}
+}
+
 // TestTailerSurvivesPruneOfOpenSegment: unlinking the segment the tailer is
 // mid-way through (checkpoint prune) is harmless — the held descriptor keeps
 // the data readable, and the successor carries on.

@@ -1,0 +1,417 @@
+package workload
+
+// Time-phased adversarial scenarios (ROADMAP "Scenario diversity"): each
+// scenario is a seeded sequence of phases, every phase a workload mix with
+// its own skew, arrival-rate multiplier, and active key window, generated
+// against one shared live-key pool so the stream stays self-consistent
+// across phase boundaries (deletes and updates always target keys the
+// stream itself made live).
+//
+// The five shapes stress exactly the machinery the engine grew for drift:
+//
+//	zipf-hot     escalating Zipf exponent pins traffic onto ever fewer
+//	             keys — the retrainer must keep re-concentrating layouts.
+//	flashcrowd   a write burst at 50× the baseline arrival rate hammers
+//	             the top of the domain — the admission controller's
+//	             headline case (internal/shard/admission.go).
+//	diurnal      the active window orbits the key domain in six steps,
+//	             so yesterday's layout is always wrong — retrainer and
+//	             rebalancer chase the window around the clock.
+//	tenant-skew  eight tenant key bands with the hot tenant rotating;
+//	             per-tenant admission fairness keeps the hot tenant from
+//	             starving the rest.
+//	htap-sweep   the mix slides from point-heavy transactional to
+//	             scan-heavy analytical (Polynesia's HTAP split) and the
+//	             layout must follow.
+//
+// Streams are plain []Op per phase, so the existing RouteOp/SplitByShard
+// plumbing routes them unchanged; the parallel Tenants slice carries lane
+// attribution for admission fairness without touching Op.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Scenario names accepted by Scenario and casperbench -scenario.
+const (
+	ScenarioZipfHot    = "zipf-hot"
+	ScenarioFlashCrowd = "flashcrowd"
+	ScenarioDiurnal    = "diurnal"
+	ScenarioTenantSkew = "tenant-skew"
+	ScenarioHTAPSweep  = "htap-sweep"
+)
+
+// ScenarioNames lists every scenario in a stable order.
+func ScenarioNames() []string {
+	return []string{
+		ScenarioZipfHot, ScenarioFlashCrowd, ScenarioDiurnal,
+		ScenarioTenantSkew, ScenarioHTAPSweep,
+	}
+}
+
+// PhaseSpec describes one phase of a scenario.
+type PhaseSpec struct {
+	Name string
+	Mix  []MixEntry
+	// Frac is this phase's share of the scenario's total operations;
+	// phase fractions are normalized over their sum.
+	Frac float64
+	// Rate is the arrival-rate multiplier relative to the scenario's
+	// baseline (0 means 1×). Replayers pace by it; flashcrowd's burst
+	// phase sets 50.
+	Rate float64
+	// ZipfS/ZipfV override the scenario-level Zipf parameters for this
+	// phase (0 inherits).
+	ZipfS, ZipfV float64
+	// WinLo/WinHi bound the phase's active key window as fractions of the
+	// domain (or of each tenant's band when the scenario is multi-tenant).
+	// WinHi 0 means the full window.
+	WinLo, WinHi float64
+	// TenantWeights biases tenant selection for this phase; nil is
+	// uniform. Length must equal the scenario's Tenants when set.
+	TenantWeights []float64
+}
+
+// ScenarioSpec describes a phased scenario to generate.
+type ScenarioSpec struct {
+	Name string
+	// Ops is the total operation count across phases.
+	Ops int
+	// Seed fixes the whole stream: equal specs and seeds yield equal
+	// streams, op for op.
+	Seed int64
+	// Tenants > 1 splits the key domain into that many contiguous,
+	// equal-width key bands; every generated op is attributed to the
+	// tenant whose band it was drawn from.
+	Tenants int
+	// RangeFrac is the Q2/Q3/Q8 range width as a fraction of the active
+	// window (default 0.02).
+	RangeFrac float64
+	// ZipfS/ZipfV are the scenario-level Zipf parameters (0 = the
+	// Spec defaults, 1.3 and 8); phases may override. zipf-hot's
+	// escalation is tuned by overriding the phase values.
+	ZipfS, ZipfV float64
+	Phases       []PhaseSpec
+}
+
+// maxScenarioTenants bounds tenant fan-out; fairness lanes are per-tenant
+// state everywhere downstream.
+const maxScenarioTenants = 4096
+
+// Validate reports malformed scenario specs.
+func (s ScenarioSpec) Validate() error {
+	if s.Ops <= 0 {
+		return fmt.Errorf("scenario %q: non-positive op count %d", s.Name, s.Ops)
+	}
+	if len(s.Phases) == 0 {
+		return fmt.Errorf("scenario %q: no phases", s.Name)
+	}
+	if s.Tenants < 0 || s.Tenants > maxScenarioTenants {
+		return fmt.Errorf("scenario %q: tenant count %d out of range [0, %d]", s.Name, s.Tenants, maxScenarioTenants)
+	}
+	tenants := s.Tenants
+	if tenants < 1 {
+		tenants = 1
+	}
+	var fracTot float64
+	for i, ph := range s.Phases {
+		// A phase is a Spec over its own mix and skew; reuse its checks.
+		probe := Spec{
+			Name: fmt.Sprintf("%s/%s", s.Name, ph.Name), Mix: ph.Mix, Ops: 1,
+			RangeFrac: s.RangeFrac,
+			ZipfS:     inheritF(ph.ZipfS, s.ZipfS), ZipfV: inheritF(ph.ZipfV, s.ZipfV),
+		}
+		if err := probe.Validate(); err != nil {
+			return err
+		}
+		if !(ph.Frac > 0) || math.IsInf(ph.Frac, 0) {
+			return fmt.Errorf("scenario %q phase %d: non-positive fraction %v", s.Name, i, ph.Frac)
+		}
+		fracTot += ph.Frac
+		if ph.Rate < 0 || math.IsNaN(ph.Rate) || math.IsInf(ph.Rate, 0) {
+			return fmt.Errorf("scenario %q phase %d: bad rate %v", s.Name, i, ph.Rate)
+		}
+		lo, hi := ph.WinLo, ph.WinHi
+		if hi == 0 {
+			hi = 1
+		}
+		if math.IsNaN(lo) || math.IsNaN(hi) || lo < 0 || hi > 1 || lo >= hi {
+			return fmt.Errorf("scenario %q phase %d: bad window [%v, %v]", s.Name, i, ph.WinLo, ph.WinHi)
+		}
+		if ph.TenantWeights != nil {
+			if len(ph.TenantWeights) != tenants {
+				return fmt.Errorf("scenario %q phase %d: %d tenant weights for %d tenants", s.Name, i, len(ph.TenantWeights), tenants)
+			}
+			var wtot float64
+			for _, w := range ph.TenantWeights {
+				if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+					return fmt.Errorf("scenario %q phase %d: bad tenant weight %v", s.Name, i, w)
+				}
+				wtot += w
+			}
+			if wtot <= 0 {
+				return fmt.Errorf("scenario %q phase %d: zero total tenant weight", s.Name, i)
+			}
+		}
+	}
+	if fracTot <= 0 || math.IsInf(fracTot, 0) {
+		return fmt.Errorf("scenario %q: zero total phase fraction", s.Name)
+	}
+	return nil
+}
+
+func inheritF(v, fallback float64) float64 {
+	if v != 0 {
+		return v
+	}
+	return fallback
+}
+
+// ScenarioPhase is one generated phase: the ops to replay, the arrival-rate
+// multiplier to pace them at, and (for multi-tenant scenarios) the tenant
+// lane of each op.
+type ScenarioPhase struct {
+	Name string
+	Rate float64
+	Ops  []Op
+	// Tenants is parallel to Ops (Tenants[i] is Ops[i]'s lane); nil when
+	// the scenario is single-tenant.
+	Tenants []int
+}
+
+// ScenarioStream is a generated scenario: deterministic by (spec, seed),
+// routable phase by phase through SplitByShard.
+type ScenarioStream struct {
+	Name        string
+	TenantCount int
+	Phases      []ScenarioPhase
+}
+
+// TotalOps returns the op count across all phases.
+func (st *ScenarioStream) TotalOps() int {
+	n := 0
+	for _, ph := range st.Phases {
+		n += len(ph.Ops)
+	}
+	return n
+}
+
+// AllOps concatenates the phases into one stream, for consumers that
+// replay without pacing (training splits, oracle twins).
+func (st *ScenarioStream) AllOps() []Op {
+	out := make([]Op, 0, st.TotalOps())
+	for _, ph := range st.Phases {
+		out = append(out, ph.Ops...)
+	}
+	return out
+}
+
+// GenerateScenario produces the phased op stream for spec. One generator
+// (and one live key pool) spans every phase, so cross-phase deletes and
+// updates stay self-consistent; per-phase skew, window, and tenant band are
+// applied around the same generateOne the flat Generate uses.
+func GenerateScenario(initialKeys []int64, domainMax int64, spec ScenarioSpec) (*ScenarioStream, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(initialKeys) == 0 {
+		return nil, fmt.Errorf("scenario %q: empty initial key set", spec.Name)
+	}
+	tenants := spec.Tenants
+	if tenants < 1 {
+		tenants = 1
+	}
+	rangeFrac := spec.RangeFrac
+	if rangeFrac == 0 {
+		rangeFrac = 0.02
+	}
+	g := newGenerator(initialKeys, domainMax, spec.Seed, spec.ZipfS, spec.ZipfV)
+
+	var fracTot float64
+	for _, ph := range spec.Phases {
+		fracTot += ph.Frac
+	}
+	st := &ScenarioStream{Name: spec.Name, TenantCount: spec.Tenants}
+	emitted := 0
+	for pi, ph := range spec.Phases {
+		want := int(math.Round(float64(spec.Ops) * ph.Frac / fracTot))
+		if pi == len(spec.Phases)-1 {
+			want = spec.Ops - emitted // rounding remainder lands here
+		}
+		if want < 0 {
+			want = 0
+		}
+		g.setSkew(inheritF(ph.ZipfS, spec.ZipfS), inheritF(ph.ZipfV, spec.ZipfV))
+		out := ScenarioPhase{Name: ph.Name, Rate: ph.Rate, Ops: make([]Op, 0, want)}
+		if out.Rate == 0 {
+			out.Rate = 1
+		}
+		if tenants > 1 {
+			out.Tenants = make([]int, 0, want)
+		}
+		var wtot float64
+		for _, w := range ph.TenantWeights {
+			wtot += w
+		}
+		for len(out.Ops) < want {
+			tenant := 0
+			if tenants > 1 {
+				tenant = pickTenant(g.rng, ph.TenantWeights, wtot, tenants)
+			}
+			g.setWindow(phaseWindow(tenant, tenants, ph, domainMax))
+			if op, ok := g.generateOne(pickEntry(g.rng, ph.Mix, mixTotal(ph.Mix)), rangeFrac); ok {
+				out.Ops = append(out.Ops, op)
+				if tenants > 1 {
+					out.Tenants = append(out.Tenants, tenant)
+				}
+			}
+		}
+		emitted += len(out.Ops)
+		st.Phases = append(st.Phases, out)
+	}
+	return st, nil
+}
+
+func mixTotal(mix []MixEntry) float64 {
+	var tot float64
+	for _, e := range mix {
+		tot += e.Frac
+	}
+	return tot
+}
+
+// pickTenant roulette-selects a tenant lane, consuming exactly one Float64.
+// Nil weights select uniformly.
+func pickTenant(rng *rand.Rand, weights []float64, wtot float64, tenants int) int {
+	if len(weights) == 0 {
+		return rng.Intn(tenants)
+	}
+	r := rng.Float64() * wtot
+	for t, w := range weights {
+		if r < w {
+			return t
+		}
+		r -= w
+	}
+	return len(weights) - 1
+}
+
+// phaseWindow resolves a phase's active key window for one tenant: the
+// tenant's contiguous band of the domain, narrowed by the phase's
+// fractional window.
+func phaseWindow(tenant, tenants int, ph PhaseSpec, domainMax int64) (int64, int64) {
+	bandLo := int64(float64(domainMax+1) * float64(tenant) / float64(tenants))
+	bandHi := int64(float64(domainMax+1)*float64(tenant+1)/float64(tenants)) - 1
+	if bandHi > domainMax {
+		bandHi = domainMax
+	}
+	wl, wh := ph.WinLo, ph.WinHi
+	if wh == 0 {
+		wh = 1
+	}
+	span := float64(bandHi - bandLo)
+	return bandLo + int64(wl*span), bandLo + int64(wh*span)
+}
+
+// Scenario returns the named scenario's spec with the given total operation
+// count and seed. The returned spec is plain data — callers may tune it
+// (e.g. sharpen zipf-hot's exponent or re-weight tenants) before
+// GenerateScenario.
+func Scenario(name string, ops int, seed int64) (ScenarioSpec, error) {
+	s := ScenarioSpec{Name: name, Ops: ops, Seed: seed, RangeFrac: 0.02}
+	hybrid := []MixEntry{
+		{Q1PointQuery, 0.50, SkewedRecent},
+		{Q4Insert, 0.44, SkewedRecent},
+		{Q5Delete, 0.05, Uniform},
+		{Q6Update, 0.01, Uniform},
+	}
+	switch name {
+	case ScenarioZipfHot:
+		// Escalating exponent: the same mix, ever fewer distinct hot keys.
+		s.Phases = []PhaseSpec{
+			{Name: "warm", Frac: 0.3, Mix: hybrid},
+			{Name: "hot", Frac: 0.4, Mix: hybrid, ZipfS: 2.2, ZipfV: 1},
+			{Name: "blister", Frac: 0.3, Mix: hybrid, ZipfS: 3.0, ZipfV: 1},
+		}
+	case ScenarioFlashCrowd:
+		calm := []MixEntry{
+			{Q1PointQuery, 0.70, SkewedRecent},
+			{Q2RangeCount, 0.09, SkewedRecent},
+			{Q4Insert, 0.20, SkewedRecent},
+			{Q6Update, 0.01, Uniform},
+		}
+		crowd := []MixEntry{
+			{Q4Insert, 0.85, SkewedRecent},
+			{Q1PointQuery, 0.10, SkewedRecent},
+			{Q5Delete, 0.04, SkewedRecent},
+			{Q6Update, 0.01, Uniform},
+		}
+		s.Phases = []PhaseSpec{
+			{Name: "calm", Frac: 0.35, Rate: 1, Mix: calm},
+			// The crowd: writes at 50× the baseline arrival rate, crammed
+			// into the top 15% of the domain.
+			{Name: "crowd", Frac: 0.35, Rate: 50, Mix: crowd, ZipfS: 2.0, ZipfV: 2, WinLo: 0.85, WinHi: 1},
+			{Name: "recovery", Frac: 0.30, Rate: 1, Mix: calm},
+		}
+	case ScenarioDiurnal:
+		// The hot window orbits the domain: six four-hour slices, each
+		// phase's traffic confined to one sixth (plus overlap into the
+		// next, so the handoff is a drift the monitor can see coming).
+		mix := []MixEntry{
+			{Q1PointQuery, 0.40, SkewedRecent},
+			{Q2RangeCount, 0.05, Uniform},
+			{Q3RangeSum, 0.05, Uniform},
+			{Q4Insert, 0.35, SkewedRecent},
+			{Q5Delete, 0.10, Uniform},
+			{Q6Update, 0.05, Uniform},
+		}
+		for i := 0; i < 6; i++ {
+			lo := float64(i) / 6
+			hi := lo + 1.0/6 + 0.05
+			if hi > 1 {
+				hi = 1
+			}
+			s.Phases = append(s.Phases, PhaseSpec{
+				Name: fmt.Sprintf("h%02d", i*4), Frac: 1.0 / 6, Mix: mix,
+				WinLo: lo, WinHi: hi,
+			})
+		}
+	case ScenarioTenantSkew:
+		s.Tenants = 8
+		// The hot tenant rotates 0 → 3 → 6, holding 60% of the traffic
+		// while the other seven split the rest.
+		for pi, hot := range []int{0, 3, 6} {
+			w := make([]float64, s.Tenants)
+			for t := range w {
+				w[t] = 0.4 / float64(s.Tenants-1)
+			}
+			w[hot] = 0.6
+			s.Phases = append(s.Phases, PhaseSpec{
+				Name: fmt.Sprintf("hot-t%d", hot), Frac: 1.0 / 3, Mix: hybrid,
+				ZipfS: 1.8, ZipfV: 4, TenantWeights: w,
+				Rate: 1 + float64(pi), // each rotation arrives hotter
+			})
+		}
+	case ScenarioHTAPSweep:
+		// Sweep the mix from point-heavy transactional to scan-heavy
+		// analytical while ingest stays constant.
+		s.RangeFrac = 0.05
+		for _, scan := range []float64{0.05, 0.2, 0.4, 0.6, 0.8} {
+			mix := []MixEntry{
+				{Q8Scan, scan, SkewedRecent},
+				{Q1PointQuery, 0.85 - scan, SkewedRecent},
+				{Q4Insert, 0.10, SkewedRecent},
+				{Q5Delete, 0.04, Uniform},
+				{Q6Update, 0.01, Uniform},
+			}
+			s.Phases = append(s.Phases, PhaseSpec{
+				Name: fmt.Sprintf("scan%02d", int(scan*100)), Frac: 0.2, Mix: mix,
+			})
+		}
+	default:
+		return ScenarioSpec{}, fmt.Errorf("workload: unknown scenario %q (have %v)", name, ScenarioNames())
+	}
+	return s, nil
+}

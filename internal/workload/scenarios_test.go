@@ -1,0 +1,279 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+const (
+	scenDomain = int64(1 << 20)
+	scenOps    = 6000
+)
+
+func scenKeys() []int64 { return UniformKeys(2000, scenDomain, 7) }
+
+// TestScenariosDeterministicBySeed: equal (spec, seed) must yield identical
+// streams, phase for phase and op for op — the contract every oracle-twin
+// replay and checked-in trajectory artifact depends on.
+func TestScenariosDeterministicBySeed(t *testing.T) {
+	for _, name := range ScenarioNames() {
+		spec, err := Scenario(name, scenOps, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := GenerateScenario(scenKeys(), scenDomain, spec)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := GenerateScenario(scenKeys(), scenDomain, spec)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(a.Phases) != len(b.Phases) {
+			t.Fatalf("%s: phase counts differ: %d vs %d", name, len(a.Phases), len(b.Phases))
+		}
+		for i := range a.Phases {
+			pa, pb := a.Phases[i], b.Phases[i]
+			if streamFingerprint(pa.Ops) != streamFingerprint(pb.Ops) {
+				t.Errorf("%s phase %s: op streams differ for equal seeds", name, pa.Name)
+			}
+			for j := range pa.Tenants {
+				if pa.Tenants[j] != pb.Tenants[j] {
+					t.Fatalf("%s phase %s: tenant lanes differ at %d", name, pa.Name, j)
+				}
+			}
+		}
+		// A different seed must actually change the stream.
+		spec.Seed = 43
+		c, err := GenerateScenario(scenKeys(), scenDomain, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if streamFingerprint(a.AllOps()) == streamFingerprint(c.AllOps()) {
+			t.Errorf("%s: seeds 42 and 43 generated identical streams", name)
+		}
+		if got := a.TotalOps(); got != scenOps {
+			t.Errorf("%s: generated %d ops, want %d", name, got, scenOps)
+		}
+	}
+}
+
+// TestScenarioShapes spot-checks that each scenario produces the traffic
+// shape its name promises.
+func TestScenarioShapes(t *testing.T) {
+	gen := func(name string) *ScenarioStream {
+		spec, err := Scenario(name, scenOps, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := GenerateScenario(scenKeys(), scenDomain, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	t.Run(ScenarioZipfHot, func(t *testing.T) {
+		st := gen(ScenarioZipfHot)
+		// Sharper exponents mean fewer distinct keys carry the reads.
+		distinct := func(ph ScenarioPhase) int {
+			seen := map[int64]bool{}
+			for _, op := range ph.Ops {
+				if op.Kind == Q1PointQuery {
+					seen[op.Key] = true
+				}
+			}
+			return len(seen)
+		}
+		warm, blister := distinct(st.Phases[0]), distinct(st.Phases[2])
+		if blister >= warm {
+			t.Errorf("blister phase touched %d distinct point keys, warm %d; want fewer", blister, warm)
+		}
+	})
+
+	t.Run(ScenarioFlashCrowd, func(t *testing.T) {
+		st := gen(ScenarioFlashCrowd)
+		crowd := st.Phases[1]
+		if crowd.Rate != 50 {
+			t.Errorf("crowd rate %v, want 50", crowd.Rate)
+		}
+		writes, inWindow := 0, 0
+		for _, op := range crowd.Ops {
+			if op.Kind == Q4Insert {
+				writes++
+				if op.Key >= scenDomain*85/100 {
+					inWindow++
+				}
+			}
+		}
+		if frac := float64(writes) / float64(len(crowd.Ops)); frac < 0.7 {
+			t.Errorf("crowd phase write fraction %.2f, want >= 0.7", frac)
+		}
+		if inWindow != writes {
+			t.Errorf("%d/%d crowd inserts outside the top-15%% window", writes-inWindow, writes)
+		}
+	})
+
+	t.Run(ScenarioDiurnal, func(t *testing.T) {
+		st := gen(ScenarioDiurnal)
+		if len(st.Phases) != 6 {
+			t.Fatalf("%d phases, want 6", len(st.Phases))
+		}
+		// Each phase's inserts stay inside its window slice (±overlap).
+		for i, ph := range st.Phases {
+			lo := scenDomain * int64(i) / 6
+			for _, op := range ph.Ops {
+				if op.Kind == Q4Insert && (op.Key < lo || op.Key > scenDomain) {
+					t.Fatalf("phase %s insert key %d outside window starting %d", ph.Name, op.Key, lo)
+				}
+			}
+		}
+	})
+
+	t.Run(ScenarioTenantSkew, func(t *testing.T) {
+		st := gen(ScenarioTenantSkew)
+		if st.TenantCount != 8 {
+			t.Fatalf("tenant count %d, want 8", st.TenantCount)
+		}
+		for pi, hot := range []int{0, 3, 6} {
+			ph := st.Phases[pi]
+			if len(ph.Tenants) != len(ph.Ops) {
+				t.Fatalf("phase %s: %d tenant lanes for %d ops", ph.Name, len(ph.Tenants), len(ph.Ops))
+			}
+			hotN := 0
+			band := scenDomain / 8
+			for i, tn := range ph.Tenants {
+				if tn == hot {
+					hotN++
+				}
+				// Writes land inside their tenant's band.
+				if op := ph.Ops[i]; op.Kind == Q4Insert {
+					if op.Key < band*int64(tn) || op.Key > band*int64(tn+1)+8 {
+						t.Fatalf("phase %s: tenant %d insert key %d outside its band", ph.Name, tn, op.Key)
+					}
+				}
+			}
+			if frac := float64(hotN) / float64(len(ph.Tenants)); math.Abs(frac-0.6) > 0.08 {
+				t.Errorf("phase %s: hot tenant got %.2f of traffic, want ~0.6", ph.Name, frac)
+			}
+		}
+	})
+
+	t.Run(ScenarioHTAPSweep, func(t *testing.T) {
+		st := gen(ScenarioHTAPSweep)
+		prev := -1.0
+		for _, ph := range st.Phases {
+			scans := 0
+			for _, op := range ph.Ops {
+				if op.Kind == Q8Scan {
+					scans++
+				}
+			}
+			frac := float64(scans) / float64(len(ph.Ops))
+			if frac <= prev {
+				t.Errorf("phase %s scan fraction %.2f did not increase past %.2f", ph.Name, frac, prev)
+			}
+			prev = frac
+		}
+		if prev < 0.7 {
+			t.Errorf("final phase scan fraction %.2f, want >= 0.7", prev)
+		}
+	})
+}
+
+// TestScenarioStreamsRoutable: every generated op routes through the
+// existing SplitByShard plumbing without loss.
+func TestScenarioStreamsRoutable(t *testing.T) {
+	owner := func(k int64) int { return int(k % 4) }
+	span := func(lo, hi int64) (int, int) { return 0, 3 }
+	for _, name := range ScenarioNames() {
+		spec, err := Scenario(name, 2000, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := GenerateScenario(scenKeys(), scenDomain, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ph := range st.Phases {
+			per := SplitByShard(ph.Ops, 4, owner, span)
+			total := 0
+			for _, ops := range per {
+				total += len(ops)
+			}
+			if total < len(ph.Ops) {
+				t.Fatalf("%s/%s: SplitByShard dropped ops: %d routed < %d generated", name, ph.Name, total, len(ph.Ops))
+			}
+		}
+	}
+}
+
+// FuzzScenarioSpec drives GenerateScenario with adversarial phase
+// boundaries, tenant counts, and skew parameters: any spec Validate accepts
+// must generate without panicking, produce exactly the requested op count,
+// keep every key inside the domain, and be reproducible from its seed.
+func FuzzScenarioSpec(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(3), 1.5, 4.0, 0.3, 0.9, 2.0)
+	f.Add(int64(7), uint8(0), uint8(1), 0.0, 0.0, 0.0, 0.0, 0.0)
+	f.Add(int64(-3), uint8(200), uint8(6), 300.0, 1.0, 0.999, 1.0, 50.0)
+	f.Add(int64(11), uint8(9), uint8(2), 1.0001, 1e9, 0.5, 0.50001, 0.1)
+	f.Fuzz(func(t *testing.T, seed int64, tenants, phases uint8, zipfS, zipfV, winLo, winHi, rate float64) {
+		nPhases := int(phases%5) + 1
+		spec := ScenarioSpec{
+			Name: "fuzz", Ops: 300, Seed: seed,
+			Tenants: int(tenants), ZipfS: zipfS, ZipfV: zipfV,
+		}
+		weights := make([]float64, spec.Tenants)
+		for i := range weights {
+			weights[i] = float64(i%3) + 0.5
+		}
+		for i := 0; i < nPhases; i++ {
+			ph := PhaseSpec{
+				Name: "p", Frac: float64(i) + 0.5, Rate: rate,
+				WinLo: winLo, WinHi: winHi,
+				Mix: []MixEntry{
+					{Q1PointQuery, 0.4, SkewedRecent},
+					{Q4Insert, 0.4, SkewedEarly},
+					{Q5Delete, 0.1, Uniform},
+					{Q2RangeCount, 0.1, RampRecent},
+				},
+			}
+			if spec.Tenants > 1 && i%2 == 0 {
+				ph.TenantWeights = weights
+			}
+			spec.Phases = append(spec.Phases, ph)
+		}
+		if err := spec.Validate(); err != nil {
+			return // malformed by construction; rejection is the right answer
+		}
+		keys := UniformKeys(64, scenDomain, 1)
+		st, err := GenerateScenario(keys, scenDomain, spec)
+		if err != nil {
+			t.Fatalf("Validate passed but GenerateScenario failed: %v", err)
+		}
+		if st.TotalOps() != spec.Ops {
+			t.Fatalf("generated %d ops, want %d", st.TotalOps(), spec.Ops)
+		}
+		for _, ph := range st.Phases {
+			for _, op := range ph.Ops {
+				if op.Key < 0 || op.Key > scenDomain || op.Key2 < 0 || op.Key2 > 2*scenDomain {
+					t.Fatalf("op %v escaped the domain [0, %d]", op, scenDomain)
+				}
+			}
+			if spec.Tenants > 1 {
+				for _, tn := range ph.Tenants {
+					if tn < 0 || tn >= spec.Tenants {
+						t.Fatalf("tenant lane %d out of [0, %d)", tn, spec.Tenants)
+					}
+				}
+			}
+		}
+		again, err := GenerateScenario(keys, scenDomain, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if streamFingerprint(st.AllOps()) != streamFingerprint(again.AllOps()) {
+			t.Fatal("same spec and seed generated different streams")
+		}
+	})
+}

@@ -11,6 +11,29 @@
 //	Q4  INSERT INTO R VALUES (...)                   (insert)
 //	Q5  DELETE FROM R WHERE a0 = v                   (delete)
 //	Q6  UPDATE R SET a0 = vnew WHERE a0 = v          (key update)
+//
+// # Phased scenario streams
+//
+// Beyond the flat Generate mixes, scenarios.go emits time-phased
+// adversarial streams (Scenario/GenerateScenario) under a three-part
+// contract:
+//
+//   - Phases. A ScenarioStream is an ordered list of phases, each a mix
+//     with its own skew (ZipfS/ZipfV), arrival-rate multiplier (Rate),
+//     and active key window. All phases draw from ONE live key pool, so
+//     a delete in phase 3 targets a key some earlier phase made live —
+//     replaying phases in order against an empty-diff engine is always
+//     self-consistent; replaying them out of order is not supported.
+//   - Determinism by seed. Equal (ScenarioSpec, initial keys, domain)
+//     yield byte-identical streams, op for op, across runs and hosts:
+//     generation consumes randomness only from the spec's seeded rng in
+//     a fixed draw order, never from time, map iteration, or goroutine
+//     interleaving. Fingerprint-style tests may hash streams.
+//   - Tenant bands. Tenants > 1 splits [0, domainMax] into that many
+//     contiguous equal-width key bands; every op is drawn inside its
+//     tenant's band (narrowed by the phase window) and the phase's
+//     parallel Tenants slice attributes each op to its lane, so
+//     admission fairness can be exercised without widening Op.
 package workload
 
 import (
@@ -115,16 +138,44 @@ type Spec struct {
 	Ops int
 	// Seed fixes the generator.
 	Seed int64
+	// ZipfS is the skew exponent of the Zipf distribution behind the
+	// Skewed* access patterns; larger concentrates more mass on fewer
+	// positions. Must be > 1 (rand.NewZipf's domain); 0 selects the
+	// default 1.3, which reproduces the historical hardcoded generator.
+	ZipfS float64
+	// ZipfV is the Zipf value bound v (>= 1); 0 selects the default 8.
+	// Smaller v sharpens the head of the distribution.
+	ZipfV float64
 }
 
-// Validate reports malformed specs (empty mix, non-positive fractions).
+// Default Zipf parameters: the values the generator hardcoded before they
+// were lifted into Spec. Zero-valued specs must keep emitting identical
+// streams (see TestPresetStreamsGolden).
+const (
+	defaultZipfS = 1.3
+	defaultZipfV = 8
+)
+
+// Upper bounds on the Zipf parameters. Beyond these rand.Zipf's internal
+// exp(s·log(v+x)) terms underflow to zero and Uint64 degenerates into a
+// float64(+Inf)→uint64 conversion — implementation-defined garbage that
+// escapes the key domain (found by FuzzScenarioSpec). s=20 with v=10^6
+// keeps every term orders of magnitude inside float64 range while allowing
+// far sharper skew than any realistic workload.
+const (
+	maxZipfS = 20
+	maxZipfV = 1e6
+)
+
+// Validate reports malformed specs (empty mix, non-positive fractions,
+// out-of-domain Zipf parameters).
 func (s Spec) Validate() error {
 	if len(s.Mix) == 0 {
 		return fmt.Errorf("workload %q: empty mix", s.Name)
 	}
 	var tot float64
 	for _, e := range s.Mix {
-		if e.Frac <= 0 {
+		if e.Frac <= 0 || math.IsNaN(e.Frac) || math.IsInf(e.Frac, 0) {
 			return fmt.Errorf("workload %q: non-positive fraction %v for %v", s.Name, e.Frac, e.Kind)
 		}
 		tot += e.Frac
@@ -132,53 +183,109 @@ func (s Spec) Validate() error {
 	if tot <= 0 {
 		return fmt.Errorf("workload %q: zero total fraction", s.Name)
 	}
+	if s.ZipfS != 0 && !(s.ZipfS > 1 && s.ZipfS <= maxZipfS) || math.IsNaN(s.ZipfS) {
+		return fmt.Errorf("workload %q: zipf skew exponent %v out of range (need 1 < s <= %v, or 0 for default)", s.Name, s.ZipfS, float64(maxZipfS))
+	}
+	if s.ZipfV != 0 && !(s.ZipfV >= 1 && s.ZipfV <= maxZipfV) || math.IsNaN(s.ZipfV) {
+		return fmt.Errorf("workload %q: zipf value bound %v out of range (need 1 <= v <= %v, or 0 for default)", s.Name, s.ZipfV, float64(maxZipfV))
+	}
+	if math.IsNaN(s.RangeFrac) || math.IsInf(s.RangeFrac, 0) || s.RangeFrac < 0 {
+		return fmt.Errorf("workload %q: range fraction %v out of range", s.Name, s.RangeFrac)
+	}
 	return nil
 }
 
 // Generator draws operations against a live key pool, so deletes and
-// updates overwhelmingly target existing keys.
+// updates overwhelmingly target existing keys. Domain draws land inside the
+// active window [winLo, winHi] — the whole domain by default; scenario
+// phases narrow it to cycle the hot region (see scenarios.go).
 type Generator struct {
-	rng       *rand.Rand
-	zipf      *rand.Zipf
-	pool      []int64
-	domainMax int64
+	rng          *rand.Rand
+	zipf         *rand.Zipf
+	pool         []int64
+	domainMax    int64
+	winLo, winHi int64
 }
 
 // zipfRange is the resolution of the skewed-position generator.
 const zipfRange = 1 << 20
 
 // NewGenerator builds a generator over the initial keys; domainMax bounds
-// the key domain [0, domainMax].
+// the key domain [0, domainMax]. The Zipf skew defaults match zero-valued
+// Spec fields (ZipfS 1.3, ZipfV 8).
 func NewGenerator(initialKeys []int64, domainMax int64, seed int64) *Generator {
+	return newGenerator(initialKeys, domainMax, seed, 0, 0)
+}
+
+func newGenerator(initialKeys []int64, domainMax, seed int64, zipfS, zipfV float64) *Generator {
 	rng := rand.New(rand.NewSource(seed))
 	pool := make([]int64, len(initialKeys))
 	copy(pool, initialKeys)
-	return &Generator{
+	g := &Generator{
 		rng:       rng,
-		zipf:      rand.NewZipf(rng, 1.3, 8, zipfRange-1),
 		pool:      pool,
 		domainMax: domainMax,
+		winLo:     0,
+		winHi:     domainMax,
 	}
+	g.setSkew(zipfS, zipfV)
+	return g
 }
 
-// skewedFrac returns a position in [0,1) concentrated near 0.
+// setSkew (re)builds the skewed-position distribution. Zero parameters
+// select the defaults; construction draws nothing from the shared rng, so
+// per-phase re-skewing does not perturb the stream's determinism.
+func (g *Generator) setSkew(s, v float64) {
+	if s == 0 {
+		s = defaultZipfS
+	}
+	if v == 0 {
+		v = defaultZipfV
+	}
+	g.zipf = rand.NewZipf(g.rng, s, v, zipfRange-1)
+}
+
+// setWindow narrows domain draws to [lo, hi] (clamped to the domain).
+// Access patterns keep their shape inside the window: SkewedRecent
+// concentrates on hi, SkewedEarly on lo.
+func (g *Generator) setWindow(lo, hi int64) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > g.domainMax {
+		hi = g.domainMax
+	}
+	if hi < lo {
+		hi = lo
+	}
+	g.winLo, g.winHi = lo, hi
+}
+
+// skewedFrac returns a position in [0,1) concentrated near 0. The clamp is
+// defense in depth: Validate bounds the Zipf parameters to the regime where
+// Uint64 stays within [0, zipfRange), so it never fires for a valid Spec.
 func (g *Generator) skewedFrac() float64 {
-	return float64(g.zipf.Uint64()) / zipfRange
+	f := float64(g.zipf.Uint64()) / zipfRange
+	if !(f >= 0) || f >= 1 {
+		return 0
+	}
+	return f
 }
 
-// domainKey draws a key from the domain under the access pattern.
+// domainKey draws a key from the active window under the access pattern.
 func (g *Generator) domainKey(a Access) int64 {
+	span := g.winHi - g.winLo
 	switch a {
 	case SkewedRecent:
-		return g.domainMax - int64(g.skewedFrac()*float64(g.domainMax))
+		return g.winHi - int64(g.skewedFrac()*float64(span))
 	case SkewedEarly:
-		return int64(g.skewedFrac() * float64(g.domainMax))
+		return g.winLo + int64(g.skewedFrac()*float64(span))
 	case RampRecent:
-		return int64(math.Sqrt(g.rng.Float64()) * float64(g.domainMax))
+		return g.winLo + int64(math.Sqrt(g.rng.Float64())*float64(span))
 	case RampEarly:
-		return int64((1 - math.Sqrt(g.rng.Float64())) * float64(g.domainMax))
+		return g.winLo + int64((1-math.Sqrt(g.rng.Float64()))*float64(span))
 	default:
-		return g.rng.Int63n(g.domainMax + 1)
+		return g.winLo + g.rng.Int63n(span+1)
 	}
 }
 
@@ -209,32 +316,44 @@ func Generate(initialKeys []int64, domainMax int64, spec Spec) ([]Op, error) {
 	if len(initialKeys) == 0 {
 		return nil, fmt.Errorf("workload %q: empty initial key set", spec.Name)
 	}
-	g := NewGenerator(initialKeys, domainMax, spec.Seed)
+	g := newGenerator(initialKeys, domainMax, spec.Seed, spec.ZipfS, spec.ZipfV)
+	return g.generate(nil, spec.Mix, spec.RangeFrac, spec.Ops), nil
+}
 
+// generate appends n operations drawn from mix to ops, mutating the live
+// pool — the shared inner loop of Generate and the phased scenario
+// generators (scenarios.go).
+func (g *Generator) generate(ops []Op, mix []MixEntry, rangeFrac float64, n int) []Op {
 	// Cumulative mix for roulette selection.
 	var tot float64
-	for _, e := range spec.Mix {
+	for _, e := range mix {
 		tot += e.Frac
 	}
-	ops := make([]Op, 0, spec.Ops)
-	for len(ops) < spec.Ops {
-		r := g.rng.Float64() * tot
-		var entry MixEntry
-		for _, e := range spec.Mix {
-			if r < e.Frac {
-				entry = e
-				break
-			}
-			r -= e.Frac
-		}
-		if entry.Frac == 0 {
-			entry = spec.Mix[len(spec.Mix)-1]
-		}
-		if op, ok := g.generateOne(entry, spec.RangeFrac); ok {
+	want := len(ops) + n
+	if cap(ops) < want {
+		grown := make([]Op, len(ops), want)
+		copy(grown, ops)
+		ops = grown
+	}
+	for len(ops) < want {
+		if op, ok := g.generateOne(pickEntry(g.rng, mix, tot), rangeFrac); ok {
 			ops = append(ops, op)
 		}
 	}
-	return ops, nil
+	return ops
+}
+
+// pickEntry roulette-selects a mix entry, consuming exactly one Float64
+// from the rng.
+func pickEntry(rng *rand.Rand, mix []MixEntry, tot float64) MixEntry {
+	r := rng.Float64() * tot
+	for _, e := range mix {
+		if r < e.Frac {
+			return e
+		}
+		r -= e.Frac
+	}
+	return mix[len(mix)-1]
 }
 
 func (g *Generator) generateOne(e MixEntry, rangeFrac float64) (Op, bool) {
@@ -245,16 +364,16 @@ func (g *Generator) generateOne(e MixEntry, rangeFrac float64) (Op, bool) {
 		// what matters for layout decisions.
 		return Op{Kind: Q1PointQuery, Key: g.domainKey(e.Access)}, true
 	case Q2RangeCount, Q3RangeSum, Q8Scan:
-		width := int64(rangeFrac * float64(g.domainMax))
+		width := int64(rangeFrac * float64(g.winHi-g.winLo))
 		if width < 1 {
 			width = 1
 		}
 		lo := g.domainKey(e.Access)
-		if lo > g.domainMax-width {
-			lo = g.domainMax - width
+		if lo > g.winHi-width {
+			lo = g.winHi - width
 		}
-		if lo < 0 {
-			lo = 0
+		if lo < g.winLo {
+			lo = g.winLo
 		}
 		op := Op{Kind: e.Kind, Key: lo, Key2: lo + width}
 		if e.Kind == Q8Scan {
@@ -281,7 +400,7 @@ func (g *Generator) generateOne(e MixEntry, rangeFrac float64) (Op, bool) {
 		}
 		i := g.poolIndex(e.Access)
 		old := g.pool[i]
-		new := g.rng.Int63n(g.domainMax + 1)
+		new := g.winLo + g.rng.Int63n(g.winHi-g.winLo+1)
 		g.pool[i] = new
 		return Op{Kind: Q6Update, Key: old, Key2: new}, true
 	}
